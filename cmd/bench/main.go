@@ -1,0 +1,80 @@
+// Command bench regenerates the paper's evaluation tables and figures on
+// the simulated cluster and prints them as text tables.
+//
+// Examples:
+//
+//	bench -all                # every table and figure (several minutes)
+//	bench -figure 7           # Fig 7: runtime overhead, edge-cut
+//	bench -table 2            # Table 2: recovery times, edge-cut
+//	bench -figure 2a -small   # quick scaled-down run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"imitator/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		all    = fs.Bool("all", false, "run every experiment")
+		figure = fs.String("figure", "", "figure id to regenerate (2a, 2b, 2c, 3, 7, 8, 9, 10, 11, 12, 13, 14, 15)")
+		table  = fs.String("table", "", "table id to regenerate (1, 2, 3, 5, 6, 7, young)")
+		nodes  = fs.Int("nodes", 8, "simulated cluster size")
+		iters  = fs.Int("iters", 10, "PageRank iterations")
+		small  = fs.Bool("small", false, "shrink datasets and sweeps for a quick pass")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Nodes: *nodes, Iters: *iters, Small: *small}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	case *figure != "":
+		ids = []string{"fig" + *figure}
+	case *table != "":
+		if *table == "young" {
+			ids = []string{"young"}
+		} else {
+			ids = []string{"table" + *table}
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("pass -all, -figure or -table")
+	}
+
+	index := map[string]func(experiments.Options) (*experiments.Table, error){}
+	for _, e := range experiments.All() {
+		index[e.ID] = e.Run
+	}
+	for _, id := range ids {
+		runFn, ok := index[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		start := time.Now()
+		t, err := runFn(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("(regenerated in %.1fs wall clock)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run([]string{"-figure", "3", "-small", "-nodes", "4", "-iters", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	if err := run([]string{"-table", "1", "-small"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunYoung(t *testing.T) {
+	if err := run([]string{"-table", "young", "-small", "-nodes", "4", "-iters", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSelection(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-figure", "99"}); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}

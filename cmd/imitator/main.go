@@ -1,0 +1,187 @@
+// Command imitator runs one graph-processing job on the simulated cluster
+// with the configured fault-tolerance scheme, optionally injecting machine
+// failures, and prints a run report.
+//
+// Examples:
+//
+//	imitator -dataset ljournal -algo pagerank -nodes 8 -iters 10
+//	imitator -dataset wiki -algo pagerank -recovery migration -fail-iter 5 -fail-nodes 2,3
+//	imitator -dataset roadca -algo sssp -mode vertexcut -partitioner hybrid
+//	imitator -dataset ljournal -algo pagerank -recovery checkpoint -ckpt-interval 2 -fail-iter 5 -fail-nodes 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"imitator/internal/core"
+	"imitator/internal/datasets"
+	"imitator/internal/experiments"
+	"imitator/internal/graph"
+	"imitator/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "imitator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("imitator", flag.ContinueOnError)
+	var (
+		dataset     = fs.String("dataset", "ljournal", "dataset name (see -list)")
+		algo        = fs.String("algo", "pagerank", "algorithm: pagerank, sssp, cd, als")
+		mode        = fs.String("mode", "edgecut", "engine mode: edgecut or vertexcut")
+		partitioner = fs.String("partitioner", "", "hash|fennel (edge-cut), random|grid|hybrid (vertex-cut); empty = mode default")
+		nodes       = fs.Int("nodes", 8, "number of simulated nodes")
+		iters       = fs.Int("iters", 10, "supersteps to run")
+		ft          = fs.Bool("ft", true, "enable replication-based fault tolerance")
+		k           = fs.Int("k", 1, "number of simultaneous failures to tolerate")
+		selfish     = fs.Bool("selfish-opt", true, "enable the selfish-vertex optimization")
+		recovery    = fs.String("recovery", "rebirth", "recovery: none, checkpoint, rebirth, migration")
+		ckptIvl     = fs.Int("ckpt-interval", 1, "checkpoint interval in iterations")
+		failIter    = fs.Int("fail-iter", -1, "iteration at which to crash nodes (-1 = no failure)")
+		failNodes   = fs.String("fail-nodes", "1", "comma-separated node ids to crash")
+		input       = fs.String("input", "", "edge-list file to load instead of -dataset (src dst [weight] per line)")
+		tcp         = fs.Bool("tcp", false, "run the protocol over a loopback TCP mesh instead of in-memory delivery")
+		timeline    = fs.Bool("timeline", false, "render the execution timeline")
+		list        = fs.Bool("list", false, "list datasets and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range datasets.Names() {
+			d := datasets.Catalog()[name]
+			fmt.Printf("%-10s paper %s vertices, %s edges\n", name, d.PaperVertices, d.PaperEdges)
+		}
+		return nil
+	}
+
+	var m core.Mode
+	switch *mode {
+	case "edgecut":
+		m = core.EdgeCutMode
+	case "vertexcut":
+		m = core.VertexCutMode
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	cfg := core.DefaultConfig(m, *nodes)
+	cfg.MaxIter = *iters
+	cfg.MaxRebirths = *nodes
+	if *tcp {
+		cfg.Transport = core.TransportTCP
+	}
+	if *partitioner != "" {
+		p, err := parsePartitioner(*partitioner)
+		if err != nil {
+			return err
+		}
+		cfg.Partitioner = p
+	}
+	cfg.FT = core.FTConfig{Enabled: *ft, K: *k, SelfishOpt: *selfish}
+	switch *recovery {
+	case "none":
+		cfg.Recovery = core.RecoverNone
+	case "checkpoint":
+		cfg.Recovery = core.RecoverCheckpoint
+		cfg.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: *ckptIvl}
+		cfg.FT = core.FTConfig{}
+	case "rebirth":
+		cfg.Recovery = core.RecoverRebirth
+	case "migration":
+		cfg.Recovery = core.RecoverMigration
+	default:
+		return fmt.Errorf("unknown recovery %q", *recovery)
+	}
+	if *failIter >= 0 {
+		var crash []int
+		for _, tok := range strings.Split(*failNodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("bad -fail-nodes: %w", err)
+			}
+			crash = append(crash, n)
+		}
+		cfg.Failures = []core.FailureSpec{{
+			Iteration: *failIter, Phase: core.FailBeforeBarrier, Nodes: crash,
+		}}
+	}
+
+	w := experiments.Workload{Algo: *algo, Dataset: *dataset, Iters: *iters}
+	var s experiments.RunSummary
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err := graph.ReadEdgeList(f, 0)
+		if err != nil {
+			return err
+		}
+		w.Dataset = *input
+		s, err = experiments.RunWorkloadOn(w, g, cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		s, err = experiments.RunWorkload(w, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	report(w, cfg, s)
+	if *timeline {
+		fmt.Println("timeline:")
+		trace.Render(os.Stdout, s.Trace, trace.Options{})
+		fmt.Println(trace.Summary(s.Trace))
+	}
+	return nil
+}
+
+func parsePartitioner(s string) (core.PartitionerKind, error) {
+	switch s {
+	case "hash":
+		return core.PartHash, nil
+	case "fennel":
+		return core.PartFennel, nil
+	case "ldg":
+		return core.PartLDG, nil
+	case "oblivious":
+		return core.PartOblivious, nil
+	case "random":
+		return core.PartRandom, nil
+	case "grid":
+		return core.PartGrid, nil
+	case "hybrid":
+		return core.PartHybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown partitioner %q", s)
+	}
+}
+
+func report(w experiments.Workload, cfg core.Config, s experiments.RunSummary) {
+	fmt.Printf("job: %s on %s (%s, %v, %d nodes)\n",
+		w.Algo, w.Dataset, cfg.Mode, cfg.Partitioner, cfg.NumNodes)
+	fmt.Printf("graph: %d vertices, %d edges; replication factor %.2f (%d FT replicas added)\n",
+		s.NumVertices, s.NumEdges, s.ReplicationFactor, s.ExtraReplicas)
+	fmt.Printf("run: %d-iteration job in %.3f simulated seconds (%.4f s/iter avg)\n",
+		w.Iters, s.SimSeconds, s.AvgIterSeconds)
+	fmt.Printf("traffic: %d messages, %.2f MB total; memory max-node %.1f MB, total %.1f MB\n",
+		s.Metrics.TotalMsgs(), float64(s.Metrics.TotalBytes())/1e6,
+		float64(s.MaxMemory)/1e6, float64(s.TotalMemory)/1e6)
+	if s.CheckpointCount > 0 {
+		fmt.Printf("checkpoints: %d written, %.3f s total\n", s.CheckpointCount, s.CheckpointSeconds)
+	}
+	for _, r := range s.Recoveries {
+		fmt.Printf("recovery: %s\n", r)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallJob(t *testing.T) {
+	err := run([]string{
+		"-dataset", "dblp", "-algo", "cd", "-nodes", "4", "-iters", "3",
+		"-recovery", "migration", "-fail-iter", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexCutJob(t *testing.T) {
+	err := run([]string{
+		"-dataset", "gweb", "-algo", "pagerank", "-mode", "vertexcut",
+		"-partitioner", "grid", "-nodes", "4", "-iters", "2", "-recovery", "none", "-ft=false",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointJob(t *testing.T) {
+	err := run([]string{
+		"-dataset", "dblp", "-algo", "pagerank", "-nodes", "4", "-iters", "4",
+		"-recovery", "checkpoint", "-ckpt-interval", "2", "-fail-iter", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "diagonal"},
+		{"-recovery", "prayer"},
+		{"-partitioner", "vibes"},
+		{"-dataset", "nope", "-iters", "1"},
+		{"-fail-iter", "1", "-fail-nodes", "x"},
+		{"-algo", "sort", "-iters", "1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParsePartitioner(t *testing.T) {
+	for _, s := range []string{"hash", "fennel", "ldg", "random", "grid", "hybrid", "oblivious"} {
+		if _, err := parsePartitioner(s); err != nil {
+			t.Errorf("%s rejected: %v", s, err)
+		}
+	}
+}
+
+func TestInputFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/g.txt"
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n2 3\n3 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-input", path, "-algo", "pagerank", "-nodes", "2", "-iters", "2", "-recovery", "none", "-ft=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", dir + "/missing.txt", "-iters", "1"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestTCPFlag(t *testing.T) {
+	err := run([]string{
+		"-dataset", "dblp", "-algo", "pagerank", "-nodes", "3", "-iters", "2",
+		"-tcp", "-recovery", "rebirth", "-fail-iter", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,16 @@
+// Package imitator is a from-scratch Go reproduction of "Replication-Based
+// Fault-Tolerance for Large-Scale Graph Processing" (Chen et al., DSN 2014;
+// extended in IEEE TPDS 29(7), 2018).
+//
+// The library lives under internal/: the Imitator runtime (internal/core)
+// implements edge-cut (Cyclops-style) and vertex-cut (PowerLyra-style) BSP
+// graph processing with replication-based fault tolerance — fault-tolerant
+// replicas, full-state mirrors, the selfish-vertex optimization, and
+// Rebirth/Migration/checkpoint recovery — on a simulated cluster
+// (internal/netsim, internal/dfs, internal/coord) with a calibrated cost
+// model (internal/costmodel).
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the measured results and
+// README.md for a tour.
+package imitator

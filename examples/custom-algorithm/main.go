@@ -1,0 +1,116 @@
+// custom-algorithm shows how to implement a new vertex program against the
+// core.Program interface and run it fault-tolerantly without touching the
+// engine — the paper's "no source code changes to graph algorithms"
+// property. The program computes each vertex's in-neighborhood weighted
+// degree percentile rank ("local influence"): influence(v) converges to the
+// share of v's in-neighbors whose influence is below v's own, seeded from
+// normalized degree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"imitator/internal/core"
+	"imitator/internal/datasets"
+	"imitator/internal/graph"
+)
+
+// influence is the custom vertex program. V = float64 (current influence
+// score), A = [2]float64 flattened as []float64{below, total}.
+type influence struct {
+	maxDeg float64
+}
+
+var _ core.Program[float64, []float64] = (*influence)(nil)
+
+func (p *influence) Name() string              { return "influence" }
+func (p *influence) AlwaysActive() bool        { return true }
+func (p *influence) CanRecomputeSelfish() bool { return false }
+
+func (p *influence) Init(_ graph.VertexID, info core.VertexInfo) (float64, bool) {
+	return float64(info.InDeg) / p.maxDeg, true
+}
+
+// Gather: contribute (1 if src's score is below an implicit threshold,
+// carried as raw score so Apply can compare, 1 total). To keep the
+// accumulator associative we ship (sum of src scores, count) and compare
+// against the mean in Apply.
+func (p *influence) Gather(_ graph.Edge, src float64, _ core.VertexInfo) []float64 {
+	return []float64{src, 1}
+}
+
+func (p *influence) Merge(a, b []float64) []float64 {
+	return []float64{a[0] + b[0], a[1] + b[1]}
+}
+
+// Apply: move the score toward "how far above the neighborhood mean am I",
+// damped for stability.
+func (p *influence) Apply(_ graph.VertexID, info core.VertexInfo, old float64, acc []float64, hasAcc bool, _ int) (float64, bool) {
+	if !hasAcc || acc[1] == 0 {
+		return old, true
+	}
+	mean := acc[0] / acc[1]
+	target := 0.5 + (old-mean)/2
+	if target < 0 {
+		target = 0
+	}
+	if target > 1 {
+		target = 1
+	}
+	return old*0.5 + target*0.5, true
+}
+
+func (p *influence) ValueCodec() core.Codec[float64] { return core.Float64Codec{} }
+func (p *influence) AccCodec() core.Codec[[]float64] { return core.VecCodec{Dim: 2} }
+
+func main() {
+	g := datasets.MustLoad("dblp")
+	maxDeg := 1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.InDegree(graph.VertexID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	prog := &influence{maxDeg: float64(maxDeg)}
+
+	// The custom program runs under the same fault-tolerance machinery as
+	// the built-ins: crash two nodes, recover by migration.
+	cfg := core.DefaultConfig(core.EdgeCutMode, 6)
+	cfg.Recovery = core.RecoverMigration
+	cfg.FT.K = 2
+	cfg.FT.SelfishOpt = false
+	cfg.MaxIter = 12
+	cfg.Failures = []core.FailureSpec{{
+		Iteration: 6, Phase: core.FailBeforeBarrier, Nodes: []int{1, 4},
+	}}
+
+	cluster, err := core.NewCluster[float64, []float64](cfg, g, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cluster.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom %q program: %d iterations, %.3f simulated seconds\n",
+		prog.Name(), res.Iterations, res.SimSeconds)
+	for _, r := range res.Recoveries {
+		fmt.Printf("survived: %s\n", r)
+	}
+
+	type scored struct {
+		v graph.VertexID
+		s float64
+	}
+	top := make([]scored, g.NumVertices())
+	for v, s := range res.Values {
+		top[v] = scored{graph.VertexID(v), s}
+	}
+	sort.Slice(top, func(a, b int) bool { return top[a].s > top[b].s })
+	fmt.Println("most locally influential vertices:")
+	for _, t := range top[:5] {
+		fmt.Printf("  vertex %6d  influence %.3f (in-degree %d)\n", t.v, t.s, g.InDegree(t.v))
+	}
+}

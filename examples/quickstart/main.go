@@ -1,0 +1,59 @@
+// Quickstart: run PageRank on a simulated 4-node cluster with
+// replication-based fault tolerance, crash a machine mid-run, and watch
+// Imitator recover it from the vertex replicas.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"imitator/internal/algorithms"
+	"imitator/internal/core"
+	"imitator/internal/datasets"
+)
+
+func main() {
+	// 1. Load a dataset (a scaled GWeb-like power-law web graph).
+	g := datasets.MustLoad("gweb")
+	fmt.Printf("loaded %d vertices / %d edges\n", g.NumVertices(), g.NumEdges())
+
+	// 2. Configure a 4-node edge-cut cluster with fault tolerance on and
+	// Rebirth recovery, and schedule node 2 to crash during iteration 5.
+	cfg := core.DefaultConfig(core.EdgeCutMode, 4)
+	cfg.MaxIter = 10
+	cfg.Failures = []core.FailureSpec{{
+		Iteration: 5, Phase: core.FailBeforeBarrier, Nodes: []int{2},
+	}}
+
+	// 3. Run PageRank.
+	cluster, err := core.NewCluster[float64, float64](cfg, g, algorithms.NewPageRank(g.NumVertices()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cluster.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report: the failure was recovered in-memory from replicas; the
+	// job finished all 10 iterations with the correct answer.
+	fmt.Printf("finished %d iterations in %.3f simulated seconds\n", res.Iterations, res.SimSeconds)
+	for _, r := range res.Recoveries {
+		fmt.Printf("recovered: %s\n", r)
+	}
+
+	type ranked struct {
+		v    int
+		rank float64
+	}
+	top := make([]ranked, g.NumVertices())
+	for v, r := range res.Values {
+		top[v] = ranked{v, r}
+	}
+	sort.Slice(top, func(a, b int) bool { return top[a].rank > top[b].rank })
+	fmt.Println("top 5 vertices by PageRank:")
+	for _, t := range top[:5] {
+		fmt.Printf("  vertex %6d  rank %.3f\n", t.v, t.rank)
+	}
+}

@@ -1,0 +1,3 @@
+module imitator
+
+go 1.22

@@ -1,0 +1,266 @@
+// Package coord provides the coordination service the paper inherits from
+// Apache Hama: barrier-based synchronization, shared global state, cluster
+// membership and failure announcement (a Zookeeper stand-in, §3.2), plus a
+// real-time heartbeat failure detector.
+//
+// The barrier is reusable and failure-aware: when a node is marked failed
+// while others compute, every surviving node learns about it in the
+// BarrierState returned from its next EnterBarrier call — exactly the
+// enter_barrier()/leave_barrier() state checks of Algorithm 1.
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BarrierState is what a node learns when a barrier releases.
+type BarrierState struct {
+	// Generation is the sequence number of the released barrier.
+	Generation int
+	// Failed lists nodes whose failure was announced since the previous
+	// barrier, in ascending order. Empty on normal iterations.
+	Failed []int
+}
+
+// IsFail reports whether this barrier announced any failure.
+func (s BarrierState) IsFail() bool { return len(s.Failed) > 0 }
+
+// Coordinator implements the membership + barrier service.
+type Coordinator struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	alive       map[int]bool
+	arrived     map[int]bool
+	generation  int
+	pendingFail []int
+	states      []BarrierState // states[g] = state of generation g's release
+
+	kv map[string]int64
+}
+
+// New creates a Coordinator with nodes 0..numNodes-1 alive.
+func New(numNodes int) (*Coordinator, error) {
+	if numNodes < 1 {
+		return nil, fmt.Errorf("coord: need at least one node, got %d", numNodes)
+	}
+	c := &Coordinator{
+		alive:   make(map[int]bool, numNodes),
+		arrived: make(map[int]bool, numNodes),
+		kv:      make(map[string]int64),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i := 0; i < numNodes; i++ {
+		c.alive[i] = true
+	}
+	return c, nil
+}
+
+// EnterBarrier blocks until every alive node has entered, then returns the
+// barrier's state. Safe for concurrent use by one goroutine per node.
+func (c *Coordinator) EnterBarrier(node int) BarrierState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.alive[node] {
+		// A failed node straggling in: release it immediately with the
+		// current state; the driver stops running it.
+		return BarrierState{Generation: c.generation, Failed: append([]int(nil), c.pendingFail...)}
+	}
+	c.arrived[node] = true
+	myGen := c.generation
+	if c.allArrivedLocked() {
+		c.releaseLocked()
+	} else {
+		for c.generation == myGen {
+			c.cond.Wait()
+		}
+	}
+	return c.states[myGen]
+}
+
+// allArrivedLocked reports whether every alive node has arrived.
+func (c *Coordinator) allArrivedLocked() bool {
+	if len(c.alive) == 0 {
+		return false
+	}
+	for n, a := range c.alive {
+		if a && !c.arrived[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseLocked publishes the barrier state and wakes waiters.
+func (c *Coordinator) releaseLocked() {
+	failed := append([]int(nil), c.pendingFail...)
+	sort.Ints(failed)
+	c.states = append(c.states, BarrierState{Generation: c.generation, Failed: failed})
+	c.pendingFail = nil
+	c.generation++
+	for n := range c.arrived {
+		delete(c.arrived, n)
+	}
+	c.cond.Broadcast()
+}
+
+// MarkFailed announces a node failure (fail-stop). The failure surfaces in
+// the next barrier release; if every remaining alive node is already
+// waiting, the barrier releases immediately.
+func (c *Coordinator) MarkFailed(node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.alive[node] {
+		return
+	}
+	c.alive[node] = false
+	delete(c.arrived, node)
+	c.pendingFail = append(c.pendingFail, node)
+	if c.allArrivedLocked() {
+		c.releaseLocked()
+	}
+}
+
+// Join adds a node to the membership (a rebirth newbie taking over; §5.1).
+// The node must then call EnterBarrier to synchronize with survivors.
+func (c *Coordinator) Join(node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.alive[node] = true
+}
+
+// Alive reports whether a node is currently a member.
+func (c *Coordinator) Alive(node int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive[node]
+}
+
+// AliveNodes returns the sorted list of alive nodes.
+func (c *Coordinator) AliveNodes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for n, a := range c.alive {
+		if a {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Set stores a shared global value (e.g., the current iteration, so a
+// newbie can resume at the right superstep).
+func (c *Coordinator) Set(key string, value int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.kv[key] = value
+}
+
+// Get reads a shared global value.
+func (c *Coordinator) Get(key string) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.kv[key]
+	return v, ok
+}
+
+// HeartbeatMonitor detects crashed nodes from missed heartbeats, as the
+// paper's central master does with a conservative 500 ms interval. It runs
+// on real wall-clock time and is used by the live CLI mode; the
+// deterministic benchmark driver injects failures directly and charges the
+// detection delay from the cost model instead.
+type HeartbeatMonitor struct {
+	interval time.Duration
+	misses   int
+	onFail   func(node int)
+
+	mu       sync.Mutex
+	lastBeat map[int]time.Time
+	failed   map[int]bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHeartbeatMonitor creates a monitor declaring a node failed after
+// `misses` consecutive missed intervals. onFail runs once per failure on
+// the monitor goroutine.
+func NewHeartbeatMonitor(interval time.Duration, misses int, onFail func(node int)) (*HeartbeatMonitor, error) {
+	if interval <= 0 || misses < 1 {
+		return nil, fmt.Errorf("coord: bad heartbeat config interval=%v misses=%d", interval, misses)
+	}
+	return &HeartbeatMonitor{
+		interval: interval,
+		misses:   misses,
+		onFail:   onFail,
+		lastBeat: make(map[int]time.Time),
+		failed:   make(map[int]bool),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Track registers a node with a fresh heartbeat.
+func (m *HeartbeatMonitor) Track(node int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastBeat[node] = time.Now()
+	delete(m.failed, node)
+}
+
+// Beat records a heartbeat from node. Beats from untracked or failed nodes
+// are ignored.
+func (m *HeartbeatMonitor) Beat(node int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.lastBeat[node]; ok && !m.failed[node] {
+		m.lastBeat[node] = time.Now()
+	}
+}
+
+// Start launches the monitor goroutine. Stop must be called to shut it down.
+func (m *HeartbeatMonitor) Start() {
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(m.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case now := <-ticker.C:
+				m.sweep(now)
+			}
+		}
+	}()
+}
+
+func (m *HeartbeatMonitor) sweep(now time.Time) {
+	deadline := time.Duration(m.misses) * m.interval
+	var newlyFailed []int
+	m.mu.Lock()
+	for node, last := range m.lastBeat {
+		if !m.failed[node] && now.Sub(last) >= deadline {
+			m.failed[node] = true
+			newlyFailed = append(newlyFailed, node)
+		}
+	}
+	m.mu.Unlock()
+	sort.Ints(newlyFailed)
+	if m.onFail != nil {
+		for _, n := range newlyFailed {
+			m.onFail(n)
+		}
+	}
+}
+
+// Stop terminates the monitor goroutine and waits for it to exit.
+func (m *HeartbeatMonitor) Stop() {
+	close(m.stop)
+	<-m.done
+}

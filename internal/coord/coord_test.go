@@ -1,0 +1,253 @@
+package coord
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBarrierReleasesWhenAllArrive(t *testing.T) {
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var released int32
+	for n := 0; n < 4; n++ {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := c.EnterBarrier(n)
+			if s.IsFail() {
+				t.Errorf("unexpected failure state: %+v", s)
+			}
+			atomic.AddInt32(&released, 1)
+		}()
+	}
+	wg.Wait()
+	if released != 4 {
+		t.Fatalf("released %d, want 4", released)
+	}
+}
+
+func TestBarrierGenerationsAdvance(t *testing.T) {
+	c, _ := New(2)
+	var wg sync.WaitGroup
+	gens := make([][]int, 2)
+	for n := 0; n < 2; n++ {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				s := c.EnterBarrier(n)
+				gens[n] = append(gens[n], s.Generation)
+			}
+		}()
+	}
+	wg.Wait()
+	for n := 0; n < 2; n++ {
+		for i, g := range gens[n] {
+			if g != i {
+				t.Errorf("node %d barrier %d saw generation %d", n, i, g)
+			}
+		}
+	}
+}
+
+func TestFailureAnnouncedAtBarrier(t *testing.T) {
+	c, _ := New(3)
+	var wg sync.WaitGroup
+	states := make([]BarrierState, 3)
+	// Node 2 dies; 0 and 1 enter the barrier.
+	c.MarkFailed(2)
+	for n := 0; n < 2; n++ {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			states[n] = c.EnterBarrier(n)
+		}()
+	}
+	wg.Wait()
+	for n := 0; n < 2; n++ {
+		if !states[n].IsFail() || len(states[n].Failed) != 1 || states[n].Failed[0] != 2 {
+			t.Errorf("node %d state = %+v, want failure of node 2", n, states[n])
+		}
+	}
+}
+
+func TestFailureWhileWaitingReleasesBarrier(t *testing.T) {
+	c, _ := New(2)
+	got := make(chan BarrierState, 1)
+	go func() { got <- c.EnterBarrier(0) }()
+	// Give node 0 time to block, then kill node 1 (never arrives).
+	time.Sleep(10 * time.Millisecond)
+	c.MarkFailed(1)
+	select {
+	case s := <-got:
+		if !s.IsFail() || s.Failed[0] != 1 {
+			t.Errorf("state = %+v", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier did not release after failure")
+	}
+}
+
+func TestFailureClearsAfterOneBarrier(t *testing.T) {
+	c, _ := New(2)
+	c.MarkFailed(1)
+	s := c.EnterBarrier(0) // releases alone: node 1 dead
+	if !s.IsFail() {
+		t.Fatal("first barrier should announce failure")
+	}
+	s = c.EnterBarrier(0)
+	if s.IsFail() {
+		t.Errorf("second barrier should be clean, got %+v", s)
+	}
+}
+
+func TestJoinNewbie(t *testing.T) {
+	c, _ := New(2)
+	c.MarkFailed(1)
+	c.EnterBarrier(0) // consume failure
+	// Newbie joins as node 2; both must now arrive for release.
+	c.Join(2)
+	var wg sync.WaitGroup
+	for _, n := range []int{0, 2} {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := c.EnterBarrier(n)
+			if s.IsFail() {
+				t.Errorf("unexpected failure: %+v", s)
+			}
+		}()
+	}
+	wg.Wait()
+	alive := c.AliveNodes()
+	if len(alive) != 2 || alive[0] != 0 || alive[1] != 2 {
+		t.Errorf("alive = %v", alive)
+	}
+}
+
+func TestMarkFailedIdempotent(t *testing.T) {
+	c, _ := New(2)
+	c.MarkFailed(1)
+	c.MarkFailed(1)
+	s := c.EnterBarrier(0)
+	if len(s.Failed) != 1 {
+		t.Errorf("Failed = %v, want one entry", s.Failed)
+	}
+}
+
+func TestAlive(t *testing.T) {
+	c, _ := New(2)
+	if !c.Alive(0) || !c.Alive(1) {
+		t.Error("initial nodes should be alive")
+	}
+	c.MarkFailed(0)
+	if c.Alive(0) {
+		t.Error("failed node reported alive")
+	}
+}
+
+func TestKV(t *testing.T) {
+	c, _ := New(1)
+	if _, ok := c.Get("iter"); ok {
+		t.Error("unset key should miss")
+	}
+	c.Set("iter", 7)
+	if v, ok := c.Get("iter"); !ok || v != 7 {
+		t.Errorf("Get = %d, %v", v, ok)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("expected error for zero nodes")
+	}
+}
+
+func TestHeartbeatDetectsCrash(t *testing.T) {
+	var mu sync.Mutex
+	var failures []int
+	m, err := NewHeartbeatMonitor(5*time.Millisecond, 3, func(n int) {
+		mu.Lock()
+		failures = append(failures, n)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Track(0)
+	m.Track(1)
+	m.Start()
+	defer m.Stop()
+
+	// Node 0 keeps beating; node 1 goes silent.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				m.Beat(0)
+			}
+		}
+	}()
+
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		done := len(failures) > 0
+		mu.Unlock()
+		if done {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no failure detected")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range failures {
+		if f != 1 {
+			t.Errorf("detected failure of node %d, want only node 1", f)
+		}
+	}
+}
+
+func TestHeartbeatFailsOnce(t *testing.T) {
+	var count int32
+	m, _ := NewHeartbeatMonitor(2*time.Millisecond, 2, func(int) { atomic.AddInt32(&count, 1) })
+	m.Track(0)
+	m.Start()
+	time.Sleep(50 * time.Millisecond)
+	m.Stop()
+	if c := atomic.LoadInt32(&count); c != 1 {
+		t.Errorf("onFail ran %d times, want 1", c)
+	}
+}
+
+func TestHeartbeatValidation(t *testing.T) {
+	if _, err := NewHeartbeatMonitor(0, 1, nil); err == nil {
+		t.Error("expected error for zero interval")
+	}
+	if _, err := NewHeartbeatMonitor(time.Millisecond, 0, nil); err == nil {
+		t.Error("expected error for zero misses")
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"imitator/internal/costmodel"
+	"imitator/internal/graph"
+	"imitator/internal/netsim"
+)
+
+// ckptPath names the data snapshot of one node at one epoch.
+func ckptPath(epoch, node int) string { return fmt.Sprintf("ckpt/%d/node%d", epoch, node) }
+
+// writeCheckpoint snapshots every node's master state to the DFS inside the
+// global barrier (§2.2). The epoch is the current (committed) iteration.
+func (c *Cluster[V, A]) writeCheckpoint() {
+	start := c.clock.Now()
+	c.writeCheckpointAt(c.iter, true)
+	c.trace = append(c.trace, TraceEvent{Iter: c.iter, Kind: "checkpoint", Start: start, End: c.clock.Now()})
+}
+
+// ckptRecord tracks one snapshot in the history.
+type ckptRecord struct {
+	epoch int
+	full  bool
+}
+
+// writeCheckpointAt writes the epoch snapshot; when charge is set the cost
+// advances the simulated clock (barrier-synchronous checkpointing), else it
+// accrues to load time (the initial epoch-0 snapshot). Incremental
+// snapshots include only masters touched since the previous epoch, with a
+// full snapshot every FullEvery to bound the recovery chain.
+func (c *Cluster[V, A]) writeCheckpointAt(epoch int, charge bool) {
+	fullEvery := c.cfg.Checkpoint.FullEvery
+	if fullEvery < 1 {
+		fullEvery = 4
+	}
+	full := !c.cfg.Checkpoint.Incremental || len(c.ckptHistory)%fullEvery == 0
+	since := int32(0)
+	if !full {
+		since = int32(c.ckptHistory[len(c.ckptHistory)-1].epoch)
+	}
+	var span costmodel.Span
+	for _, nd := range c.aliveNodes() {
+		buf := putU32(nil, uint32(epoch))
+		countAt := len(buf)
+		buf = putU32(buf, 0) // patched below
+		count := 0
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() {
+				continue
+			}
+			if !full && e.lastTouchedIter < since {
+				continue
+			}
+			buf = putI32(buf, int32(i))
+			buf = c.vc.Append(buf, e.value)
+			buf = putBool(buf, e.active)
+			buf = putBool(buf, e.lastActivate)
+			buf = putI32(buf, e.lastActivateIter)
+			count++
+		}
+		binary.LittleEndian.PutUint32(buf[countAt:countAt+4], uint32(count))
+		cost := c.dfsWriteCost(nd, ckptPath(epoch, nd.id), buf)
+		if c.cfg.Checkpoint.InMemory {
+			// Memory-backed HDFS: bandwidth is the network, not disk, and
+			// the paper notes triple replication still crosses machines.
+			cost = c.cfg.Cost.NetTransfer(int64(len(buf)) * int64(c.cfg.Cost.DFSReplication-1))
+		}
+		span.Observe(cost)
+	}
+	if charge {
+		c.clock.Advance(span.Max())
+		c.ckptSeconds += span.Max()
+		c.ckptCount++
+	} else {
+		c.loadSeconds += span.Max()
+	}
+	c.ckptEpoch = epoch
+	if n := len(c.ckptHistory); n > 0 && c.ckptHistory[n-1].epoch == epoch {
+		c.ckptHistory[n-1].full = full // re-written after a replay
+	} else {
+		c.ckptHistory = append(c.ckptHistory, ckptRecord{epoch: epoch, full: full})
+	}
+}
+
+// restoreChain returns the snapshot epochs needed to restore state at
+// `epoch`: the latest full snapshot at or before it plus every later delta.
+func (c *Cluster[V, A]) restoreChain(epoch int) []int {
+	lastFull := -1
+	for i, rec := range c.ckptHistory {
+		if rec.epoch > epoch {
+			break
+		}
+		if rec.full {
+			lastFull = i
+		}
+	}
+	if lastFull < 0 {
+		return nil
+	}
+	var chain []int
+	for _, rec := range c.ckptHistory[lastFull:] {
+		if rec.epoch > epoch {
+			break
+		}
+		chain = append(chain, rec.epoch)
+	}
+	return chain
+}
+
+// restoreFromSnapshot loads a node's snapshot at epoch into its entries.
+func (c *Cluster[V, A]) restoreFromSnapshot(nd *node[V, A], epoch int) (float64, error) {
+	data, cost, err := c.dfs.Read(nd.id, ckptPath(epoch, nd.id))
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint restore node %d: %w", nd.id, err)
+	}
+	nd.met.DFSReadBytes += int64(len(data))
+	r := &reader{buf: data}
+	gotEpoch := int(r.u32())
+	if gotEpoch != epoch {
+		return 0, fmt.Errorf("core: snapshot epoch %d != %d", gotEpoch, epoch)
+	}
+	count := int(r.u32())
+	for k := 0; k < count; k++ {
+		pos := r.i32()
+		val := readValue(r, c.vc)
+		active := r.bool()
+		lastAct := r.bool()
+		stamp := r.i32()
+		if r.err != nil {
+			return 0, r.err
+		}
+		e := &nd.entries[pos]
+		e.value = val
+		e.active = active
+		e.lastActivate = lastAct
+		e.lastActivateIter = stamp
+		e.clearPending()
+	}
+	return cost, nil
+}
+
+// recoverCheckpoint is the paper's baseline: every node — survivors
+// included — rolls back to the last snapshot; standby newbies rebuild the
+// crashed nodes from the metadata snapshot plus the data snapshot; then the
+// whole cluster replays the lost iterations (§2.2, Fig 2c).
+func (c *Cluster[V, A]) recoverCheckpoint(failed []int) ([]int, error) {
+	if c.rebirthsUsed+len(failed) > c.cfg.MaxRebirths {
+		return nil, fmt.Errorf("%w: %d standby nodes exhausted", ErrUnrecoverable, c.cfg.MaxRebirths)
+	}
+	failedSet := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		failedSet[f] = true
+	}
+	iterAtFailure := c.iter
+	epoch := c.ckptEpoch
+	rec := RecoveryStats{
+		Kind:      "checkpoint",
+		Iteration: epoch,
+		Failed:    append([]int(nil), failed...),
+	}
+	start := c.clock.Now()
+
+	// Newbies take over the failed slots, rebuilding immutable topology
+	// from the pristine loader state (the metadata snapshot's content).
+	for _, f := range failed {
+		nd := c.rebuildPristineNode(f)
+		if nd == nil {
+			return nil, fmt.Errorf("%w: no pristine state for node %d", ErrUnrecoverable, f)
+		}
+		meta, cost, err := c.dfs.Read(f, fmt.Sprintf("ckptmeta/%d", f))
+		if err != nil {
+			return nil, fmt.Errorf("core: metadata snapshot: %w", err)
+		}
+		nd.met.DFSReadBytes += int64(len(meta))
+		c.clock.Advance(cost)
+		c.nodes[f] = nd
+		c.net.SetFailed(f, false)
+		c.coord.Join(f)
+		c.rebirthsUsed++
+		rec.RecoveredVertices += len(nd.entries)
+		rec.RecoveredEdges += nd.localEdges
+	}
+	c.hook("checkpoint:join")
+
+	// Reload: every node — survivors included — re-reads its graph topology
+	// from the metadata snapshot and its state from the data snapshot
+	// (§2.3.2: "all nodes first reload the graph topology from the metadata
+	// snapshot in parallel and then update states"). Our survivors'
+	// in-memory topology happens to be intact, so the metadata read is a
+	// pure cost charge mirroring the paper's systems, which rebuild from
+	// scratch to reach a consistent state.
+	chain := c.restoreChain(epoch)
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("%w: no snapshot chain for epoch %d", ErrUnrecoverable, epoch)
+	}
+	// Per-node slots: the reload closures run concurrently.
+	nodeCosts := make([]float64, c.cfg.NumNodes)
+	nodeErrs := make([]error, c.cfg.NumNodes)
+	c.eachAlive(func(nd *node[V, A]) {
+		metaSize, err := c.dfs.Size(fmt.Sprintf("ckptmeta/%d", nd.id))
+		if err != nil {
+			nodeErrs[nd.id] = err
+			return
+		}
+		nd.met.DFSReadBytes += metaSize
+		cost := c.cfg.Cost.DFSRead(metaSize)
+		for _, ep := range chain {
+			dataCost, err := c.restoreFromSnapshot(nd, ep)
+			if err != nil {
+				nodeErrs[nd.id] = err
+				return
+			}
+			cost += dataCost
+		}
+		nodeCosts[nd.id] = cost
+	})
+	var span costmodel.Span
+	for i, err := range nodeErrs {
+		if err != nil {
+			return nil, err
+		}
+		span.Observe(nodeCosts[i])
+	}
+	c.clock.Advance(span.Max())
+	if state := c.barrier(); state.IsFail() {
+		return state.Failed, nil
+	}
+	rec.ReloadSeconds = c.clock.Now() - start
+	c.hook("checkpoint:reload")
+
+	// Reconstruct: newbies materialize entries; then a full resync restores
+	// every replica from its master (survivors rolled back too, so all
+	// replicas are stale).
+	reconStart := c.clock.Now()
+	var reconSpan costmodel.Span
+	for _, f := range failed {
+		nd := c.nodes[f]
+		reconSpan.Observe(float64(len(nd.entries))*c.cfg.Cost.ReconstructPerVertex +
+			float64(nd.localEdges)*c.cfg.Cost.ComputePerEdge)
+	}
+	c.clock.Advance(reconSpan.Max())
+	c.fullResync()
+	if state := c.barrier(); state.IsFail() {
+		return state.Failed, nil
+	}
+	rec.ReconstructSeconds = c.clock.Now() - reconStart
+
+	// Replay: the main loop re-executes epochs..iterAtFailure-1.
+	rec.ReplayIters = iterAtFailure - epoch
+	c.iter = epoch
+	c.coord.Set("iter", int64(epoch))
+	c.recoveries = append(c.recoveries, rec)
+	c.watchReplay(len(c.recoveries)-1, iterAtFailure)
+	c.refreshMemoryMetrics()
+	c.trace = append(c.trace, TraceEvent{Iter: iterAtFailure, Kind: "recovery", Start: start, End: c.clock.Now()})
+	return nil, nil
+}
+
+// rebuildPristineNode recreates a node's immutable loader state (entries,
+// topology, initial values) from the retained pristine copy. The topology
+// slices are shared with the pristine copy — they are immutable after load.
+func (c *Cluster[V, A]) rebuildPristineNode(id int) *node[V, A] {
+	if c.pristine == nil || c.pristine[id] == nil {
+		return nil
+	}
+	src := c.pristine[id]
+	nd := &node[V, A]{
+		id:         id,
+		alive:      true,
+		met:        &c.met.Nodes[id],
+		localEdges: src.localEdges,
+		entries:    make([]vertexEntry[V], len(src.entries)),
+	}
+	copy(nd.entries, src.entries)
+	nd.index = make(map[graph.VertexID]int32, len(nd.entries))
+	for i := range nd.entries {
+		nd.index[nd.entries[i].id] = int32(i)
+	}
+	nd.sendBuf = make([][]byte, c.cfg.NumNodes)
+	nd.noticeBuf = make([][]byte, c.cfg.NumNodes)
+	return nd
+}
+
+// fullResync pushes every master's committed state to all of its replicas,
+// including activity flags; used after snapshot restores.
+func (c *Cluster[V, A]) fullResync() {
+	c.eachAlive(func(nd *node[V, A]) {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() {
+				continue
+			}
+			for ri, rn := range e.replicaNodes {
+				pos := e.replicaPos[ri]
+				before := len(nd.sendBuf[rn])
+				nd.stage(int(rn), func(buf []byte) []byte {
+					buf = putI32(buf, pos)
+					buf = c.vc.Append(buf, e.value)
+					buf = putBool(buf, e.active)
+					buf = putBool(buf, e.lastActivate)
+					return putI32(buf, e.lastActivateIter)
+				})
+				nd.met.RecoveryMsgs++
+				nd.met.RecoveryBytes += int64(len(nd.sendBuf[rn]) - before)
+			}
+		}
+	})
+	c.flushSendRound(netsim.KindRecovery)
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			r := &reader{buf: m.Payload}
+			for r.remaining() > 0 && r.err == nil {
+				pos := r.i32()
+				val := readValue(r, c.vc)
+				active := r.bool()
+				lastAct := r.bool()
+				stamp := r.i32()
+				if r.err != nil {
+					break
+				}
+				e := &nd.entries[pos]
+				e.value = val
+				if !e.isMaster() {
+					e.active = active
+				}
+				e.lastActivate = lastAct
+				e.lastActivateIter = stamp
+				e.clearPending()
+			}
+		}
+	})
+}
+
+// watchReplay arms replay-time accounting: when the main loop reaches
+// targetIter again, the elapsed simulated time lands in the recovery's
+// ReplaySeconds.
+func (c *Cluster[V, A]) watchReplay(recIdx, targetIter int) {
+	c.replayWatch = &replayWatch{recIdx: recIdx, target: targetIter, start: c.clock.Now()}
+}
+
+// replayWatch tracks checkpoint-recovery replay progress.
+type replayWatch struct {
+	recIdx int
+	target int
+	start  float64
+}
+
+// pristineNode is a node's immutable post-load state.
+type pristineNode[V any] struct {
+	entries    []vertexEntry[V]
+	localEdges int
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"imitator/internal/coord"
+	"imitator/internal/costmodel"
+	"imitator/internal/dfs"
+	"imitator/internal/graph"
+	"imitator/internal/metrics"
+	"imitator/internal/netsim"
+	"imitator/internal/partition"
+)
+
+// ErrUnrecoverable reports a failure that exceeded the configured fault
+// tolerance (more simultaneous failures than K, or no standby left).
+var ErrUnrecoverable = errors.New("core: unrecoverable failure")
+
+// node is one simulated machine's runtime state.
+type node[V, A any] struct {
+	id      int
+	alive   bool
+	entries []vertexEntry[V]
+	index   map[graph.VertexID]int32
+	met     *metrics.Node
+
+	// localEdges counts edges stored on this node (for cost accounting).
+	localEdges int
+
+	// scratch: per-destination send buffers, reused across rounds.
+	sendBuf [][]byte
+	// scratch: activation notices staged out-of-round (vertex-cut scatter),
+	// flushed in their own round.
+	noticeBuf [][]byte
+	// scratch: per-superstep compute cost in simulated seconds.
+	phaseCost float64
+}
+
+func (n *node[V, A]) pos(id graph.VertexID) (int32, bool) {
+	p, ok := n.index[id]
+	return p, ok
+}
+
+func (n *node[V, A]) entry(id graph.VertexID) *vertexEntry[V] {
+	if p, ok := n.index[id]; ok {
+		return &n.entries[p]
+	}
+	return nil
+}
+
+// Cluster is a running job: the simulated machines, interconnect, DFS,
+// coordination service and the loaded, partitioned graph.
+type Cluster[V, A any] struct {
+	cfg  Config
+	g    *graph.Graph
+	prog Program[V, A]
+	vc   Codec[V]
+	ac   Codec[A]
+
+	nodes []*node[V, A]
+	net   *netsim.Network
+	dfs   *dfs.DFS
+	coord *coord.Coordinator
+	met   *metrics.Cluster
+	clock costmodel.Clock
+
+	// masterLoc mirrors the coordination service's master directory: the
+	// node currently hosting each vertex's master (updated by Migration).
+	masterLoc []int16
+
+	// Retained partitioning (for checkpoint-recovery rebuilds and stats).
+	ec   *partition.EdgeCut
+	vcut *partition.VertexCut
+
+	// pristine retains each node's post-load state when checkpointing is
+	// enabled, so a standby newbie can rebuild a crashed node's immutable
+	// topology (the metadata snapshot's content).
+	pristine []*pristineNode[V]
+	// replayWatch accounts checkpoint-recovery replay time.
+	replayWatch *replayWatch
+
+	iter         int
+	rebirthsUsed int
+	ckptEpoch    int          // iteration captured by the last completed checkpoint
+	ckptHistory  []ckptRecord // snapshot chain (epoch, full/incremental)
+
+	// selfishOptOn is the effective §4.4 switch (configured AND supported
+	// by the program).
+	selfishOptOn bool
+
+	// Stats for the figures.
+	extraReplicas        int // FT-only replicas added at load
+	extraReplicasSelfish int // of which belong to selfish vertices (§4.4)
+	totalPresences       int // all vertex presences after FT extension
+	loadSeconds          float64
+	ckptSeconds          float64
+	ckptCount            int
+	trace                []TraceEvent
+	recoveries           []RecoveryStats
+
+	// testHook, when set, runs between recovery phases (failure-injection
+	// tests for §5.3.2).
+	testHook func(phase string)
+}
+
+// NewCluster loads, partitions and replicates the graph per cfg, returning
+// a cluster ready to Run.
+func NewCluster[V, A any](cfg Config, g *graph.Graph, prog Program[V, A]) (*Cluster[V, A], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FT.Enabled && cfg.FT.SelfishOpt && prog.CanRecomputeSelfish() && !prog.AlwaysActive() {
+		return nil, fmt.Errorf("core: selfish recomputation requires an always-active program")
+	}
+	var net *netsim.Network
+	var err error
+	if cfg.Transport == TransportTCP {
+		net, err = netsim.NewTCP(cfg.NumNodes, cfg.Cost)
+	} else {
+		net, err = netsim.New(cfg.NumNodes, cfg.Cost)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d, err := dfs.New(cfg.NumNodes, cfg.Cost)
+	if err != nil {
+		return nil, err
+	}
+	co, err := coord.New(cfg.NumNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster[V, A]{
+		cfg:   cfg,
+		g:     g,
+		prog:  prog,
+		vc:    prog.ValueCodec(),
+		ac:    prog.AccCodec(),
+		net:   net,
+		dfs:   d,
+		coord: co,
+		met:   metrics.NewCluster(cfg.NumNodes),
+		selfishOptOn: cfg.FT.Enabled && cfg.FT.SelfishOpt &&
+			prog.CanRecomputeSelfish() && prog.AlwaysActive(),
+	}
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// aliveNodes returns the running nodes.
+func (c *Cluster[V, A]) aliveNodes() []*node[V, A] {
+	out := make([]*node[V, A], 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n != nil && n.alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// eachAlive runs fn concurrently for every alive node and waits.
+func (c *Cluster[V, A]) eachAlive(fn func(n *node[V, A])) {
+	var wg sync.WaitGroup
+	for _, n := range c.aliveNodes() {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(n)
+		}()
+	}
+	wg.Wait()
+}
+
+// barrier has every alive node enter the coordination barrier and returns
+// the (shared) barrier state.
+func (c *Cluster[V, A]) barrier() coord.BarrierState {
+	alive := c.aliveNodes()
+	states := make([]coord.BarrierState, len(alive))
+	var wg sync.WaitGroup
+	for i, n := range alive {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			states[i] = c.coord.EnterBarrier(n.id)
+		}()
+	}
+	wg.Wait()
+	if len(states) == 0 {
+		return coord.BarrierState{}
+	}
+	return states[0]
+}
+
+// injectFailures kills the given nodes (fail-stop): they stop running,
+// their traffic is dropped, and the coordinator announces them at the next
+// barrier. The simulated clock advances by the heartbeat detection delay.
+func (c *Cluster[V, A]) injectFailures(nodes []int) {
+	for _, id := range nodes {
+		if n := c.nodes[id]; n != nil && n.alive {
+			n.alive = false
+			c.net.SetFailed(id, true)
+			c.coord.MarkFailed(id)
+		}
+	}
+	c.clock.Advance(c.cfg.Cost.DetectionTime())
+}
+
+// flushSend transmits every node's pending per-destination buffers with the
+// given kind, then completes the messaging round and advances the clock by
+// the slowest node's communication cost.
+func (c *Cluster[V, A]) flushSendRound(kind netsim.Kind) float64 {
+	c.eachAlive(func(n *node[V, A]) {
+		for dst, buf := range n.sendBuf {
+			if len(buf) > 0 {
+				c.net.Send(n.id, dst, kind, buf)
+				n.sendBuf[dst] = nil
+			}
+		}
+	})
+	costs, fabric := c.net.FinishRound()
+	var span costmodel.Span
+	span.Observe(fabric)
+	for _, cost := range costs {
+		span.Observe(cost)
+	}
+	c.clock.Advance(span.Max())
+	return span.Max()
+}
+
+// stage appends encoded bytes to n's buffer for destination dst, creating
+// buffers lazily.
+func (n *node[V, A]) stage(dst int, encode func(buf []byte) []byte) {
+	n.sendBuf[dst] = encode(n.sendBuf[dst])
+}
+
+// stageNotice appends to the out-of-round activation notice buffer.
+func (n *node[V, A]) stageNotice(dst int, encode func(buf []byte) []byte) {
+	n.noticeBuf[dst] = encode(n.noticeBuf[dst])
+}
+
+// flushNoticeRound transmits the staged activation notices as their own
+// messaging round.
+func (c *Cluster[V, A]) flushNoticeRound() float64 {
+	c.eachAlive(func(n *node[V, A]) {
+		for dst, buf := range n.noticeBuf {
+			if len(buf) > 0 {
+				c.net.Send(n.id, dst, netsim.KindActivation, buf)
+				n.noticeBuf[dst] = nil
+			}
+		}
+	})
+	costs, fabric := c.net.FinishRound()
+	var span costmodel.Span
+	span.Observe(fabric)
+	for _, cost := range costs {
+		span.Observe(cost)
+	}
+	c.clock.Advance(span.Max())
+	return span.Max()
+}
+
+// resetSendBufs sizes each node's send buffers to the cluster width.
+func (c *Cluster[V, A]) resetSendBufs() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.sendBuf = make([][]byte, c.cfg.NumNodes)
+			n.noticeBuf = make([][]byte, c.cfg.NumNodes)
+		}
+	}
+}
+
+// commit installs all staged state on every alive node: pending values,
+// scatter flags and the next superstep's active set (Algorithm 1 line 14).
+func (c *Cluster[V, A]) commit(iter int) {
+	always := c.prog.AlwaysActive()
+	c.eachAlive(func(n *node[V, A]) {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.hasPending {
+				e.value = e.pendingValue
+				e.lastActivate = e.pendingScatter
+				e.lastActivateIter = e.pendingScatterI
+				e.hasPending = false
+				e.lastTouchedIter = int32(iter)
+			}
+			if e.isMaster() {
+				newActive := e.pendingActive || always
+				if newActive != e.active {
+					e.lastTouchedIter = int32(iter)
+				}
+				e.active = newActive
+			}
+			e.pendingActive = false
+			e.pendingScatter = false
+		}
+	})
+}
+
+// rollback discards staged state and undelivered messages on every alive
+// node (Algorithm 1 line 9: the iteration will re-execute).
+func (c *Cluster[V, A]) rollback() {
+	c.eachAlive(func(n *node[V, A]) {
+		for i := range n.entries {
+			n.entries[i].clearPending()
+		}
+		c.net.Drop(n.id)
+		n.sendBuf = make([][]byte, c.cfg.NumNodes)
+		n.noticeBuf = make([][]byte, c.cfg.NumNodes)
+	})
+}
+
+// Run executes the job to MaxIter supersteps, injecting scheduled failures
+// and recovering per the configured strategy.
+func (c *Cluster[V, A]) Run() (*Result[V], error) {
+	defer c.net.Close()
+	failuresAt := func(iter int, phase FailPhase) []int {
+		var out []int
+		for _, f := range c.cfg.Failures {
+			if f.Iteration == iter && f.Phase == phase {
+				out = append(out, f.Nodes...)
+			}
+		}
+		return out
+	}
+	injected := map[string]bool{}
+	maybeInject := func(iter int, phase FailPhase) {
+		key := fmt.Sprintf("%d/%d", iter, phase)
+		if injected[key] {
+			return
+		}
+		injected[key] = true
+		if nodes := failuresAt(iter, phase); len(nodes) > 0 {
+			c.injectFailures(nodes)
+		}
+	}
+
+	for c.iter < c.cfg.MaxIter {
+		iter := c.iter
+		maybeInject(iter, FailBeforeBarrier)
+
+		start := c.clock.Now()
+		if err := c.superstep(iter); err != nil {
+			return nil, err
+		}
+		if err := c.net.Err(); err != nil {
+			return nil, fmt.Errorf("core: transport: %w", err)
+		}
+		state := c.barrier()
+		c.clock.Advance(c.cfg.Cost.BarrierOverhead)
+		if state.IsFail() {
+			c.rollback()
+			if err := c.recover(state.Failed, iter); err != nil {
+				return nil, err
+			}
+			continue // re-execute the iteration
+		}
+		c.commit(iter)
+		c.trace = append(c.trace, TraceEvent{Iter: iter, Kind: "iteration", Start: start, End: c.clock.Now()})
+		c.iter++
+		c.coord.Set("iter", int64(c.iter))
+		if c.replayWatch != nil && c.iter >= c.replayWatch.target {
+			c.recoveries[c.replayWatch.recIdx].ReplaySeconds = c.clock.Now() - c.replayWatch.start
+			c.replayWatch = nil
+		}
+
+		if c.cfg.Checkpoint.Enabled && c.iter%c.cfg.Checkpoint.Interval == 0 {
+			c.writeCheckpoint()
+		}
+
+		maybeInject(iter, FailAfterBarrier)
+		state = c.barrier()
+		if state.IsFail() {
+			if err := c.recover(state.Failed, c.iter); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c.result(), nil
+}
+
+// superstep dispatches on mode.
+func (c *Cluster[V, A]) superstep(iter int) error {
+	switch c.cfg.Mode {
+	case EdgeCutMode:
+		return c.superstepEdgeCut(iter)
+	case VertexCutMode:
+		return c.superstepVertexCut(iter)
+	default:
+		return fmt.Errorf("core: unknown mode %v", c.cfg.Mode)
+	}
+}
+
+// recover dispatches on the recovery strategy, restarting when additional
+// failures strike during recovery (§5.3.2).
+func (c *Cluster[V, A]) recover(failed []int, iter int) error {
+	pending := append([]int(nil), failed...)
+	for attempt := 0; ; attempt++ {
+		if attempt > 2*c.cfg.NumNodes {
+			return fmt.Errorf("%w: recovery restarted too many times", ErrUnrecoverable)
+		}
+		var more []int
+		var err error
+		switch c.cfg.Recovery {
+		case RecoverCheckpoint:
+			more, err = c.recoverCheckpoint(pending)
+		case RecoverRebirth:
+			more, err = c.recoverRebirth(pending, iter)
+		case RecoverMigration:
+			more, err = c.recoverMigration(pending, iter)
+		default:
+			return fmt.Errorf("%w: no recovery strategy configured (failed nodes %v)",
+				ErrUnrecoverable, pending)
+		}
+		if err != nil {
+			return err
+		}
+		if len(more) == 0 {
+			return nil
+		}
+		seen := map[int]bool{}
+		for _, n := range pending {
+			seen[n] = true
+		}
+		for _, n := range more {
+			if !seen[n] {
+				pending = append(pending, n)
+				seen[n] = true
+			}
+		}
+	}
+}
+
+// hook runs the test hook if installed.
+func (c *Cluster[V, A]) hook(phase string) {
+	if c.testHook != nil {
+		c.testHook(phase)
+	}
+}
+
+// SetRecoveryHook installs a callback invoked between recovery phases with
+// a phase label (e.g. "rebirth:reload"). Failure-injection tests use it to
+// exercise failures during recovery (§5.3.2); the callback may call
+// InjectFailure.
+func (c *Cluster[V, A]) SetRecoveryHook(fn func(phase string)) { c.testHook = fn }
+
+// InjectFailure kills a node immediately (fail-stop). Exposed for failure
+// injection from tests and the CLI chaos mode.
+func (c *Cluster[V, A]) InjectFailure(nodes ...int) { c.injectFailures(nodes) }

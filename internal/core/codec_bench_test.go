@@ -1,0 +1,73 @@
+package core
+
+import "testing"
+
+func BenchmarkFloat64CodecAppend(b *testing.B) {
+	c := Float64Codec{}
+	buf := make([]byte, 0, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.Append(buf[:0], 3.14159)
+	}
+}
+
+func BenchmarkFloat64CodecRead(b *testing.B) {
+	c := Float64Codec{}
+	buf := c.Append(nil, 3.14159)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVecCodecRoundTrip(b *testing.B) {
+	c := VecCodec{Dim: 8}
+	v := make([]float64, 8)
+	for i := range v {
+		v[i] = float64(i) * 0.5
+	}
+	buf := make([]byte, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.Append(buf[:0], v)
+		if _, _, err := c.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryRecordEncode(b *testing.B) {
+	table := &replicaTable{
+		nodes:    []int16{1, 2, 3},
+		pos:      []int32{10, 20, 30},
+		ftOnly:   []bool{false, false, true},
+		mirrorOf: []int16{2},
+	}
+	buf := make([]byte, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = encodeRecoveryRecord(buf[:0], Float64Codec{}, roleMaster, 7, 42,
+			flagMaster, -1, 3, 7, 5, 2, 3.14, true, 9, table, nil)
+	}
+}
+
+func BenchmarkRecoveryRecordDecode(b *testing.B) {
+	table := &replicaTable{
+		nodes:    []int16{1, 2, 3},
+		pos:      []int32{10, 20, 30},
+		ftOnly:   []bool{false, false, true},
+		mirrorOf: []int16{2},
+	}
+	buf := encodeRecoveryRecord(nil, Float64Codec{}, roleMaster, 7, 42,
+		flagMaster, -1, 3, 7, 5, 2, 3.14, true, 9, table, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &reader{buf: buf}
+		rec := decodeRecoveryRecord(r, Float64Codec{})
+		if r.err != nil || rec.id != 42 {
+			b.Fatal("decode failed")
+		}
+	}
+}

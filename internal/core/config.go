@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+
+	"imitator/internal/costmodel"
+	"imitator/internal/partition"
+)
+
+// Mode selects the engine's partitioning family.
+type Mode int
+
+// Engine modes.
+const (
+	EdgeCutMode   Mode = iota + 1 // Cyclops: vertices partitioned, edges at masters
+	VertexCutMode                 // PowerLyra: edges partitioned, GAS execution
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case EdgeCutMode:
+		return "edge-cut"
+	case VertexCutMode:
+		return "vertex-cut"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// PartitionerKind names a partitioning algorithm.
+type PartitionerKind int
+
+// Partitioners. Hash, Fennel and LDG are edge-cuts; Random, Grid, Hybrid
+// and Oblivious are vertex-cuts.
+const (
+	PartHash PartitionerKind = iota + 1
+	PartFennel
+	PartLDG
+	PartRandom
+	PartGrid
+	PartHybrid
+	PartOblivious
+)
+
+// String implements fmt.Stringer.
+func (p PartitionerKind) String() string {
+	switch p {
+	case PartHash:
+		return "hash"
+	case PartFennel:
+		return "fennel"
+	case PartLDG:
+		return "ldg"
+	case PartRandom:
+		return "random"
+	case PartGrid:
+		return "grid"
+	case PartHybrid:
+		return "hybrid"
+	case PartOblivious:
+		return "oblivious"
+	default:
+		return fmt.Sprintf("partitioner(%d)", int(p))
+	}
+}
+
+// RecoveryKind selects what happens when machines fail.
+type RecoveryKind int
+
+// Recovery strategies.
+const (
+	// RecoverNone aborts the job on failure (baseline without FT).
+	RecoverNone RecoveryKind = iota + 1
+	// RecoverCheckpoint reloads the last DFS snapshot on a standby node and
+	// replays lost iterations (the paper's CKPT baseline).
+	RecoverCheckpoint
+	// RecoverRebirth reconstructs the crashed node's state on a standby
+	// node from replicas on all surviving nodes (§5.1).
+	RecoverRebirth
+	// RecoverMigration promotes mirrors on surviving nodes to masters and
+	// scatters the crashed node's workload across the cluster (§5.2).
+	RecoverMigration
+)
+
+// String implements fmt.Stringer.
+func (r RecoveryKind) String() string {
+	switch r {
+	case RecoverNone:
+		return "none"
+	case RecoverCheckpoint:
+		return "checkpoint"
+	case RecoverRebirth:
+		return "rebirth"
+	case RecoverMigration:
+		return "migration"
+	default:
+		return fmt.Sprintf("recovery(%d)", int(r))
+	}
+}
+
+// MirrorPlacement selects the mirror-assignment policy.
+type MirrorPlacement int
+
+// Mirror placement policies.
+const (
+	// MirrorBalanced is the paper's greedy assignment: each master picks
+	// the replica whose host has the fewest mirrors so far (§4.2). This is
+	// the default (zero value).
+	MirrorBalanced MirrorPlacement = iota
+	// MirrorFirst naively picks the first replicas in host order — the
+	// ablation baseline showing why balance matters for recovery
+	// scalability.
+	MirrorFirst
+)
+
+// FTConfig controls the replication-based fault-tolerance layer.
+type FTConfig struct {
+	// Enabled turns on FT replicas, mirrors and full-state sync.
+	Enabled bool
+	// K is the number of simultaneous machine failures to tolerate; every
+	// vertex gets at least K replicas and K mirrors (§5.3.1).
+	K int
+	// SelfishOpt enables the §4.4 selfish-vertex optimization when the
+	// program supports recomputation.
+	SelfishOpt bool
+	// MirrorPlacement selects balanced (default) or naive placement.
+	MirrorPlacement MirrorPlacement
+}
+
+// CheckpointConfig controls the checkpoint baseline (Imitator-CKPT).
+type CheckpointConfig struct {
+	// Enabled turns on periodic snapshots to the DFS.
+	Enabled bool
+	// Interval is the number of iterations between snapshots (>= 1).
+	Interval int
+	// InMemory models checkpointing to a memory-backed HDFS: storage
+	// bandwidth becomes the network bandwidth instead of disk (Fig 7's
+	// CKPT-mem variant).
+	InMemory bool
+	// Incremental writes only the vertices that changed since the previous
+	// snapshot (§2.3: Imitator-CKPT "can periodically launch checkpoint to
+	// create an incremental snapshot"). Recovery then replays the snapshot
+	// chain from the last full one.
+	Incremental bool
+	// FullEvery forces a full snapshot every N snapshots when Incremental
+	// is set (bounds the recovery chain). Defaults to 4.
+	FullEvery int
+}
+
+// FailPhase says when within an iteration a failure strikes.
+type FailPhase int
+
+// Failure phases, relative to iteration Iteration's global barrier.
+const (
+	// FailBeforeBarrier kills the node mid-computation: survivors roll the
+	// iteration back and re-execute it after recovery (Algorithm 1 line 8).
+	FailBeforeBarrier FailPhase = iota + 1
+	// FailAfterBarrier kills the node after commit: no rollback needed
+	// (Algorithm 1 line 17).
+	FailAfterBarrier
+)
+
+// FailureSpec schedules fail-stop crashes.
+type FailureSpec struct {
+	Iteration int
+	Phase     FailPhase
+	Nodes     []int
+}
+
+// TransportKind selects how messages travel between the simulated nodes.
+type TransportKind int
+
+// Transports.
+const (
+	// TransportMem (default) delivers through in-memory mailboxes.
+	TransportMem TransportKind = iota
+	// TransportTCP streams every message over a loopback TCP mesh — the
+	// full protocol exercises the operating system's network stack. Costs
+	// still come from the simulated model.
+	TransportTCP
+)
+
+// Config describes one job.
+type Config struct {
+	NumNodes    int
+	Mode        Mode
+	Transport   TransportKind
+	Partitioner PartitionerKind
+	// Fennel and Hybrid carry partitioner-specific tuning; zero values use
+	// the package defaults.
+	Fennel partition.FennelConfig
+	Hybrid partition.HybridCutConfig
+
+	FT         FTConfig
+	Checkpoint CheckpointConfig
+	Recovery   RecoveryKind
+
+	// MaxIter is the number of supersteps to run.
+	MaxIter int
+	// MaxRebirths bounds the standby pool for Rebirth/Checkpoint recovery.
+	MaxRebirths int
+
+	Cost     costmodel.Params
+	Failures []FailureSpec
+}
+
+// Validate checks the configuration for contradictions.
+func (c *Config) Validate() error {
+	if c.NumNodes < 1 || c.NumNodes > partition.MaxNodes {
+		return fmt.Errorf("core: NumNodes %d outside [1, %d]", c.NumNodes, partition.MaxNodes)
+	}
+	if c.MaxIter < 1 {
+		return fmt.Errorf("core: MaxIter must be >= 1, got %d", c.MaxIter)
+	}
+	switch c.Mode {
+	case EdgeCutMode:
+		switch c.Partitioner {
+		case PartHash, PartFennel, PartLDG:
+		default:
+			return fmt.Errorf("core: edge-cut mode needs hash/fennel/ldg, got %v", c.Partitioner)
+		}
+	case VertexCutMode:
+		switch c.Partitioner {
+		case PartRandom, PartGrid, PartHybrid, PartOblivious:
+		default:
+			return fmt.Errorf("core: vertex-cut mode needs random/grid/hybrid/oblivious, got %v", c.Partitioner)
+		}
+	default:
+		return fmt.Errorf("core: unknown mode %v", c.Mode)
+	}
+	if c.FT.Enabled {
+		if c.FT.K < 1 {
+			return fmt.Errorf("core: FT.K must be >= 1, got %d", c.FT.K)
+		}
+		if c.FT.K >= c.NumNodes {
+			return fmt.Errorf("core: FT.K %d must be below NumNodes %d", c.FT.K, c.NumNodes)
+		}
+	}
+	if c.Checkpoint.Enabled && c.Checkpoint.Interval < 1 {
+		return fmt.Errorf("core: checkpoint interval must be >= 1, got %d", c.Checkpoint.Interval)
+	}
+	switch c.Recovery {
+	case RecoverNone:
+		if len(c.Failures) > 0 {
+			return fmt.Errorf("core: failures scheduled but recovery disabled")
+		}
+	case RecoverCheckpoint:
+		if !c.Checkpoint.Enabled {
+			return fmt.Errorf("core: checkpoint recovery needs Checkpoint.Enabled")
+		}
+	case RecoverRebirth, RecoverMigration:
+		if !c.FT.Enabled {
+			return fmt.Errorf("core: %v recovery needs FT.Enabled", c.Recovery)
+		}
+	default:
+		return fmt.Errorf("core: unknown recovery kind %v", c.Recovery)
+	}
+	for _, f := range c.Failures {
+		if f.Iteration < 0 || f.Iteration >= c.MaxIter {
+			return fmt.Errorf("core: failure iteration %d outside [0, %d)", f.Iteration, c.MaxIter)
+		}
+		if f.Phase != FailBeforeBarrier && f.Phase != FailAfterBarrier {
+			return fmt.Errorf("core: failure needs a phase")
+		}
+		if len(f.Nodes) == 0 {
+			return fmt.Errorf("core: failure with no nodes")
+		}
+		for _, n := range f.Nodes {
+			if n < 0 || n >= c.NumNodes {
+				return fmt.Errorf("core: failure node %d outside cluster", n)
+			}
+		}
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DefaultConfig returns a ready-to-run configuration for the given mode.
+func DefaultConfig(mode Mode, numNodes int) Config {
+	cfg := Config{
+		NumNodes:    numNodes,
+		Mode:        mode,
+		FT:          FTConfig{Enabled: true, K: 1, SelfishOpt: true},
+		Recovery:    RecoverRebirth,
+		MaxIter:     10,
+		MaxRebirths: 4,
+		Cost:        costmodel.Default(),
+	}
+	if mode == EdgeCutMode {
+		cfg.Partitioner = PartHash
+	} else {
+		cfg.Partitioner = PartHybrid
+		cfg.Hybrid = partition.DefaultHybridCutConfig()
+	}
+	cfg.Fennel = partition.DefaultFennelConfig()
+	return cfg
+}

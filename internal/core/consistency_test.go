@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"imitator/internal/datasets"
+)
+
+// TestReplicaConsistencyInvariant is the white-box form of the paper's core
+// premise: after every committed superstep, every replica of an
+// always-active vertex holds exactly the master's committed value, so the
+// replicas genuinely are consistent backups (§3.1).
+func TestReplicaConsistencyInvariant(t *testing.T) {
+	for _, mode := range []Mode{EdgeCutMode, VertexCutMode} {
+		g := datasets.Tiny(300, 1800, 777)
+		cfg := DefaultConfig(mode, 4)
+		cfg.MaxIter = 1 // stepped manually below
+		cl, err := NewCluster[float64, float64](cfg, g, fakePR{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for iter := 0; iter < 4; iter++ {
+			if err := cl.superstep(iter); err != nil {
+				t.Fatal(err)
+			}
+			cl.barrier()
+			cl.commit(iter)
+			cl.iter++
+			for _, nd := range cl.nodes {
+				for i := range nd.entries {
+					e := &nd.entries[i]
+					if !e.isMaster() {
+						continue
+					}
+					for ri, rn := range e.replicaNodes {
+						re := &cl.nodes[rn].entries[e.replicaPos[ri]]
+						if re.value != e.value {
+							t.Fatalf("%v iter %d: replica of %d on node %d holds %v, master %v",
+								mode, iter, e.id, rn, re.value, e.value)
+						}
+						if re.lastActivate != e.lastActivate {
+							t.Fatalf("%v iter %d: replica of %d scatter flag diverged", mode, iter, e.id)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRollbackRestoresCommittedState: a rolled-back superstep must leave no
+// staged state behind (Algorithm 1 line 9).
+func TestRollbackRestoresCommittedState(t *testing.T) {
+	g := datasets.Tiny(200, 1200, 778)
+	cfg := DefaultConfig(EdgeCutMode, 3)
+	cfg.MaxIter = 1
+	cl, err := NewCluster[float64, float64](cfg, g, fakePR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One committed superstep, then an aborted one.
+	if err := cl.superstep(0); err != nil {
+		t.Fatal(err)
+	}
+	cl.barrier()
+	cl.commit(0)
+	cl.iter++
+	snapshot := make(map[int][]float64)
+	for _, nd := range cl.nodes {
+		vals := make([]float64, len(nd.entries))
+		for i := range nd.entries {
+			vals[i] = nd.entries[i].value
+		}
+		snapshot[nd.id] = vals
+	}
+	if err := cl.superstep(1); err != nil {
+		t.Fatal(err)
+	}
+	cl.rollback()
+	for _, nd := range cl.nodes {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if e.hasPending || e.pendingActive || e.pendingScatter {
+				t.Fatalf("node %d entry %d kept staged state after rollback", nd.id, i)
+			}
+			if e.value != snapshot[nd.id][i] {
+				t.Fatalf("node %d entry %d value changed across rollback", nd.id, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"imitator/internal/costmodel"
+	"imitator/internal/graph"
+	"imitator/internal/netsim"
+)
+
+// superstepEdgeCut runs one Cyclops-style superstep: every active master
+// gathers over its (entirely local) in-edges, applies, then synchronizes
+// the new value and scatter flag to its replicas in a single batched round.
+// Activation propagates locally on every node that holds the scattering
+// vertex (master or replica), so no extra messaging round is needed.
+func (c *Cluster[V, A]) superstepEdgeCut(iter int) error {
+	// Compute phase (Algorithm 1 line 5).
+	c.eachAlive(func(nd *node[V, A]) {
+		edges, applies := 0, 0
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.active {
+				continue
+			}
+			var acc A
+			has := false
+			for k, src := range e.inNbr {
+				se := &nd.entries[src]
+				contrib := c.prog.Gather(
+					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+					se.value, se.info())
+				if has {
+					acc = c.prog.Merge(acc, contrib)
+				} else {
+					acc, has = contrib, true
+				}
+			}
+			edges += len(e.inNbr)
+			newV, scatter := c.prog.Apply(e.id, e.info(), e.value, acc, has, iter)
+			e.pendingValue = newV
+			e.hasPending = true
+			e.pendingScatter = scatter
+			e.pendingScatterI = int32(iter)
+			applies++
+			if scatter {
+				for _, w := range e.outNbr {
+					nd.entries[w].pendingActive = true
+				}
+			}
+		}
+		nd.phaseCost = float64(edges)*c.cfg.Cost.ComputePerEdge +
+			float64(applies)*c.cfg.Cost.ComputePerVertex
+	})
+	c.advanceComputeSpan()
+
+	// Send phase (line 6): one sync record per (computed master, replica).
+	c.eachAlive(func(nd *node[V, A]) {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.hasPending {
+				continue
+			}
+			c.stageSyncRecords(nd, e)
+		}
+	})
+	c.flushSendRound(netsim.KindSync)
+
+	// Receive phase: replicas stage the new value and propagate scatter
+	// activation to their local out-targets.
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			if m.Kind != netsim.KindSync {
+				continue
+			}
+			c.applySyncPayload(nd, m.Payload)
+		}
+	})
+	return nil
+}
+
+// stageSyncRecords appends one sync record per replica of master e to the
+// per-destination buffers, honoring the selfish-vertex optimization and
+// keeping the FT/normal message accounting the figures need.
+func (c *Cluster[V, A]) stageSyncRecords(nd *node[V, A], e *vertexEntry[V]) {
+	// The mirror's "full state" needs no extra bytes during normal sync:
+	// the dynamic extension the paper describes (the activation/scatter
+	// state) is the scatter flag already in every record, stamped with the
+	// current superstep on receipt. The measurable FT overhead is the sync
+	// records sent to FT-only replicas, which exist purely for recovery.
+	skipFT := c.selfishOptOn && e.isSelfish()
+	for ri, rn := range e.replicaNodes {
+		ftOnly := e.replicaFTOnly[ri]
+		if ftOnly && skipFT {
+			continue
+		}
+		pos := e.replicaPos[ri]
+		before := len(nd.sendBuf[rn])
+		nd.stage(int(rn), func(buf []byte) []byte {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(pos))
+			var flags byte
+			if e.pendingScatter {
+				flags |= 1
+			}
+			buf = append(buf, flags)
+			return c.vc.Append(buf, e.pendingValue)
+		})
+		size := int64(len(nd.sendBuf[rn]) - before)
+		if ftOnly {
+			nd.met.FTMsgs++
+			nd.met.FTBytes += size
+		} else {
+			nd.met.SyncMsgs++
+			nd.met.SyncBytes += size
+		}
+	}
+}
+
+// applySyncPayload decodes a batch of sync records into local entries;
+// scatter flags activate the replicas' local out-targets.
+func (c *Cluster[V, A]) applySyncPayload(nd *node[V, A], buf []byte) {
+	iter := int32(c.iter)
+	for len(buf) > 0 {
+		pos := int32(binary.LittleEndian.Uint32(buf))
+		flags := buf[4]
+		var (
+			val V
+			err error
+		)
+		val, buf, err = c.vc.Read(buf[5:])
+		if err != nil {
+			return
+		}
+		e := &nd.entries[pos]
+		e.pendingValue = val
+		e.hasPending = true
+		e.pendingScatter = flags&1 != 0
+		e.pendingScatterI = iter
+		if e.pendingScatter {
+			for _, w := range e.outNbr {
+				nd.entries[w].pendingActive = true
+			}
+		}
+	}
+}
+
+// advanceComputeSpan advances the simulated clock by the slowest node's
+// compute cost and clears the scratch.
+func (c *Cluster[V, A]) advanceComputeSpan() {
+	var span costmodel.Span
+	for _, n := range c.aliveNodes() {
+		span.Observe(n.phaseCost)
+		n.phaseCost = 0
+	}
+	c.clock.Advance(span.Max())
+}

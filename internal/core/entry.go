@@ -1,0 +1,126 @@
+package core
+
+import (
+	"imitator/internal/graph"
+)
+
+// entryFlags packs a local vertex entry's roles.
+type entryFlags uint8
+
+const (
+	flagMaster  entryFlags = 1 << iota // this entry is the vertex's master
+	flagMirror                         // full-state replica (§4.2)
+	flagFTOnly                         // exists only for fault tolerance (§4.1)
+	flagSelfish                        // vertex has no out-edges anywhere (§4.4)
+)
+
+// noNode marks an unset node reference.
+const noNode int16 = -1
+
+// vertexEntry is one slot in a node's vertex array. Masters hold the
+// authoritative state; replicas provide local reads; mirrors additionally
+// hold the master's full state so they can recover it (§4.2). Entries are
+// addressed by array position — a master replicates its position (and its
+// replicas' positions) so recovery can place state without coordination
+// (§5.1.2).
+type vertexEntry[V any] struct {
+	id    graph.VertexID
+	flags entryFlags
+
+	// masterNode/masterPos locate the vertex's master. For masters they
+	// point at the entry itself.
+	masterNode int16
+	masterPos  int32
+
+	// Static global degrees, replicated so gather can run anywhere.
+	inDeg, outDeg int32
+
+	value V
+
+	// Staged state, committed at the global barrier and discarded on
+	// rollback (Algorithm 1 line 9).
+	pendingValue    V
+	hasPending      bool
+	pendingActive   bool
+	pendingScatter  bool
+	pendingScatterI int32
+
+	// active: masters — compute this superstep; replicas (vertex-cut) —
+	// whether to partial-gather this superstep (mirrors the master's flag).
+	active bool
+
+	// lastActivate records whether this vertex signaled scatter activation
+	// in the superstep lastActivateIter; recovery replays activation from
+	// these flags (§5.1.3).
+	lastActivate     bool
+	lastActivateIter int32
+
+	// lastTouchedIter is the superstep whose commit last changed this
+	// master's value or activity; incremental checkpoints snapshot only
+	// masters touched since the previous epoch.
+	lastTouchedIter int32
+
+	// Local topology, by array position. inNbr/inWt are this vertex's
+	// locally-stored in-edges (all of them for edge-cut masters; the local
+	// share for vertex-cut). outNbr lists local entries this vertex points
+	// to, for scatter activation; it is the reverse of inNbr.
+	inNbr  []int32
+	inWt   []float64
+	outNbr []int32
+
+	// Master-only fault-tolerance metadata: where the replicas live and at
+	// which positions, which of them are mirrors (in rank order), and which
+	// exist only for fault tolerance.
+	replicaNodes  []int16
+	replicaPos    []int32
+	replicaFTOnly []bool
+	mirrorOf      []int16 // replicaNodes indexes of the K mirrors, rank order
+
+	// Mirror-only full state (a copy of the master's metadata): the
+	// master's in-edge endpoints by global id (edge-cut only; vertex-cut
+	// recovers edges from edge-ckpt files), each source's master node, and
+	// a copy of the replica location table.
+	mInSrc       []graph.VertexID
+	mInWt        []float64
+	mInSrcMaster []int16
+	mReplicaN    []int16
+	mReplicaP    []int32
+	mReplicaFT   []bool
+	mMirrorOf    []int16
+	mirrorRank   int16 // this mirror's rank; lowest surviving rank recovers
+}
+
+func (e *vertexEntry[V]) isMaster() bool  { return e.flags&flagMaster != 0 }
+func (e *vertexEntry[V]) isMirror() bool  { return e.flags&flagMirror != 0 }
+func (e *vertexEntry[V]) isFTOnly() bool  { return e.flags&flagFTOnly != 0 }
+func (e *vertexEntry[V]) isSelfish() bool { return e.flags&flagSelfish != 0 }
+
+func (e *vertexEntry[V]) info() VertexInfo {
+	return VertexInfo{InDeg: e.inDeg, OutDeg: e.outDeg}
+}
+
+// clearPending drops staged state (iteration rollback).
+func (e *vertexEntry[V]) clearPending() {
+	var zero V
+	e.pendingValue = zero
+	e.hasPending = false
+	e.pendingActive = false
+	e.pendingScatter = false
+	e.pendingScatterI = 0
+}
+
+// entryFixedBytes approximates the in-memory cost of one entry excluding
+// its slices and the value payload; used for the paper's memory tables.
+const entryFixedBytes = 96
+
+// memoryBytes returns the byte-exact footprint of the entry given the
+// encoded value size.
+func (e *vertexEntry[V]) memoryBytes(valueSize int) int64 {
+	b := int64(entryFixedBytes) + 2*int64(valueSize) // value + pending
+	b += int64(len(e.inNbr))*12 + int64(len(e.outNbr))*4
+	b += int64(len(e.replicaNodes)) * 7 // node + pos + ftOnly
+	b += int64(len(e.mirrorOf)) * 2
+	b += int64(len(e.mInSrc)) * 14 // src id + weight + src master
+	b += int64(len(e.mReplicaN))*7 + int64(len(e.mMirrorOf))*2
+	return b
+}

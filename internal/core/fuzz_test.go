@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzSyncPayloadDecode hardens the sync-record decoder against arbitrary
+// bytes: it must never panic or read out of bounds (positions are attacker-
+// controlled in the fuzz sense, so we bound-check before indexing like the
+// receive path does via trusted senders; the fuzz target exercises the
+// decode loop itself on a scratch node).
+func FuzzSyncPayloadDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &reader{buf: data}
+		for r.remaining() > 0 && r.err == nil {
+			rec := decodeRecoveryRecord(r, Float64Codec{})
+			_ = rec
+		}
+	})
+}
+
+// FuzzReplicaTableRoundTrip checks encode/decode agreement for replica
+// tables generated from fuzz inputs.
+func FuzzReplicaTableRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, n, m uint8) {
+		nn := int(n % 32)
+		table := &replicaTable{
+			nodes:    make([]int16, nn),
+			pos:      make([]int32, nn),
+			ftOnly:   make([]bool, nn),
+			mirrorOf: make([]int16, int(m%8)),
+		}
+		for i := 0; i < nn; i++ {
+			table.nodes[i] = int16(i)
+			table.pos[i] = int32(i * 7)
+			table.ftOnly[i] = i%3 == 0
+		}
+		buf := table.encode(nil)
+		r := &reader{buf: buf}
+		got := decodeReplicaTable(r)
+		if r.err != nil {
+			t.Fatalf("decode error: %v", r.err)
+		}
+		if len(got.nodes) != nn || len(got.mirrorOf) != len(table.mirrorOf) {
+			t.Fatalf("length mismatch: %d/%d", len(got.nodes), len(got.mirrorOf))
+		}
+		for i := range got.nodes {
+			if got.nodes[i] != table.nodes[i] || got.pos[i] != table.pos[i] || got.ftOnly[i] != table.ftOnly[i] {
+				t.Fatalf("entry %d mismatch", i)
+			}
+		}
+	})
+}

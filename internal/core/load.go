@@ -1,0 +1,455 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"imitator/internal/graph"
+	"imitator/internal/partition"
+)
+
+// vertexPresence records where one vertex's replicas live (master node
+// excluded) and which of them exist only for fault tolerance.
+type vertexPresence struct {
+	nodes  []int16
+	ftOnly []bool
+	// mirrors lists indexes into nodes designating the K mirrors, in rank
+	// order.
+	mirrors []int16
+}
+
+// load partitions the graph, extends replication for fault tolerance (§4.1),
+// selects mirrors (§4.2), builds every node's vertex array and topology,
+// initializes values, and writes edge-ckpt files and checkpoint metadata.
+func (c *Cluster[V, A]) load() error {
+	numV := c.g.NumVertices()
+	p := c.cfg.NumNodes
+
+	// 1. Partition.
+	c.masterLoc = make([]int16, numV)
+	var err error
+	switch c.cfg.Partitioner {
+	case PartHash:
+		c.ec, err = partition.HashEdgeCut(c.g, p)
+	case PartFennel:
+		fc := c.cfg.Fennel
+		if fc.Gamma == 0 {
+			fc = partition.DefaultFennelConfig()
+		}
+		c.ec, err = partition.FennelEdgeCut(c.g, p, fc)
+	case PartLDG:
+		c.ec, err = partition.LDGEdgeCut(c.g, p, partition.DefaultLDGConfig())
+	case PartOblivious:
+		c.vcut, err = partition.ObliviousVertexCut(c.g, p)
+	case PartRandom:
+		c.vcut, err = partition.RandomVertexCut(c.g, p)
+	case PartGrid:
+		c.vcut, err = partition.GridVertexCut(c.g, p)
+	case PartHybrid:
+		hc := c.cfg.Hybrid
+		if hc.Threshold == 0 {
+			hc = partition.DefaultHybridCutConfig()
+		}
+		c.vcut, err = partition.HybridVertexCut(c.g, p, hc)
+	default:
+		return fmt.Errorf("core: unknown partitioner %v", c.cfg.Partitioner)
+	}
+	if err != nil {
+		return err
+	}
+	for v := 0; v < numV; v++ {
+		if c.ec != nil {
+			c.masterLoc[v] = int16(c.ec.Owner[v])
+		} else {
+			c.masterLoc[v] = int16(c.vcut.Master[v])
+		}
+	}
+
+	// 2. Computation-replica presence per vertex.
+	pres := make([]vertexPresence, numV)
+	addPresence := func(v graph.VertexID, n int16) {
+		if n == c.masterLoc[v] {
+			return
+		}
+		pr := &pres[v]
+		for _, have := range pr.nodes {
+			if have == n {
+				return
+			}
+		}
+		pr.nodes = append(pr.nodes, n)
+		pr.ftOnly = append(pr.ftOnly, false)
+	}
+	if c.ec != nil {
+		for _, e := range c.g.Edges() {
+			addPresence(e.Src, int16(c.ec.Owner[e.Dst]))
+		}
+	} else {
+		for i, e := range c.g.Edges() {
+			addPresence(e.Src, int16(c.vcut.EdgeOwner[i]))
+			addPresence(e.Dst, int16(c.vcut.EdgeOwner[i]))
+		}
+	}
+
+	// 3. Fault-tolerant replicas (§4.1): guarantee >= K replicas per vertex,
+	// placed greedily on the nodes with the fewest replicas so far.
+	replicaLoad := make([]int, p)
+	for v := range pres {
+		for _, n := range pres[v].nodes {
+			replicaLoad[n]++
+		}
+	}
+	if c.cfg.FT.Enabled {
+		for v := 0; v < numV; v++ {
+			pr := &pres[v]
+			for len(pr.nodes) < c.cfg.FT.K && len(pr.nodes) < p-1 {
+				best := -1
+				for n := 0; n < p; n++ {
+					if int16(n) == c.masterLoc[v] || pr.has(int16(n)) {
+						continue
+					}
+					if best < 0 || replicaLoad[n] < replicaLoad[best] {
+						best = n
+					}
+				}
+				if best < 0 {
+					break
+				}
+				pr.nodes = append(pr.nodes, int16(best))
+				pr.ftOnly = append(pr.ftOnly, true)
+				replicaLoad[best]++
+				c.extraReplicas++
+				if c.g.IsSelfish(graph.VertexID(v)) {
+					c.extraReplicasSelfish++
+				}
+			}
+		}
+	}
+	for v := range pres {
+		pres[v].sortByNode()
+	}
+
+	// 4. Mirror selection (§4.2): FT replicas are always mirrors; remaining
+	// ranks go to the replica whose host has the fewest mirrors so far.
+	if c.cfg.FT.Enabled {
+		mirrorCount := make([]int, p)
+		for v := 0; v < numV; v++ {
+			pr := &pres[v]
+			want := c.cfg.FT.K
+			if want > len(pr.nodes) {
+				want = len(pr.nodes)
+			}
+			chosen := make(map[int16]bool, want)
+			for idx, ft := range pr.ftOnly {
+				if len(pr.mirrors) >= want {
+					break
+				}
+				if ft {
+					pr.mirrors = append(pr.mirrors, int16(idx))
+					chosen[int16(idx)] = true
+					mirrorCount[pr.nodes[idx]]++
+				}
+			}
+			for len(pr.mirrors) < want {
+				best := int16(-1)
+				for idx := range pr.nodes {
+					if chosen[int16(idx)] {
+						continue
+					}
+					if c.cfg.FT.MirrorPlacement == MirrorFirst {
+						best = int16(idx) // naive: first free replica wins
+						break
+					}
+					if best < 0 || mirrorCount[pr.nodes[idx]] < mirrorCount[pr.nodes[best]] {
+						best = int16(idx)
+					}
+				}
+				if best < 0 {
+					break
+				}
+				pr.mirrors = append(pr.mirrors, best)
+				chosen[best] = true
+				mirrorCount[pr.nodes[best]]++
+			}
+		}
+	}
+	c.totalPresences = numV
+	for v := range pres {
+		c.totalPresences += len(pres[v].nodes)
+	}
+
+	// 5. Build per-node vertex arrays: masters first (ascending id), then
+	// replicas (ascending id). Positions are the recovery addresses (§5.1.2).
+	perNodeMasters := make([][]graph.VertexID, p)
+	perNodeReplicas := make([][]graph.VertexID, p)
+	for v := 0; v < numV; v++ {
+		perNodeMasters[c.masterLoc[v]] = append(perNodeMasters[c.masterLoc[v]], graph.VertexID(v))
+		for _, n := range pres[v].nodes {
+			perNodeReplicas[n] = append(perNodeReplicas[n], graph.VertexID(v))
+		}
+	}
+	c.nodes = make([]*node[V, A], p)
+	for n := 0; n < p; n++ {
+		nd := &node[V, A]{
+			id:    n,
+			alive: true,
+			met:   &c.met.Nodes[n],
+			index: make(map[graph.VertexID]int32, len(perNodeMasters[n])+len(perNodeReplicas[n])),
+		}
+		nd.entries = make([]vertexEntry[V], 0, len(perNodeMasters[n])+len(perNodeReplicas[n]))
+		appendEntry := func(v graph.VertexID, master bool) {
+			e := vertexEntry[V]{
+				id:         v,
+				masterNode: c.masterLoc[v],
+				inDeg:      int32(c.g.InDegree(v)),
+				outDeg:     int32(c.g.OutDegree(v)),
+			}
+			if master {
+				e.flags |= flagMaster
+			}
+			if c.g.IsSelfish(v) {
+				e.flags |= flagSelfish
+			}
+			nd.index[v] = int32(len(nd.entries))
+			nd.entries = append(nd.entries, e)
+		}
+		for _, v := range perNodeMasters[n] {
+			appendEntry(v, true)
+		}
+		for _, v := range perNodeReplicas[n] {
+			appendEntry(v, false)
+		}
+		c.nodes[n] = nd
+	}
+
+	// 6. Fill master positions and replica metadata.
+	for v := 0; v < numV; v++ {
+		vid := graph.VertexID(v)
+		mn := c.masterLoc[v]
+		mpos := c.nodes[mn].index[vid]
+		me := &c.nodes[mn].entries[mpos]
+		me.masterPos = mpos
+		pr := &pres[v]
+		me.replicaNodes = pr.nodes
+		me.replicaFTOnly = pr.ftOnly
+		me.mirrorOf = pr.mirrors
+		me.replicaPos = make([]int32, len(pr.nodes))
+		for i, rn := range pr.nodes {
+			rpos := c.nodes[rn].index[vid]
+			me.replicaPos[i] = rpos
+			re := &c.nodes[rn].entries[rpos]
+			re.masterPos = mpos
+			if pr.ftOnly[i] {
+				re.flags |= flagFTOnly
+			}
+		}
+		for rank, idx := range pr.mirrors {
+			rn := pr.nodes[idx]
+			re := &c.nodes[rn].entries[me.replicaPos[idx]]
+			re.flags |= flagMirror
+			re.mirrorRank = int16(rank)
+			c.fillMirrorState(re, me, vid)
+		}
+	}
+
+	// 7. Local topology.
+	if c.ec != nil {
+		for _, e := range c.g.Edges() {
+			nd := c.nodes[c.ec.Owner[e.Dst]]
+			wpos := nd.index[e.Dst]
+			upos := nd.index[e.Src]
+			we := &nd.entries[wpos]
+			we.inNbr = append(we.inNbr, upos)
+			we.inWt = append(we.inWt, e.Weight)
+			nd.entries[upos].outNbr = append(nd.entries[upos].outNbr, wpos)
+			nd.localEdges++
+		}
+	} else {
+		for i, e := range c.g.Edges() {
+			nd := c.nodes[c.vcut.EdgeOwner[i]]
+			wpos := nd.index[e.Dst]
+			upos := nd.index[e.Src]
+			we := &nd.entries[wpos]
+			we.inNbr = append(we.inNbr, upos)
+			we.inWt = append(we.inWt, e.Weight)
+			nd.entries[upos].outNbr = append(nd.entries[upos].outNbr, wpos)
+			nd.localEdges++
+		}
+	}
+
+	// 8. Initial values and activity.
+	always := c.prog.AlwaysActive()
+	for _, nd := range c.nodes {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			val, act := c.prog.Init(e.id, e.info())
+			e.value = val
+			e.active = act || always
+			e.lastActivateIter = -1
+			e.lastTouchedIter = -1 // untouched; epoch-0 snapshot is full anyway
+		}
+	}
+
+	// 9. Edge-ckpt files for vertex-cut (§4.3): each node's local edges are
+	// partitioned into per-recovery-node files on the DFS, keyed by the
+	// node hosting the target's master (or its first mirror when the master
+	// is local). Overlapped with loading in the paper; we account the cost
+	// into loadSeconds.
+	if c.vcut != nil && c.cfg.FT.Enabled {
+		c.writeEdgeCkpts()
+	}
+
+	// 10. Checkpoint metadata snapshot and the initial (epoch 0) data
+	// snapshot.
+	if c.cfg.Checkpoint.Enabled {
+		c.pristine = make([]*pristineNode[V], p)
+		for _, nd := range c.nodes {
+			meta := c.encodeMetadataSnapshot(nd)
+			c.loadSeconds += c.dfsWriteCost(nd, fmt.Sprintf("ckptmeta/%d", nd.id), meta)
+			entries := make([]vertexEntry[V], len(nd.entries))
+			copy(entries, nd.entries)
+			c.pristine[nd.id] = &pristineNode[V]{entries: entries, localEdges: nd.localEdges}
+		}
+		c.writeCheckpointAt(0, false)
+	}
+
+	// 11. Memory accounting.
+	c.refreshMemoryMetrics()
+	c.resetSendBufs()
+	c.coord.Set("iter", 0)
+	for _, nd := range c.nodes {
+		c.coord.Set(fmt.Sprintf("arraylen/%d", nd.id), int64(len(nd.entries)))
+	}
+	return nil
+}
+
+func (pr *vertexPresence) has(n int16) bool {
+	for _, have := range pr.nodes {
+		if have == n {
+			return true
+		}
+	}
+	return false
+}
+
+// sortByNode orders the presence table by host node, keeping the parallel
+// slices aligned; mirrors are selected afterwards, so only nodes/ftOnly
+// need reordering.
+func (pr *vertexPresence) sortByNode() {
+	idx := make([]int, len(pr.nodes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return pr.nodes[idx[a]] < pr.nodes[idx[b]] })
+	nodes := make([]int16, len(idx))
+	ft := make([]bool, len(idx))
+	for i, j := range idx {
+		nodes[i] = pr.nodes[j]
+		ft[i] = pr.ftOnly[j]
+	}
+	pr.nodes = nodes
+	pr.ftOnly = ft
+}
+
+// fillMirrorState copies the master's full state into a mirror entry:
+// replica location table, mirror ranks and — for edge-cut — the master's
+// in-edges by global id with each source's master node (§4.2, §4.3).
+func (c *Cluster[V, A]) fillMirrorState(re *vertexEntry[V], me *vertexEntry[V], vid graph.VertexID) {
+	re.mReplicaN = append([]int16(nil), me.replicaNodes...)
+	re.mReplicaP = append([]int32(nil), me.replicaPos...)
+	re.mReplicaFT = append([]bool(nil), me.replicaFTOnly...)
+	re.mMirrorOf = append([]int16(nil), me.mirrorOf...)
+	if c.ec != nil {
+		c.g.InEdges(vid, func(_ int, e graph.Edge) {
+			re.mInSrc = append(re.mInSrc, e.Src)
+			re.mInWt = append(re.mInWt, e.Weight)
+			re.mInSrcMaster = append(re.mInSrcMaster, c.masterLoc[e.Src])
+		})
+	}
+}
+
+// writeEdgeCkpts stores each node's local edges into per-recovery-node DFS
+// files.
+func (c *Cluster[V, A]) writeEdgeCkpts() {
+	for _, nd := range c.nodes {
+		bufs := make([][]byte, c.cfg.NumNodes)
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			for k, src := range e.inNbr {
+				srcID := nd.entries[src].id
+				target := c.edgeCkptTarget(e.id, nd.id)
+				bufs[target] = binary.LittleEndian.AppendUint32(bufs[target], uint32(srcID))
+				bufs[target] = binary.LittleEndian.AppendUint32(bufs[target], uint32(e.id))
+				bufs[target] = binary.LittleEndian.AppendUint64(bufs[target], math.Float64bits(e.inWt[k]))
+			}
+		}
+		for k, buf := range bufs {
+			if len(buf) > 0 {
+				c.loadSeconds += c.dfsWriteCost(nd, edgeCkptPath(nd.id, k), buf)
+			}
+		}
+	}
+}
+
+// edgeCkptTarget picks the recovery node for an edge targeting vertex dst
+// stored on node `on`: the master-hosting node, or the first mirror's node
+// when the master is local.
+func (c *Cluster[V, A]) edgeCkptTarget(dst graph.VertexID, on int) int {
+	mn := int(c.masterLoc[dst])
+	if mn != on {
+		return mn
+	}
+	me := c.nodes[mn].entry(dst)
+	if me != nil && len(me.mirrorOf) > 0 {
+		return int(me.replicaNodes[me.mirrorOf[0]])
+	}
+	return (on + 1) % c.cfg.NumNodes
+}
+
+func edgeCkptPath(owner, target int) string {
+	return fmt.Sprintf("edgeckpt/%d/%d", owner, target)
+}
+
+// dfsWriteCost writes and returns simulated seconds, tracking metrics.
+func (c *Cluster[V, A]) dfsWriteCost(nd *node[V, A], path string, data []byte) float64 {
+	cost := c.dfs.Write(nd.id, path, data)
+	nd.met.DFSWriteBytes += int64(len(data))
+	return cost
+}
+
+// encodeMetadataSnapshot serializes a node's immutable graph topology: the
+// entry table (ids, flags, degrees) and local in-edges. Checkpoint recovery
+// reloads this to rebuild a crashed node.
+func (c *Cluster[V, A]) encodeMetadataSnapshot(nd *node[V, A]) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(nd.entries)))
+	for i := range nd.entries {
+		e := &nd.entries[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.id))
+		buf = append(buf, byte(e.flags))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.inDeg))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.outDeg))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.inNbr)))
+		for k, p := range e.inNbr {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.inWt[k]))
+		}
+	}
+	return buf
+}
+
+// refreshMemoryMetrics recomputes the byte-exact per-node footprint.
+func (c *Cluster[V, A]) refreshMemoryMetrics() {
+	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
+		var total int64
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			total += e.memoryBytes(c.vc.Size(e.value))
+		}
+		nd.met.MemoryBytes = total
+	}
+}

@@ -1,0 +1,740 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"imitator/internal/costmodel"
+	"imitator/internal/graph"
+	"imitator/internal/netsim"
+)
+
+// recoverMigration scatters the crashed nodes' workload over the survivors
+// (§5.2): surviving mirrors are promoted to masters, surviving replicas
+// learn the new master locations, missing neighbor replicas are created
+// cooperatively, vertex-cut edges are reloaded from edge-ckpt files, the
+// fault-tolerance invariants (K replicas, K mirrors) are re-established,
+// and finally the activation states of the promoted masters are replayed.
+func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) {
+	failedSet := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		failedSet[f] = true
+	}
+	rec := RecoveryStats{Kind: "migration", Iteration: iter, Failed: append([]int(nil), failed...)}
+	start := c.clock.Now()
+
+	// --- Phase 1: promotion (Reloading §5.2.1). Each surviving node scans
+	// its mirrors; the lowest surviving mirror of each lost master promotes
+	// itself. Scans run in parallel; promotions apply deterministically.
+	promoLists := make([][]int32, c.cfg.NumNodes)
+	c.eachAlive(func(nd *node[V, A]) {
+		var list []int32
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if e.isMirror() && failedSet[int(e.masterNode)] &&
+				c.lowestSurvivingMirror(e, failedSet) == nd.id {
+				list = append(list, int32(i))
+			}
+		}
+		promoLists[nd.id] = list
+	})
+	// promoted[(node)][pos] marks newly promoted masters (replay targets).
+	promoted := make(map[int16]map[int32]bool)
+	markPromoted := func(n int16, pos int32) {
+		if promoted[n] == nil {
+			promoted[n] = make(map[int32]bool)
+		}
+		promoted[n][pos] = true
+	}
+	// tableChanged tracks masters whose replica tables mutate during this
+	// recovery; their mirrors get refreshed full state at the end.
+	tableChanged := make(map[masterKey]bool)
+
+	for n := range promoLists {
+		nd := c.nodes[n]
+		for _, pos := range promoLists[n] {
+			e := &nd.entries[pos]
+			e.flags |= flagMaster
+			e.flags &^= flagMirror | flagFTOnly
+			e.masterNode = int16(nd.id)
+			e.masterPos = pos
+			// Build the new replica table from the mirror's copy, dropping
+			// failed hosts and this node itself.
+			var rn []int16
+			var rp []int32
+			var rf []bool
+			for idx, host := range e.mReplicaN {
+				if failedSet[int(host)] || int(host) == nd.id {
+					continue
+				}
+				rn = append(rn, host)
+				rp = append(rp, e.mReplicaP[idx])
+				rf = append(rf, e.mReplicaFT[idx])
+			}
+			e.replicaNodes = rn
+			e.replicaPos = rp
+			e.replicaFTOnly = rf
+			e.mirrorOf = nil
+			e.mReplicaN, e.mReplicaP, e.mReplicaFT, e.mMirrorOf = nil, nil, nil, nil
+			c.masterLoc[e.id] = int16(nd.id)
+			markPromoted(int16(nd.id), pos)
+			tableChanged[masterKey{int16(nd.id), pos}] = true
+			rec.RecoveredVertices++
+		}
+	}
+	// Unrecoverable check: every vertex must have a live master now.
+	for v, mn := range c.masterLoc {
+		if failedSet[int(mn)] {
+			return nil, fmt.Errorf("%w: vertex %d lost master and all mirrors", ErrUnrecoverable, v)
+		}
+	}
+	// Surviving masters drop lost replicas from their tables.
+	for _, nd := range c.aliveNodes() {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() || promoted[int16(nd.id)][int32(i)] {
+				continue
+			}
+			changed := false
+			var rn []int16
+			var rp []int32
+			var rf []bool
+			keptIdx := make(map[int16]int16) // old index -> new index
+			for idx, host := range e.replicaNodes {
+				if failedSet[int(host)] {
+					changed = true
+					continue
+				}
+				keptIdx[int16(idx)] = int16(len(rn))
+				rn = append(rn, host)
+				rp = append(rp, e.replicaPos[idx])
+				rf = append(rf, e.replicaFTOnly[idx])
+			}
+			if !changed {
+				continue
+			}
+			var mo []int16
+			for _, idx := range e.mirrorOf {
+				if ni, ok := keptIdx[idx]; ok {
+					mo = append(mo, ni)
+				}
+			}
+			e.replicaNodes, e.replicaPos, e.replicaFTOnly, e.mirrorOf = rn, rp, rf, mo
+			tableChanged[masterKey{int16(nd.id), int32(i)}] = true
+		}
+	}
+	c.hook("migration:promote")
+
+	// --- Phase 2: move notices. Promoted masters tell their surviving
+	// replicas where the master now lives.
+	c.eachAlive(func(nd *node[V, A]) {
+		for pos := range promoted[int16(nd.id)] {
+			e := &nd.entries[pos]
+			for ri, host := range e.replicaNodes {
+				rpos := e.replicaPos[ri]
+				mpos := pos
+				before := len(nd.sendBuf[host])
+				nd.stage(int(host), func(buf []byte) []byte {
+					buf = putI32(buf, rpos)
+					buf = putI16(buf, int16(nd.id))
+					return putI32(buf, mpos)
+				})
+				nd.met.RecoveryMsgs++
+				nd.met.RecoveryBytes += int64(len(nd.sendBuf[host]) - before)
+			}
+		}
+	})
+	c.flushSendRound(netsim.KindRecovery)
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			r := &reader{buf: m.Payload}
+			for r.remaining() > 0 && r.err == nil {
+				pos := r.i32()
+				mn := r.i16()
+				mp := r.i32()
+				if r.err != nil {
+					break
+				}
+				e := &nd.entries[pos]
+				e.masterNode = mn
+				e.masterPos = mp
+			}
+		}
+	})
+	if state := c.barrier(); state.IsFail() {
+		return state.Failed, nil
+	}
+	rec.ReloadSeconds = c.clock.Now() - start
+	c.hook("migration:moved")
+
+	// --- Phase 3: gather migrated edges and the vertex ids each node now
+	// needs locally.
+	reconStart := c.clock.Now()
+	type migEdge struct {
+		src, dst graph.VertexID
+		wt       float64
+	}
+	migEdges := make([][]migEdge, c.cfg.NumNodes)
+	needs := make([]map[graph.VertexID]bool, c.cfg.NumNodes)
+	for n := range needs {
+		needs[n] = make(map[graph.VertexID]bool)
+	}
+	if c.vcut != nil {
+		// Each survivor reads its own file of every failed node; files
+		// addressed to other failed nodes are reassigned round-robin.
+		alive := c.coord.AliveNodes()
+		orphanIdx := 0
+		var span costmodel.Span
+		for _, f := range failed {
+			for _, path := range c.dfs.List(fmt.Sprintf("edgeckpt/%d/", f)) {
+				var owner, target int
+				if _, err := fmt.Sscanf(path, "edgeckpt/%d/%d", &owner, &target); err != nil {
+					return nil, fmt.Errorf("core: bad edge-ckpt path %q: %w", path, err)
+				}
+				// Files addressed to a dead node (this failure or any
+				// earlier one) are reassigned round-robin over survivors.
+				readerNode := target
+				if failedSet[target] || c.nodes[target] == nil || !c.nodes[target].alive {
+					readerNode = alive[orphanIdx%len(alive)]
+					orphanIdx++
+				}
+				data, cost, err := c.dfs.Read(readerNode, path)
+				if err != nil {
+					return nil, err
+				}
+				c.met.Nodes[readerNode].DFSReadBytes += int64(len(data))
+				span.Observe(cost)
+				r := &reader{buf: data}
+				for r.remaining() > 0 && r.err == nil {
+					src := graph.VertexID(r.u32())
+					dst := graph.VertexID(r.u32())
+					wt := r.f64()
+					if r.err != nil {
+						break
+					}
+					migEdges[readerNode] = append(migEdges[readerNode], migEdge{src, dst, wt})
+				}
+				if r.err != nil {
+					return nil, r.err
+				}
+			}
+		}
+		c.clock.Advance(span.Max())
+		for n, edges := range migEdges {
+			nd := c.nodes[n]
+			if nd == nil || !nd.alive {
+				continue
+			}
+			for _, e := range edges {
+				if _, ok := nd.pos(e.src); !ok {
+					needs[n][e.src] = true
+				}
+				if _, ok := nd.pos(e.dst); !ok {
+					needs[n][e.dst] = true
+				}
+			}
+		}
+	} else {
+		// Edge-cut: promoted masters carry their in-edge lists; sources
+		// missing locally need replicas (paper Fig 6's "Replica 6").
+		for n := range promoLists {
+			nd := c.nodes[n]
+			for _, pos := range promoLists[n] {
+				e := &nd.entries[pos]
+				for _, src := range e.mInSrc {
+					if _, ok := nd.pos(src); !ok {
+						needs[n][src] = true
+					}
+				}
+			}
+		}
+	}
+	c.hook("migration:edges")
+
+	// --- Phase 4: cooperative replica creation: request -> reply ->
+	// register (three rounds).
+	c.eachAlive(func(nd *node[V, A]) {
+		ids := make([]graph.VertexID, 0, len(needs[nd.id]))
+		for id := range needs[nd.id] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			mn := int(c.masterLoc[id])
+			vid := id
+			before := len(nd.sendBuf[mn])
+			nd.stage(mn, func(buf []byte) []byte {
+				return putU32(buf, uint32(vid))
+			})
+			nd.met.RecoveryMsgs++
+			nd.met.RecoveryBytes += int64(len(nd.sendBuf[mn]) - before)
+		}
+	})
+	c.flushSendRound(netsim.KindRecovery)
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			r := &reader{buf: m.Payload}
+			for r.remaining() >= 4 && r.err == nil {
+				id := graph.VertexID(r.u32())
+				pos, ok := nd.pos(id)
+				if !ok {
+					continue
+				}
+				e := &nd.entries[pos]
+				flags := entryFlags(0)
+				if e.isSelfish() {
+					flags |= flagSelfish
+				}
+				before := len(nd.sendBuf[m.From])
+				nd.sendBuf[m.From] = encodeRecoveryRecord(nd.sendBuf[m.From], c.vc, roleReplica,
+					-1, id, flags, -1, int16(nd.id), pos, e.inDeg, e.outDeg,
+					e.value, e.lastActivate, e.lastActivateIter, nil, nil)
+				nd.met.RecoveryMsgs++
+				nd.met.RecoveryBytes += int64(len(nd.sendBuf[m.From]) - before)
+			}
+		}
+	})
+	c.flushSendRound(netsim.KindRecovery)
+	createdPerNode := make([]int, c.cfg.NumNodes)
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			r := &reader{buf: m.Payload}
+			for r.remaining() > 0 && r.err == nil {
+				recRec := decodeRecoveryRecord(r, c.vc)
+				if r.err != nil {
+					break
+				}
+				newPos := int32(len(nd.entries))
+				nd.entries = append(nd.entries, vertexEntry[V]{
+					id:               recRec.id,
+					flags:            recRec.flags,
+					masterNode:       recRec.masterNode,
+					masterPos:        recRec.masterPos,
+					inDeg:            recRec.inDeg,
+					outDeg:           recRec.outDeg,
+					value:            recRec.value,
+					lastActivate:     recRec.lastActivate,
+					lastActivateIter: recRec.lastActivateIter,
+					active:           c.prog.AlwaysActive(),
+				})
+				nd.index[recRec.id] = newPos
+				createdPerNode[nd.id]++
+				// Register the new replica's position with its master.
+				mp := recRec.masterPos
+				nd.stageNotice(int(recRec.masterNode), func(buf []byte) []byte {
+					buf = putI32(buf, mp)
+					return putI32(buf, newPos)
+				})
+				nd.met.RecoveryMsgs++
+				nd.met.RecoveryBytes += 8
+			}
+		}
+	})
+	for _, n := range createdPerNode {
+		rec.RecoveredVertices += n
+	}
+	c.flushNoticeRound()
+	registeredPerNode := make([][]masterKey, c.cfg.NumNodes)
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			r := &reader{buf: m.Payload}
+			for r.remaining() > 0 && r.err == nil {
+				mp := r.i32()
+				newPos := r.i32()
+				if r.err != nil {
+					break
+				}
+				e := &nd.entries[mp]
+				e.replicaNodes = append(e.replicaNodes, int16(m.From))
+				e.replicaPos = append(e.replicaPos, newPos)
+				e.replicaFTOnly = append(e.replicaFTOnly, false)
+				registeredPerNode[nd.id] = append(registeredPerNode[nd.id], masterKey{int16(nd.id), mp})
+			}
+		}
+	})
+	for _, keys := range registeredPerNode {
+		for _, k := range keys {
+			tableChanged[k] = true
+		}
+	}
+	if state := c.barrier(); state.IsFail() {
+		return state.Failed, nil
+	}
+	c.hook("migration:replicas")
+
+	// --- Phase 5: attach migrated edges to local topology.
+	var reconSpan costmodel.Span
+	for _, nd := range c.aliveNodes() {
+		created := 0
+		if c.vcut != nil {
+			for _, me := range migEdges[nd.id] {
+				sp, ok1 := nd.pos(me.src)
+				dp, ok2 := nd.pos(me.dst)
+				if !ok1 || !ok2 {
+					return nil, fmt.Errorf("%w: node %d migrated edge endpoint missing", ErrUnrecoverable, nd.id)
+				}
+				de := &nd.entries[dp]
+				de.inNbr = append(de.inNbr, sp)
+				de.inWt = append(de.inWt, me.wt)
+				nd.entries[sp].outNbr = append(nd.entries[sp].outNbr, dp)
+				created++
+			}
+			// Persist the migrated edges into this node's own edge-ckpt
+			// files so a future failure can still recover them.
+			if created > 0 && c.cfg.FT.Enabled {
+				bufs := make(map[int][]byte)
+				for _, me := range migEdges[nd.id] {
+					t := c.edgeCkptTarget(me.dst, nd.id)
+					buf := bufs[t]
+					buf = putU32(buf, uint32(me.src))
+					buf = putU32(buf, uint32(me.dst))
+					buf = putF64(buf, me.wt)
+					bufs[t] = buf
+				}
+				for t, buf := range bufs {
+					cost := c.dfs.Append(nd.id, edgeCkptPath(nd.id, t), buf)
+					nd.met.DFSWriteBytes += int64(len(buf))
+					reconSpan.Observe(cost)
+				}
+			}
+		} else {
+			for pos := range promoted[int16(nd.id)] {
+				e := &nd.entries[pos]
+				e.inNbr = make([]int32, len(e.mInSrc))
+				e.inWt = e.mInWt
+				for k, src := range e.mInSrc {
+					sp, ok := nd.pos(src)
+					if !ok {
+						return nil, fmt.Errorf("%w: node %d missing promoted in-neighbor %d",
+							ErrUnrecoverable, nd.id, src)
+					}
+					e.inNbr[k] = sp
+					nd.entries[sp].outNbr = append(nd.entries[sp].outNbr, int32(pos))
+				}
+				created += len(e.mInSrc)
+				e.mInSrc, e.mInWt, e.mInSrcMaster = nil, nil, nil
+			}
+		}
+		nd.localEdges += created
+		rec.RecoveredEdges += created
+		reconSpan.Observe(float64(created) * c.cfg.Cost.ComputePerEdge)
+	}
+	c.clock.Advance(reconSpan.Max())
+
+	// --- Phase 6: restore fault-tolerance invariants (K replicas, K
+	// mirrors) for every master whose table changed, then refresh full
+	// state on all mirrors of changed masters.
+	if err := c.repairFTInvariants(tableChanged); err != nil {
+		return nil, err
+	}
+	if state := c.barrier(); state.IsFail() {
+		return state.Failed, nil
+	}
+	rec.ReconstructSeconds = c.clock.Now() - reconStart
+	c.hook("migration:repair")
+
+	// --- Phase 7: replay activation for the promoted masters only
+	// (§5.2.3) and recompute promoted selfish vertices (§4.4).
+	replayStart := c.clock.Now()
+	c.replayActivation(iter, func(mn int16, mp int32) bool {
+		return promoted[mn][mp]
+	})
+	c.recomputeSelfishAt(func(mn int16, mp int32) bool { return promoted[mn][mp] }, iter)
+	if state := c.barrier(); state.IsFail() {
+		return state.Failed, nil
+	}
+	rec.ReplaySeconds = c.clock.Now() - replayStart
+
+	for _, nd := range c.aliveNodes() {
+		c.coord.Set(fmt.Sprintf("arraylen/%d", nd.id), int64(len(nd.entries)))
+	}
+	c.refreshMemoryMetrics()
+	c.recoveries = append(c.recoveries, rec)
+	c.trace = append(c.trace, TraceEvent{Iter: iter, Kind: "recovery", Start: start, End: c.clock.Now()})
+	return nil, nil
+}
+
+// repairFTInvariants re-establishes >= K replicas and K mirrors for every
+// master whose replica table changed, creating FT replicas on the least
+// loaded nodes and pushing refreshed full state to all mirrors.
+func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) error {
+	if !c.cfg.FT.Enabled {
+		return nil
+	}
+	alive := c.aliveNodes()
+	load := make(map[int]int, len(alive))
+	for _, nd := range alive {
+		load[nd.id] = len(nd.entries)
+	}
+	keys := make([]masterKey, 0, len(tableChanged))
+	for k := range tableChanged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].node != keys[b].node {
+			return keys[a].node < keys[b].node
+		}
+		return keys[a].pos < keys[b].pos
+	})
+
+	// Pass 1: plan and execute FT replica creation (driver-sequential for
+	// determinism; the records still flow through the network for cost
+	// accounting).
+	var creates []ftCreatePlan
+	for _, k := range keys {
+		nd := c.nodes[k.node]
+		e := &nd.entries[k.pos]
+		for len(e.replicaNodes)+countPlanned(creates, k) < c.cfg.FT.K {
+			best := -1
+			for _, cand := range alive {
+				if cand.id == int(k.node) || hostsReplica(e, cand.id) || plannedTo(creates, k, cand.id) {
+					continue
+				}
+				if best < 0 || load[cand.id] < load[best] {
+					best = cand.id
+				}
+			}
+			if best < 0 {
+				break
+			}
+			creates = append(creates, ftCreatePlan{from: k, to: best})
+			load[best]++
+			c.extraReplicas++
+			if e.isSelfish() {
+				c.extraReplicasSelfish++
+			}
+			c.totalPresences++
+		}
+	}
+	for _, cr := range creates {
+		nd := c.nodes[cr.from.node]
+		e := &nd.entries[cr.from.pos]
+		flags := flagFTOnly
+		if e.isSelfish() {
+			flags |= flagSelfish
+		}
+		before := len(nd.sendBuf[cr.to])
+		nd.sendBuf[cr.to] = encodeRecoveryRecord(nd.sendBuf[cr.to], c.vc, roleReplica,
+			-1, e.id, flags, -1, int16(nd.id), cr.from.pos, e.inDeg, e.outDeg,
+			e.value, e.lastActivate, e.lastActivateIter, nil, nil)
+		nd.met.RecoveryMsgs++
+		nd.met.RecoveryBytes += int64(len(nd.sendBuf[cr.to]) - before)
+	}
+	c.flushSendRound(netsim.KindRecovery)
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			r := &reader{buf: m.Payload}
+			for r.remaining() > 0 && r.err == nil {
+				recRec := decodeRecoveryRecord(r, c.vc)
+				if r.err != nil {
+					break
+				}
+				newPos := int32(len(nd.entries))
+				nd.entries = append(nd.entries, vertexEntry[V]{
+					id:               recRec.id,
+					flags:            recRec.flags,
+					masterNode:       recRec.masterNode,
+					masterPos:        recRec.masterPos,
+					inDeg:            recRec.inDeg,
+					outDeg:           recRec.outDeg,
+					value:            recRec.value,
+					lastActivate:     recRec.lastActivate,
+					lastActivateIter: recRec.lastActivateIter,
+					active:           c.prog.AlwaysActive(),
+				})
+				nd.index[recRec.id] = newPos
+				mp := recRec.masterPos
+				nd.stageNotice(int(recRec.masterNode), func(buf []byte) []byte {
+					buf = putI32(buf, mp)
+					return putI32(buf, newPos)
+				})
+			}
+		}
+	})
+	c.flushNoticeRound()
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			r := &reader{buf: m.Payload}
+			for r.remaining() > 0 && r.err == nil {
+				mp := r.i32()
+				newPos := r.i32()
+				if r.err != nil {
+					break
+				}
+				e := &nd.entries[mp]
+				e.replicaNodes = append(e.replicaNodes, int16(m.From))
+				e.replicaPos = append(e.replicaPos, newPos)
+				e.replicaFTOnly = append(e.replicaFTOnly, true)
+			}
+		}
+	})
+
+	// Pass 2: mirror re-selection for changed masters, then full-state
+	// refresh on every mirror of a changed master.
+	for _, k := range keys {
+		nd := c.nodes[k.node]
+		e := &nd.entries[k.pos]
+		want := c.cfg.FT.K
+		if want > len(e.replicaNodes) {
+			want = len(e.replicaNodes)
+		}
+		have := map[int16]bool{}
+		var mo []int16
+		for _, idx := range e.mirrorOf {
+			if int(idx) < len(e.replicaNodes) && !have[idx] {
+				mo = append(mo, idx)
+				have[idx] = true
+			}
+			if len(mo) >= want {
+				break
+			}
+		}
+		// Prefer FT-only replicas, then fill arbitrarily (deterministic
+		// ascending index).
+		for pass := 0; pass < 2 && len(mo) < want; pass++ {
+			for idx := range e.replicaNodes {
+				if len(mo) >= want {
+					break
+				}
+				if have[int16(idx)] {
+					continue
+				}
+				if pass == 0 && !e.replicaFTOnly[idx] {
+					continue
+				}
+				mo = append(mo, int16(idx))
+				have[int16(idx)] = true
+			}
+		}
+		e.mirrorOf = mo
+	}
+	// Mirror full-state refresh.
+	for _, k := range keys {
+		nd := c.nodes[k.node]
+		e := &nd.entries[k.pos]
+		table := &replicaTable{
+			nodes: e.replicaNodes, pos: e.replicaPos,
+			ftOnly: e.replicaFTOnly, mirrorOf: e.mirrorOf,
+		}
+		var edges *rawEdges
+		if c.ec != nil {
+			edges = c.masterRawEdges(nd, e)
+		}
+		for rank, idx := range e.mirrorOf {
+			host := e.replicaNodes[idx]
+			rpos := e.replicaPos[idx]
+			before := len(nd.sendBuf[host])
+			nd.sendBuf[host] = encodeRecoveryRecord(nd.sendBuf[host], c.vc, roleReplica,
+				rpos, e.id, flagMirror, int16(rank),
+				int16(nd.id), k.pos, e.inDeg, e.outDeg,
+				e.value, e.lastActivate, e.lastActivateIter, table, edges)
+			nd.met.RecoveryMsgs++
+			nd.met.RecoveryBytes += int64(len(nd.sendBuf[host]) - before)
+		}
+	}
+	c.flushSendRound(netsim.KindRecovery)
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			r := &reader{buf: m.Payload}
+			for r.remaining() > 0 && r.err == nil {
+				recRec := decodeRecoveryRecord(r, c.vc)
+				if r.err != nil {
+					break
+				}
+				e := &nd.entries[recRec.pos]
+				e.flags |= flagMirror
+				e.mirrorRank = recRec.mirrorRank
+				if recRec.table != nil {
+					e.mReplicaN = recRec.table.nodes
+					e.mReplicaP = recRec.table.pos
+					e.mReplicaFT = recRec.table.ftOnly
+					e.mMirrorOf = recRec.table.mirrorOf
+				}
+				if recRec.edges != nil {
+					e.mInSrc = recRec.edges.src
+					e.mInWt = recRec.edges.wt
+					e.mInSrcMaster = recRec.edges.srcMaster
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// masterKey identifies a master entry by (node, position).
+type masterKey struct {
+	node int16
+	pos  int32
+}
+
+// ftCreatePlan schedules one FT replica creation during invariant repair.
+type ftCreatePlan struct {
+	from masterKey
+	to   int
+}
+
+// hostsReplica reports whether master e already has a replica on node n.
+func hostsReplica[V any](e *vertexEntry[V], n int) bool {
+	for _, host := range e.replicaNodes {
+		if int(host) == n {
+			return true
+		}
+	}
+	return false
+}
+
+func countPlanned(creates []ftCreatePlan, k masterKey) int {
+	n := 0
+	for _, cr := range creates {
+		if cr.from == k {
+			n++
+		}
+	}
+	return n
+}
+
+func plannedTo(creates []ftCreatePlan, k masterKey, to int) bool {
+	for _, cr := range creates {
+		if cr.from == k && cr.to == to {
+			return true
+		}
+	}
+	return false
+}
+
+// recomputeSelfishAt recomputes the dynamic state of selfish masters
+// selected by the predicate (promoted mirrors hold stale values for selfish
+// vertices under the §4.4 optimization).
+func (c *Cluster[V, A]) recomputeSelfishAt(isTarget func(mn int16, mp int32) bool, iter int) {
+	if !c.selfishOptOn {
+		return
+	}
+	prev := iter - 1
+	if prev < 0 {
+		prev = 0
+	}
+	for _, nd := range c.aliveNodes() {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.isSelfish() || !isTarget(int16(nd.id), int32(i)) || len(e.inNbr) == 0 {
+				continue
+			}
+			var acc A
+			has := false
+			for k, src := range e.inNbr {
+				se := &nd.entries[src]
+				contrib := c.prog.Gather(
+					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+					se.value, se.info())
+				if has {
+					acc = c.prog.Merge(acc, contrib)
+				} else {
+					acc, has = contrib, true
+				}
+			}
+			initVal, _ := c.prog.Init(e.id, e.info())
+			newV, _ := c.prog.Apply(e.id, e.info(), initVal, acc, has, prev)
+			e.value = newV
+		}
+	}
+}

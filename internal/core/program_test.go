@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"imitator/internal/graph"
+)
+
+func TestFloat64CodecRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		c := Float64Codec{}
+		buf := c.Append(nil, v)
+		if len(buf) != c.Size(v) {
+			return false
+		}
+		got, rest, err := c.Read(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return got == v || (math.IsNaN(got) && math.IsNaN(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64CodecShortBuffer(t *testing.T) {
+	if _, _, err := (Float64Codec{}).Read([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error on short buffer")
+	}
+}
+
+func TestInt32CodecRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		c := Int32Codec{}
+		buf := c.Append(nil, v)
+		got, rest, err := c.Read(buf)
+		return err == nil && len(rest) == 0 && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecCodecRoundTrip(t *testing.T) {
+	c := VecCodec{Dim: 5}
+	v := []float64{1, -2, 3.5, 0, 1e-300}
+	buf := c.Append(nil, v)
+	if len(buf) != c.Size(v) {
+		t.Fatalf("size %d != %d", len(buf), c.Size(v))
+	}
+	got, rest, err := c.Read(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestVecCodecDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong dim")
+		}
+	}()
+	VecCodec{Dim: 2}.Append(nil, []float64{1})
+}
+
+func TestVecCodecShortBuffer(t *testing.T) {
+	if _, _, err := (VecCodec{Dim: 2}).Read(make([]byte, 8)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLabelCountCodecRoundTrip(t *testing.T) {
+	c := LabelCountCodec{}
+	v := []LabelCount{{Label: 3, Count: 2.5}, {Label: 9, Count: 1}}
+	buf := c.Append(nil, v)
+	if len(buf) != c.Size(v) {
+		t.Fatalf("size %d != %d", len(buf), c.Size(v))
+	}
+	got, rest, err := c.Read(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLabelCountCodecEmpty(t *testing.T) {
+	c := LabelCountCodec{}
+	buf := c.Append(nil, nil)
+	got, _, err := c.Read(buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMergeLabelCounts(t *testing.T) {
+	a := []LabelCount{{1, 2}, {3, 1}}
+	b := []LabelCount{{1, 1}, {2, 5}, {4, 1}}
+	got := MergeLabelCounts(a, b)
+	want := []LabelCount{{1, 3}, {2, 5}, {3, 1}, {4, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestMergeLabelCountsSortedProperty(t *testing.T) {
+	f := func(rawA, rawB []int32) bool {
+		mk := func(raw []int32) []LabelCount {
+			m := map[int32]float64{}
+			for _, l := range raw {
+				m[l]++
+			}
+			var out []LabelCount
+			for l := range m {
+				out = append(out, LabelCount{Label: l, Count: m[l]})
+			}
+			// Sort by label.
+			for i := range out {
+				for j := i + 1; j < len(out); j++ {
+					if out[j].Label < out[i].Label {
+						out[i], out[j] = out[j], out[i]
+					}
+				}
+			}
+			return out
+		}
+		got := MergeLabelCounts(mk(rawA), mk(rawB))
+		total := 0.0
+		for i, lc := range got {
+			total += lc.Count
+			if i > 0 && got[i-1].Label >= lc.Label {
+				return false // must stay sorted and deduped
+			}
+		}
+		return total == float64(len(rawA)+len(rawB))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	table := &replicaTable{
+		nodes:    []int16{1, 3},
+		pos:      []int32{10, 20},
+		ftOnly:   []bool{false, true},
+		mirrorOf: []int16{1},
+	}
+	edges := &rawEdges{
+		src:       []graph.VertexID{5, 6, 7},
+		wt:        []float64{0.5, 1.5, 2.5},
+		srcMaster: []int16{0, 1, 2},
+	}
+	vc := Float64Codec{}
+	buf := encodeRecoveryRecord(nil, vc, roleMaster, 7, 42, flagMaster|flagSelfish, 2,
+		3, 7, 5, 0, 3.14, true, 9, table, edges)
+	r := &reader{buf: buf}
+	rec := decodeRecoveryRecord(r, vc)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if rec.role != roleMaster || rec.pos != 7 || rec.id != 42 ||
+		rec.flags != flagMaster|flagSelfish || rec.mirrorRank != 2 ||
+		rec.masterNode != 3 || rec.masterPos != 7 ||
+		rec.inDeg != 5 || rec.outDeg != 0 ||
+		rec.value != 3.14 || !rec.lastActivate || rec.lastActivateIter != 9 {
+		t.Errorf("rec = %+v", rec)
+	}
+	if !reflect.DeepEqual(rec.table, table) {
+		t.Errorf("table = %+v", rec.table)
+	}
+	if !reflect.DeepEqual(rec.edges, edges) {
+		t.Errorf("edges = %+v", rec.edges)
+	}
+	if r.remaining() != 0 {
+		t.Errorf("%d bytes left over", r.remaining())
+	}
+}
+
+func TestWireTruncated(t *testing.T) {
+	vc := Float64Codec{}
+	buf := encodeRecoveryRecord(nil, vc, roleReplica, 1, 2, 0, -1, 0, 0, 0, 0, 1.0, false, 0, nil, nil)
+	for cut := 1; cut < len(buf); cut++ {
+		r := &reader{buf: buf[:cut]}
+		decodeRecoveryRecord(r, vc)
+		if r.err == nil && r.remaining() == 0 {
+			// Some prefixes decode fully by accident only if they are the
+			// whole record, which cut < len(buf) excludes.
+			t.Errorf("cut at %d decoded without error", cut)
+		}
+	}
+}

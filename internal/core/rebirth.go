@@ -1,0 +1,451 @@
+package core
+
+import (
+	"fmt"
+
+	"imitator/internal/costmodel"
+	"imitator/internal/graph"
+	"imitator/internal/netsim"
+)
+
+// recoverRebirth reconstructs each crashed node's full state on a standby
+// node that assumes the crashed node's logical id (§5.1). Three phases:
+// Reloading (survivors push recovery records derived from their masters and
+// mirrors), Reconstruction (records land at their recorded array positions,
+// then local topology is re-linked), and Replay (activation states are
+// re-derived from committed scatter flags).
+func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
+	if c.rebirthsUsed+len(failed) > c.cfg.MaxRebirths {
+		return nil, fmt.Errorf("%w: %d standby nodes exhausted", ErrUnrecoverable, c.cfg.MaxRebirths)
+	}
+	failedSet := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		failedSet[f] = true
+	}
+	rec := RecoveryStats{Kind: "rebirth", Iteration: iter, Failed: append([]int(nil), failed...)}
+	start := c.clock.Now()
+
+	// Newbies join the membership and size their vertex arrays from the
+	// coordination service's shared state.
+	for _, f := range failed {
+		arrayLen, ok := c.coord.Get(fmt.Sprintf("arraylen/%d", f))
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown array length for node %d", ErrUnrecoverable, f)
+		}
+		nd := &node[V, A]{
+			id:      f,
+			alive:   true,
+			met:     &c.met.Nodes[f],
+			entries: make([]vertexEntry[V], arrayLen),
+			index:   make(map[graph.VertexID]int32, arrayLen),
+		}
+		for i := range nd.entries {
+			nd.entries[i].masterNode = noNode // "not yet placed" sentinel
+		}
+		nd.sendBuf = make([][]byte, c.cfg.NumNodes)
+		nd.noticeBuf = make([][]byte, c.cfg.NumNodes)
+		c.nodes[f] = nd
+		c.net.SetFailed(f, false)
+		c.coord.Join(f)
+		c.rebirthsUsed++
+	}
+	c.hook("rebirth:join")
+
+	// Reloading: survivors scan their masters for replicas lost on failed
+	// nodes, and their mirrors for masters lost on failed nodes (the lowest
+	// surviving mirror recovers each master).
+	c.eachAlive(func(nd *node[V, A]) {
+		if failedSet[nd.id] {
+			return // newbies have nothing to send
+		}
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if e.isMaster() {
+				for ri, rn := range e.replicaNodes {
+					if failedSet[int(rn)] {
+						c.stageReplicaRecovery(nd, e, ri, int(rn))
+					}
+				}
+			} else if e.isMirror() && failedSet[int(e.masterNode)] {
+				if c.lowestSurvivingMirror(e, failedSet) == nd.id {
+					c.stageMasterRecovery(nd, e, int(e.masterNode))
+					// With multiple simultaneous failures, the lost
+					// master's replicas on *other* failed nodes have no
+					// master to recover them; the recovering mirror does
+					// it from its full-state copy (§5.3.1).
+					for ri, rn := range e.mReplicaN {
+						if failedSet[int(rn)] {
+							c.stageReplicaRecoveryFromMirror(nd, e, ri, int(rn))
+						}
+					}
+				}
+			}
+		}
+	})
+	c.flushSendRound(netsim.KindRecovery)
+
+	// Vertex-cut: newbies reload their slots' edge-ckpt files in parallel,
+	// overlapping with the vertex reloading above (§5.1.1).
+	edgeData := make(map[int][][]byte)
+	if c.vcut != nil {
+		var span costmodel.Span
+		for _, f := range failed {
+			nd := c.nodes[f]
+			var nodeCost float64
+			for _, path := range c.dfs.List(fmt.Sprintf("edgeckpt/%d/", f)) {
+				data, cost, err := c.dfs.Read(f, path)
+				if err != nil {
+					return nil, err
+				}
+				nd.met.DFSReadBytes += int64(len(data))
+				nodeCost += cost
+				edgeData[f] = append(edgeData[f], data)
+			}
+			span.Observe(nodeCost)
+		}
+		c.clock.Advance(span.Max())
+	}
+	if state := c.barrier(); state.IsFail() {
+		return state.Failed, nil
+	}
+	rec.ReloadSeconds = c.clock.Now() - start
+	c.hook("rebirth:reload")
+
+	// Reconstruction: records land at their positions; then in-edge lists
+	// are resolved by id and out-lists rebuilt by reversal. Every alive
+	// node collects the round (survivors receive nothing, but collecting is
+	// what closes the round on asynchronous transports).
+	reconStart := c.clock.Now()
+	received := make([][]netsim.Message, c.cfg.NumNodes)
+	c.eachAlive(func(nd *node[V, A]) {
+		received[nd.id] = c.net.Receive(nd.id)
+	})
+	var reconSpan costmodel.Span
+	for _, f := range failed {
+		nd := c.nodes[f]
+		raw := make(map[int32]*rawEdges)
+		for _, m := range received[f] {
+			if m.Kind != netsim.KindRecovery {
+				continue
+			}
+			r := &reader{buf: m.Payload}
+			for r.remaining() > 0 && r.err == nil {
+				recRec := decodeRecoveryRecord(r, c.vc)
+				if r.err != nil {
+					break
+				}
+				c.placeRecovered(nd, &recRec)
+				// Only master records carry local in-edges; a recovered
+				// mirror's edge list is part of its full state (mInSrc),
+				// not this node's topology.
+				if recRec.role == roleMaster && recRec.edges != nil {
+					raw[recRec.pos] = recRec.edges
+				}
+				rec.RecoveredVertices++
+			}
+			if r.err != nil {
+				return nil, fmt.Errorf("core: rebirth decode on node %d: %w", f, r.err)
+			}
+		}
+		// Every slot must have been recovered.
+		for i := range nd.entries {
+			if nd.entries[i].masterNode == noNode {
+				return nil, fmt.Errorf("%w: node %d slot %d not recovered (lost beyond K?)",
+					ErrUnrecoverable, f, i)
+			}
+		}
+		// Edge-cut: resolve raw in-edge lists into local positions.
+		edges := 0
+		for pos, re := range raw {
+			e := &nd.entries[pos]
+			e.inNbr = make([]int32, len(re.src))
+			e.inWt = re.wt
+			for k, srcID := range re.src {
+				sp, ok := nd.pos(srcID)
+				if !ok {
+					return nil, fmt.Errorf("%w: node %d missing in-neighbor %d", ErrUnrecoverable, f, srcID)
+				}
+				e.inNbr[k] = sp
+				nd.entries[sp].outNbr = append(nd.entries[sp].outNbr, pos)
+			}
+			edges += len(re.src)
+		}
+		// Vertex-cut: attach edges from the edge-ckpt files.
+		for _, data := range edgeData[f] {
+			n, err := c.attachEdgeCkpt(nd, data)
+			if err != nil {
+				return nil, err
+			}
+			edges += n
+		}
+		nd.localEdges = edges
+		rec.RecoveredEdges += edges
+		reconSpan.Observe(float64(len(nd.entries))*c.cfg.Cost.ReconstructPerVertex +
+			float64(edges)*c.cfg.Cost.ComputePerEdge)
+	}
+	c.clock.Advance(reconSpan.Max())
+	if state := c.barrier(); state.IsFail() {
+		return state.Failed, nil
+	}
+	rec.ReconstructSeconds = c.clock.Now() - reconStart
+	c.hook("rebirth:reconstruct")
+
+	// Replay: re-derive active flags for the recovered masters (§5.1.3).
+	replayStart := c.clock.Now()
+	c.replayActivation(iter, func(masterNode int16, _ int32) bool {
+		return failedSet[int(masterNode)]
+	})
+	c.recomputeSelfish(failed, iter)
+	if state := c.barrier(); state.IsFail() {
+		return state.Failed, nil
+	}
+	rec.ReplaySeconds = c.clock.Now() - replayStart
+
+	c.refreshMemoryMetrics()
+	c.recoveries = append(c.recoveries, rec)
+	c.trace = append(c.trace, TraceEvent{Iter: iter, Kind: "recovery", Start: start, End: c.clock.Now()})
+	return nil, nil
+}
+
+// stageReplicaRecovery emits the record recreating master e's replica that
+// lived on failed node rn. If the lost replica was a mirror, the record
+// carries the master's full state so the mirror can be recreated intact.
+func (c *Cluster[V, A]) stageReplicaRecovery(nd *node[V, A], e *vertexEntry[V], ri, rn int) {
+	flags := entryFlags(0)
+	if e.replicaFTOnly[ri] {
+		flags |= flagFTOnly
+	}
+	if e.isSelfish() {
+		flags |= flagSelfish
+	}
+	mirrorRank := int16(-1)
+	for rank, idx := range e.mirrorOf {
+		if int(idx) == ri {
+			flags |= flagMirror
+			mirrorRank = int16(rank)
+		}
+	}
+	var table *replicaTable
+	var edges *rawEdges
+	if flags&flagMirror != 0 {
+		table = &replicaTable{
+			nodes:    e.replicaNodes,
+			pos:      e.replicaPos,
+			ftOnly:   e.replicaFTOnly,
+			mirrorOf: e.mirrorOf,
+		}
+		if c.ec != nil {
+			edges = c.masterRawEdges(nd, e)
+		}
+	}
+	before := len(nd.sendBuf[rn])
+	nd.sendBuf[rn] = encodeRecoveryRecord(nd.sendBuf[rn], c.vc, roleReplica,
+		e.replicaPos[ri], e.id, flags, mirrorRank,
+		int16(nd.id), e.masterPos, e.inDeg, e.outDeg,
+		e.value, e.lastActivate, e.lastActivateIter, table, edges)
+	nd.met.RecoveryMsgs++
+	nd.met.RecoveryBytes += int64(len(nd.sendBuf[rn]) - before)
+}
+
+// stageMasterRecovery emits the record recreating the master that lived on
+// the failed node, from this surviving mirror's full state.
+func (c *Cluster[V, A]) stageMasterRecovery(nd *node[V, A], e *vertexEntry[V], dst int) {
+	flags := flagMaster
+	if e.isSelfish() {
+		flags |= flagSelfish
+	}
+	table := &replicaTable{
+		nodes:    e.mReplicaN,
+		pos:      e.mReplicaP,
+		ftOnly:   e.mReplicaFT,
+		mirrorOf: e.mMirrorOf,
+	}
+	var edges *rawEdges
+	if c.ec != nil {
+		edges = &rawEdges{src: e.mInSrc, wt: e.mInWt, srcMaster: e.mInSrcMaster}
+	}
+	before := len(nd.sendBuf[dst])
+	nd.sendBuf[dst] = encodeRecoveryRecord(nd.sendBuf[dst], c.vc, roleMaster,
+		e.masterPos, e.id, flags, -1,
+		int16(dst), e.masterPos, e.inDeg, e.outDeg,
+		e.value, e.lastActivate, e.lastActivateIter, table, edges)
+	nd.met.RecoveryMsgs++
+	nd.met.RecoveryBytes += int64(len(nd.sendBuf[dst]) - before)
+}
+
+// stageReplicaRecoveryFromMirror recreates the lost master's replica on
+// failed node rn using the recovering mirror's full state.
+func (c *Cluster[V, A]) stageReplicaRecoveryFromMirror(nd *node[V, A], e *vertexEntry[V], ri, rn int) {
+	flags := entryFlags(0)
+	if e.mReplicaFT[ri] {
+		flags |= flagFTOnly
+	}
+	if e.isSelfish() {
+		flags |= flagSelfish
+	}
+	mirrorRank := int16(-1)
+	for rank, idx := range e.mMirrorOf {
+		if int(idx) == ri {
+			flags |= flagMirror
+			mirrorRank = int16(rank)
+		}
+	}
+	var table *replicaTable
+	var edges *rawEdges
+	if flags&flagMirror != 0 {
+		table = &replicaTable{
+			nodes:    e.mReplicaN,
+			pos:      e.mReplicaP,
+			ftOnly:   e.mReplicaFT,
+			mirrorOf: e.mMirrorOf,
+		}
+		if c.ec != nil {
+			edges = &rawEdges{src: e.mInSrc, wt: e.mInWt, srcMaster: e.mInSrcMaster}
+		}
+	}
+	before := len(nd.sendBuf[rn])
+	nd.sendBuf[rn] = encodeRecoveryRecord(nd.sendBuf[rn], c.vc, roleReplica,
+		e.mReplicaP[ri], e.id, flags, mirrorRank,
+		e.masterNode, e.masterPos, e.inDeg, e.outDeg,
+		e.value, e.lastActivate, e.lastActivateIter, table, edges)
+	nd.met.RecoveryMsgs++
+	nd.met.RecoveryBytes += int64(len(nd.sendBuf[rn]) - before)
+}
+
+// masterRawEdges converts a master's local in-edge positions into global
+// ids (with each source's master node) for shipping.
+func (c *Cluster[V, A]) masterRawEdges(nd *node[V, A], e *vertexEntry[V]) *rawEdges {
+	re := &rawEdges{
+		src:       make([]graph.VertexID, len(e.inNbr)),
+		wt:        e.inWt,
+		srcMaster: make([]int16, len(e.inNbr)),
+	}
+	for k, sp := range e.inNbr {
+		se := &nd.entries[sp]
+		re.src[k] = se.id
+		re.srcMaster[k] = int16(c.masterLoc[se.id])
+	}
+	return re
+}
+
+// placeRecovered materializes one recovery record at its position in the
+// newbie's array. Position-addressed placement is contention-free (§5.1.2).
+func (c *Cluster[V, A]) placeRecovered(nd *node[V, A], rec *recoveryRecord[V]) {
+	e := &nd.entries[rec.pos]
+	e.id = rec.id
+	e.flags = rec.flags
+	e.mirrorRank = rec.mirrorRank
+	e.masterNode = rec.masterNode
+	e.masterPos = rec.masterPos
+	e.inDeg = rec.inDeg
+	e.outDeg = rec.outDeg
+	e.value = rec.value
+	e.lastActivate = rec.lastActivate
+	e.lastActivateIter = rec.lastActivateIter
+	// Masters: replay re-derives activity. Replicas: the next superstep's
+	// activation broadcast refreshes them, except under always-active
+	// programs, which never broadcast.
+	e.active = c.prog.AlwaysActive()
+	if rec.role == roleMaster {
+		e.masterNode = int16(nd.id)
+		e.masterPos = rec.pos
+		if rec.table != nil {
+			e.replicaNodes = rec.table.nodes
+			e.replicaPos = rec.table.pos
+			e.replicaFTOnly = rec.table.ftOnly
+			e.mirrorOf = rec.table.mirrorOf
+		}
+	} else if rec.flags&flagMirror != 0 && rec.table != nil {
+		e.mReplicaN = rec.table.nodes
+		e.mReplicaP = rec.table.pos
+		e.mReplicaFT = rec.table.ftOnly
+		e.mMirrorOf = rec.table.mirrorOf
+		if rec.edges != nil {
+			e.mInSrc = rec.edges.src
+			e.mInWt = rec.edges.wt
+			e.mInSrcMaster = rec.edges.srcMaster
+		}
+	}
+	nd.index[rec.id] = rec.pos
+}
+
+// attachEdgeCkpt links the (src, dst, weight) triples of one edge-ckpt file
+// into the node's local topology, returning the edge count.
+func (c *Cluster[V, A]) attachEdgeCkpt(nd *node[V, A], data []byte) (int, error) {
+	r := &reader{buf: data}
+	count := 0
+	for r.remaining() > 0 && r.err == nil {
+		src := graph.VertexID(r.u32())
+		dst := graph.VertexID(r.u32())
+		wt := r.f64()
+		if r.err != nil {
+			break
+		}
+		sp, ok1 := nd.pos(src)
+		dp, ok2 := nd.pos(dst)
+		if !ok1 || !ok2 {
+			return 0, fmt.Errorf("%w: node %d edge-ckpt endpoint missing (%d->%d)",
+				ErrUnrecoverable, nd.id, src, dst)
+		}
+		de := &nd.entries[dp]
+		de.inNbr = append(de.inNbr, sp)
+		de.inWt = append(de.inWt, wt)
+		nd.entries[sp].outNbr = append(nd.entries[sp].outNbr, dp)
+		count++
+	}
+	if r.err != nil {
+		return 0, r.err
+	}
+	return count, nil
+}
+
+// lowestSurvivingMirror returns the node hosting the lowest-ranked
+// surviving mirror recorded in mirror entry e's full state, or -1. Mirrors
+// need no communication to elect the recoverer (§5.3.1).
+func (c *Cluster[V, A]) lowestSurvivingMirror(e *vertexEntry[V], failedSet map[int]bool) int {
+	for _, idx := range e.mMirrorOf {
+		n := int(e.mReplicaN[idx])
+		if !failedSet[n] && c.nodes[n] != nil && c.nodes[n].alive {
+			return n
+		}
+	}
+	return -1
+}
+
+// recomputeSelfish restores the dynamic state of selfish vertices recovered
+// without value synchronization (§4.4): their value is recomputed from the
+// (already recovered) in-neighbors.
+func (c *Cluster[V, A]) recomputeSelfish(failed []int, iter int) {
+	if !c.selfishOptOn {
+		return
+	}
+	prev := iter - 1
+	for _, f := range failed {
+		nd := c.nodes[f]
+		if nd == nil || !nd.alive {
+			continue
+		}
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.isSelfish() || len(e.inNbr) == 0 {
+				continue
+			}
+			var acc A
+			has := false
+			for k, src := range e.inNbr {
+				se := &nd.entries[src]
+				contrib := c.prog.Gather(
+					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+					se.value, se.info())
+				if has {
+					acc = c.prog.Merge(acc, contrib)
+				} else {
+					acc, has = contrib, true
+				}
+			}
+			initVal, _ := c.prog.Init(e.id, e.info())
+			newV, _ := c.prog.Apply(e.id, e.info(), initVal, acc, has, max(prev, 0))
+			e.value = newV
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/binary"
+)
+
+// replayActivation re-derives the active flags of recovered (or promoted)
+// masters for the superstep about to (re-)execute (§5.1.3, §5.2.3).
+//
+// The invariant: a master is active at superstep `iter` exactly when some
+// in-neighbor scattered during superstep iter-1. Every entry (master or
+// replica) carries the committed scatter flag of its vertex stamped with
+// the superstep that produced it, and every edge is stored on exactly one
+// node, so one pass over local entries regenerates precisely the lost
+// activation notices. isTarget selects which masters need fixing: all
+// masters on reborn nodes for Rebirth, only newly promoted masters for
+// Migration.
+func (c *Cluster[V, A]) replayActivation(iter int, isTarget func(masterNode int16, masterPos int32) bool) {
+	always := c.prog.AlwaysActive()
+
+	// Reset the targets to their activation baseline.
+	c.eachAlive(func(nd *node[V, A]) {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() || !isTarget(int16(nd.id), int32(i)) {
+				continue
+			}
+			switch {
+			case always:
+				e.active = true
+			case iter == 0:
+				_, act := c.prog.Init(e.id, e.info())
+				e.active = act
+			default:
+				e.active = false
+			}
+		}
+	})
+	if always || iter == 0 {
+		return
+	}
+	prev := int32(iter - 1)
+
+	// Regenerate activation operations aimed at the targets.
+	c.eachAlive(func(nd *node[V, A]) {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.lastActivate || e.lastActivateIter != prev {
+				continue
+			}
+			for _, w := range e.outNbr {
+				we := &nd.entries[w]
+				if we.isMaster() {
+					if isTarget(int16(nd.id), int32(w)) {
+						we.active = true
+					}
+				} else if isTarget(we.masterNode, we.masterPos) {
+					mpos := we.masterPos
+					nd.stageNotice(int(we.masterNode), func(buf []byte) []byte {
+						return binary.LittleEndian.AppendUint32(buf, uint32(mpos))
+					})
+					nd.met.RecoveryMsgs++
+					nd.met.RecoveryBytes += 4
+				}
+			}
+		}
+	})
+	c.flushNoticeRound()
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			buf := m.Payload
+			for len(buf) >= 4 {
+				pos := binary.LittleEndian.Uint32(buf)
+				nd.entries[pos].active = true
+				buf = buf[4:]
+			}
+		}
+	})
+}

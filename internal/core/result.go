@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"imitator/internal/graph"
+	"imitator/internal/metrics"
+)
+
+// TraceEvent is one timeline entry in simulated seconds (Fig 12's x-axis).
+type TraceEvent struct {
+	Iter  int
+	Kind  string // "iteration", "checkpoint", "recovery"
+	Start float64
+	End   float64
+}
+
+// Duration returns the event's span.
+func (e TraceEvent) Duration() float64 { return e.End - e.Start }
+
+// RecoveryStats breaks one recovery down the way Fig 2c / Fig 9 do.
+type RecoveryStats struct {
+	Kind      string // "checkpoint", "rebirth", "migration"
+	Iteration int    // superstep being (re-)executed after recovery
+	Failed    []int
+
+	ReloadSeconds      float64
+	ReconstructSeconds float64
+	ReplaySeconds      float64
+
+	// ReplayIters counts re-executed supersteps (checkpoint recovery; the
+	// replication strategies replay activation only, so this is 0).
+	ReplayIters int
+
+	RecoveredVertices int
+	RecoveredEdges    int
+}
+
+// TotalSeconds is the full recovery duration.
+func (r RecoveryStats) TotalSeconds() float64 {
+	return r.ReloadSeconds + r.ReconstructSeconds + r.ReplaySeconds
+}
+
+// String implements fmt.Stringer.
+func (r RecoveryStats) String() string {
+	return fmt.Sprintf("%s@%d failed=%v total=%.3fs (reload %.3f, reconstruct %.3f, replay %.3f) vertices=%d edges=%d",
+		r.Kind, r.Iteration, r.Failed, r.TotalSeconds(),
+		r.ReloadSeconds, r.ReconstructSeconds, r.ReplaySeconds,
+		r.RecoveredVertices, r.RecoveredEdges)
+}
+
+// Result is a finished job's output and accounting.
+type Result[V any] struct {
+	// Values holds the final vertex values, indexed by vertex id.
+	Values []V
+	// Iterations completed.
+	Iterations int
+
+	// SimSeconds is the simulated wall-clock of the whole run;
+	// AvgIterSeconds averages over failure-free iterations.
+	SimSeconds     float64
+	AvgIterSeconds float64
+	LoadSeconds    float64
+
+	// Checkpointing totals.
+	CheckpointSeconds float64
+	CheckpointCount   int
+
+	// Replication stats for Figs 3/8/10/14.
+	ExtraReplicas        int // FT-only replicas added at load
+	ExtraReplicasSelfish int // of which for selfish vertices (§4.4)
+	TotalPresences       int // masters + all replicas after FT extension
+
+	Metrics     metrics.Node // cluster-wide totals
+	PerNode     []metrics.Node
+	MaxMemory   int64 // largest per-node footprint, bytes
+	TotalMemory int64
+
+	Trace      []TraceEvent
+	Recoveries []RecoveryStats
+}
+
+// result assembles the Result from the cluster state after Run.
+func (c *Cluster[V, A]) result() *Result[V] {
+	res := &Result[V]{
+		Values:               make([]V, c.g.NumVertices()),
+		Iterations:           c.iter,
+		SimSeconds:           c.clock.Now(),
+		LoadSeconds:          c.loadSeconds,
+		CheckpointSeconds:    c.ckptSeconds,
+		CheckpointCount:      c.ckptCount,
+		ExtraReplicas:        c.extraReplicas,
+		ExtraReplicasSelfish: c.extraReplicasSelfish,
+		TotalPresences:       c.totalPresences,
+		Trace:                append([]TraceEvent(nil), c.trace...),
+		Recoveries:           append([]RecoveryStats(nil), c.recoveries...),
+	}
+	for _, nd := range c.aliveNodes() {
+		for i := range nd.entries {
+			if e := &nd.entries[i]; e.isMaster() {
+				res.Values[e.id] = e.value
+			}
+		}
+	}
+	c.refreshMemoryMetrics()
+	res.Metrics = c.met.Total()
+	res.PerNode = append([]metrics.Node(nil), c.met.Nodes...)
+	res.MaxMemory = c.met.MaxMemoryNode()
+	res.TotalMemory = res.Metrics.MemoryBytes
+
+	var iterTotal float64
+	iters := 0
+	for _, ev := range c.trace {
+		if ev.Kind == "iteration" {
+			iterTotal += ev.Duration()
+			iters++
+		}
+	}
+	if iters > 0 {
+		res.AvgIterSeconds = iterTotal / float64(iters)
+	}
+	return res
+}
+
+// MasterValue returns the committed value of a vertex's current master;
+// exported for tests and examples that inspect mid-run state.
+func (c *Cluster[V, A]) MasterValue(v graph.VertexID) (V, error) {
+	var zero V
+	mn := c.masterLoc[v]
+	nd := c.nodes[mn]
+	if nd == nil || !nd.alive {
+		return zero, fmt.Errorf("core: master node %d of vertex %d is down", mn, v)
+	}
+	e := nd.entry(v)
+	if e == nil || !e.isMaster() {
+		return zero, fmt.Errorf("core: vertex %d has no master entry on node %d", v, mn)
+	}
+	return e.value, nil
+}
+
+// ReplicationFactor returns total presences divided by vertex count, after
+// FT extension (Fig 10a / Fig 14a).
+func (c *Cluster[V, A]) ReplicationFactor() float64 {
+	if c.g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(c.totalPresences) / float64(c.g.NumVertices())
+}

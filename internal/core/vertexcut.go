@@ -1,0 +1,261 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"imitator/internal/graph"
+	"imitator/internal/netsim"
+)
+
+// gatherPartial is one node's partial accumulator for a vertex.
+type gatherPartial[A any] struct {
+	acc A
+	has bool
+}
+
+// superstepVertexCut runs one PowerLyra-style GAS superstep:
+//
+//	R1  activation broadcast: masters tell replica hosts which vertices
+//	    gather this superstep (skipped for always-active programs);
+//	R2  gather: every node partial-gathers over its local in-edges and
+//	    ships accumulators to masters;
+//	    apply: masters merge partials (ascending node order) and apply;
+//	R3  sync: masters broadcast new values + scatter flags to replicas,
+//	    which stage them and mark local out-targets;
+//	R4  activation notices: nodes forward scatter activations to the
+//	    masters of the activated vertices.
+func (c *Cluster[V, A]) superstepVertexCut(iter int) error {
+	always := c.prog.AlwaysActive()
+
+	// R1: activation broadcast.
+	if !always {
+		c.eachAlive(func(nd *node[V, A]) {
+			for i := range nd.entries {
+				e := &nd.entries[i]
+				if !e.isMaster() || !e.active {
+					continue
+				}
+				for ri, rn := range e.replicaNodes {
+					if e.replicaFTOnly[ri] {
+						continue // FT replicas hold no edges: nothing to gather
+					}
+					pos := e.replicaPos[ri]
+					nd.stage(int(rn), func(buf []byte) []byte {
+						return binary.LittleEndian.AppendUint32(buf, uint32(pos))
+					})
+					nd.met.ActivationMsgs++
+					nd.met.ActivationBytes += 4
+				}
+			}
+		})
+		c.flushSendRound(netsim.KindActivation)
+		c.eachAlive(func(nd *node[V, A]) {
+			for i := range nd.entries {
+				if e := &nd.entries[i]; !e.isMaster() {
+					e.active = false
+				}
+			}
+			for _, m := range c.net.Receive(nd.id) {
+				buf := m.Payload
+				for len(buf) >= 4 {
+					pos := binary.LittleEndian.Uint32(buf)
+					nd.entries[pos].active = true
+					buf = buf[4:]
+				}
+			}
+		})
+	}
+
+	// R2 gather: local partials; replicas ship them to masters.
+	partials := make([][]gatherPartial[A], len(c.nodes))
+	c.eachAlive(func(nd *node[V, A]) {
+		local := make([]gatherPartial[A], len(nd.entries))
+		edges := 0
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.active || len(e.inNbr) == 0 {
+				continue
+			}
+			var acc A
+			has := false
+			for k, src := range e.inNbr {
+				se := &nd.entries[src]
+				contrib := c.prog.Gather(
+					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+					se.value, se.info())
+				if has {
+					acc = c.prog.Merge(acc, contrib)
+				} else {
+					acc, has = contrib, true
+				}
+			}
+			edges += len(e.inNbr)
+			if !has {
+				continue
+			}
+			if e.isMaster() {
+				local[i] = gatherPartial[A]{acc: acc, has: true}
+			} else {
+				mn := int(e.masterNode)
+				mpos := e.masterPos
+				before := len(nd.sendBuf[mn])
+				nd.stage(mn, func(buf []byte) []byte {
+					buf = binary.LittleEndian.AppendUint32(buf, uint32(mpos))
+					return c.ac.Append(buf, acc)
+				})
+				nd.met.GatherMsgs++
+				nd.met.GatherBytes += int64(len(nd.sendBuf[mn]) - before)
+			}
+		}
+		partials[nd.id] = local
+		nd.phaseCost = float64(edges) * c.cfg.Cost.ComputePerEdge
+	})
+	c.advanceComputeSpan()
+	c.flushSendRound(netsim.KindGather)
+
+	// Merge + apply on masters. Contributions merge in ascending sender-id
+	// order, with the master's own local partial taking its node's slot, so
+	// floating-point folds are deterministic.
+	c.eachAlive(func(nd *node[V, A]) {
+		local := partials[nd.id]
+		merged := make([]gatherPartial[A], len(nd.entries))
+		mergeAt := func(pos int32, acc A) {
+			m := &merged[pos]
+			if m.has {
+				m.acc = c.prog.Merge(m.acc, acc)
+			} else {
+				m.acc, m.has = acc, true
+			}
+		}
+		msgs := c.net.Receive(nd.id)
+		localMerged := false
+		takeLocal := func() {
+			if localMerged {
+				return
+			}
+			localMerged = true
+			for i := range local {
+				if local[i].has {
+					mergeAt(int32(i), local[i].acc)
+				}
+			}
+		}
+		for _, m := range msgs {
+			if m.From > nd.id {
+				takeLocal()
+			}
+			buf := m.Payload
+			for len(buf) > 0 {
+				pos := int32(binary.LittleEndian.Uint32(buf))
+				var (
+					acc A
+					err error
+				)
+				acc, buf, err = c.ac.Read(buf[4:])
+				if err != nil {
+					break
+				}
+				mergeAt(pos, acc)
+			}
+		}
+		takeLocal()
+
+		applies := 0
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.active {
+				continue
+			}
+			newV, scatter := c.prog.Apply(e.id, e.info(), e.value, merged[i].acc, merged[i].has, iter)
+			e.pendingValue = newV
+			e.hasPending = true
+			e.pendingScatter = scatter
+			e.pendingScatterI = int32(iter)
+			applies++
+			if scatter {
+				c.scatterMark(nd, e)
+			}
+		}
+		nd.phaseCost = float64(applies) * c.cfg.Cost.ComputePerVertex
+	})
+	c.advanceComputeSpan()
+
+	// R3 sync: masters broadcast new values + scatter bits.
+	c.eachAlive(func(nd *node[V, A]) {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.hasPending {
+				continue
+			}
+			c.stageSyncRecords(nd, e)
+		}
+	})
+	c.flushSendRound(netsim.KindSync)
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			if m.Kind != netsim.KindSync {
+				continue
+			}
+			c.applySyncScatter(nd, m.Payload)
+		}
+	})
+
+	// R4 activation notices to the masters of activated vertices.
+	c.flushNoticeRound()
+	c.eachAlive(func(nd *node[V, A]) {
+		for _, m := range c.net.Receive(nd.id) {
+			buf := m.Payload
+			for len(buf) >= 4 {
+				pos := binary.LittleEndian.Uint32(buf)
+				nd.entries[pos].pendingActive = true
+				buf = buf[4:]
+			}
+		}
+	})
+	return nil
+}
+
+// applySyncScatter stages sync records and performs local scatter marking,
+// queueing activation notices for remote masters.
+func (c *Cluster[V, A]) applySyncScatter(nd *node[V, A], buf []byte) {
+	iter := int32(c.iter)
+	for len(buf) > 0 {
+		pos := int32(binary.LittleEndian.Uint32(buf))
+		flags := buf[4]
+		var (
+			val V
+			err error
+		)
+		val, buf, err = c.vc.Read(buf[5:])
+		if err != nil {
+			return
+		}
+		e := &nd.entries[pos]
+		e.pendingValue = val
+		e.hasPending = true
+		e.pendingScatter = flags&1 != 0
+		e.pendingScatterI = iter
+		if e.pendingScatter {
+			c.scatterMark(nd, e)
+		}
+	}
+}
+
+// scatterMark activates vertex e's local out-targets: masters directly,
+// replicas via an activation notice to their master's node.
+func (c *Cluster[V, A]) scatterMark(nd *node[V, A], e *vertexEntry[V]) {
+	for _, w := range e.outNbr {
+		we := &nd.entries[w]
+		if we.isMaster() {
+			we.pendingActive = true
+			continue
+		}
+		mn := int(we.masterNode)
+		mpos := we.masterPos
+		nd.stageNotice(mn, func(buf []byte) []byte {
+			return binary.LittleEndian.AppendUint32(buf, uint32(mpos))
+		})
+		nd.met.ActivationMsgs++
+		nd.met.ActivationBytes += 4
+	}
+}

@@ -1,0 +1,108 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	p := Default()
+	p.NetBandwidth = 0
+	if p.Validate() == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	p = Default()
+	p.DFSReplication = 0
+	if p.Validate() == nil {
+		t.Error("zero replication accepted")
+	}
+}
+
+func TestNetTransfer(t *testing.T) {
+	p := Default()
+	p.NetBandwidth = 125e6
+	if got := p.NetTransfer(125e6); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("125MB over GigE = %v s, want 1", got)
+	}
+	if p.NetTransfer(0) != 0 || p.NetTransfer(-5) != 0 {
+		t.Error("non-positive bytes should cost 0")
+	}
+}
+
+func TestDFSWriteAmplification(t *testing.T) {
+	p := Default()
+	p.NetBandwidth = 125e6
+	p.DiskBandwidth = 60e6
+	p.DFSWriteLatency = 0
+	// 60 MB write: disk stage 1 s; network stage 2*60MB/125MB/s = 0.96 s.
+	// Pipelined cost = max = 1 s.
+	if got := p.DFSWrite(60e6); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("DFSWrite(60MB) = %v, want 1.0", got)
+	}
+	// With replication 1 there is no network stage.
+	p.DFSReplication = 1
+	if got := p.DFSWrite(60e6); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("DFSWrite no-repl = %v, want 1.0", got)
+	}
+	// Network-bound case: high replication.
+	p.DFSReplication = 10
+	want := 60e6 * 9 / 125e6
+	if got := p.DFSWrite(60e6); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DFSWrite repl-10 = %v, want %v", got, want)
+	}
+}
+
+func TestDFSOpLatencyDominatesSmallWrites(t *testing.T) {
+	p := Default()
+	small := p.DFSWrite(100)
+	if small < p.DFSWriteLatency {
+		t.Errorf("small write %v below op latency %v", small, p.DFSWriteLatency)
+	}
+	// Doubling a tiny write barely changes the cost (paper: HDFS writes
+	// are insensitive to data size).
+	if p.DFSWrite(200) > 1.01*small {
+		t.Error("tiny writes should be latency-bound")
+	}
+}
+
+func TestDFSRead(t *testing.T) {
+	p := Default()
+	p.DiskBandwidth = 60e6
+	p.DFSReadLatency = 0
+	if got := p.DFSRead(120e6); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("DFSRead(120MB) = %v, want 2", got)
+	}
+}
+
+func TestDetectionTime(t *testing.T) {
+	p := Default()
+	if got := p.DetectionTime(); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("DetectionTime = %v, want 1.5 (3 x 500ms)", got)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	c.Advance(-1) // ignored
+	c.Advance(0.5)
+	if c.Now() != 2.0 {
+		t.Errorf("Now = %v, want 2.0", c.Now())
+	}
+}
+
+func TestSpan(t *testing.T) {
+	var s Span
+	s.Observe(0.2)
+	s.Observe(0.7)
+	s.Observe(0.1)
+	if s.Max() != 0.7 {
+		t.Errorf("Max = %v, want 0.7", s.Max())
+	}
+}

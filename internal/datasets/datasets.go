@@ -1,0 +1,194 @@
+// Package datasets names and builds the scaled evaluation graphs. Each
+// entry mirrors one row of the paper's Table 1 (Cyclops/edge-cut inputs) or
+// Table 4 (PowerLyra/vertex-cut inputs), scaled down ~64x so the whole suite
+// runs on a single machine while preserving the |E|/|V| ratio, degree skew
+// and selfish-vertex fraction that the paper's measurements depend on.
+package datasets
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"imitator/internal/gen"
+	"imitator/internal/graph"
+)
+
+// Dataset describes one named input graph.
+type Dataset struct {
+	Name string
+	// Paper-scale sizes, for EXPERIMENTS.md tables.
+	PaperVertices, PaperEdges string
+	// Build generates the scaled graph. Deterministic per name.
+	Build func() (*graph.Graph, error)
+}
+
+const seedBase = 0x1247a0
+
+// Catalog returns all named datasets, keyed by name.
+//
+// Scaled sizes keep |E|/|V| close to the paper's originals:
+//
+//	GWeb     0.87M/5.11M  -> 16k/94k   (ratio 5.9, >10% selfish)
+//	LJournal 4.85M/70.0M  -> 64k/923k  (ratio 14.4, >10% selfish)
+//	Wiki     5.72M/130.1M -> 72k/1.64M (ratio 22.7)
+//	SYN-GL   0.11M/2.7M   -> 8k/196k   (bipartite, ratio 24)
+//	DBLP     0.32M/1.05M  -> 16k/52k   (ratio 3.3, community structure)
+//	RoadCA   1.97M/5.53M  -> 32k/91k   (ratio 2.8, planar, log-normal weights)
+//	UK-2005  40M/936M     -> 96k/2.2M  (ratio 23)
+//	Twitter  42M/1.47B    -> 64k/2.2M  (ratio 35)
+//	alpha-X  10M/39M-673M -> 32k, |E| scaled by the same ratio
+func Catalog() map[string]Dataset {
+	cat := map[string]Dataset{
+		"gweb": {
+			Name: "gweb", PaperVertices: "0.87M", PaperEdges: "5.11M",
+			Build: func() (*graph.Graph, error) {
+				return gen.PowerLaw(gen.PowerLawConfig{
+					NumVertices: 16000, NumEdges: 94000, Alpha: 2.1,
+					SelfishFraction: 0.13, Seed: seedBase + 1,
+				})
+			},
+		},
+		"ljournal": {
+			Name: "ljournal", PaperVertices: "4.85M", PaperEdges: "70.0M",
+			Build: func() (*graph.Graph, error) {
+				return gen.PowerLaw(gen.PowerLawConfig{
+					NumVertices: 64000, NumEdges: 923000, Alpha: 2.0,
+					SelfishFraction: 0.11, Seed: seedBase + 2,
+				})
+			},
+		},
+		"wiki": {
+			Name: "wiki", PaperVertices: "5.72M", PaperEdges: "130.1M",
+			Build: func() (*graph.Graph, error) {
+				return gen.PowerLaw(gen.PowerLawConfig{
+					NumVertices: 72000, NumEdges: 1640000, Alpha: 2.0,
+					SelfishFraction: 0.005, Seed: seedBase + 3,
+				})
+			},
+		},
+		"syn-gl": {
+			Name: "syn-gl", PaperVertices: "0.11M", PaperEdges: "2.7M",
+			Build: func() (*graph.Graph, error) {
+				return gen.Bipartite(gen.BipartiteConfig{
+					NumUsers: 7000, NumItems: 1000, NumRatings: 98000,
+					ItemAlpha: 1.1, Seed: seedBase + 4,
+				})
+			},
+		},
+		"dblp": {
+			Name: "dblp", PaperVertices: "0.32M", PaperEdges: "1.05M",
+			Build: func() (*graph.Graph, error) {
+				return gen.Community(gen.CommunityConfig{
+					NumVertices: 16000, NumCommunities: 400,
+					IntraDegree: 3.4, InterDegree: 0.5, Seed: seedBase + 5,
+				})
+			},
+		},
+		"roadca": {
+			Name: "roadca", PaperVertices: "1.97M", PaperEdges: "5.53M",
+			Build: func() (*graph.Graph, error) {
+				return gen.Road(gen.RoadConfig{
+					Width: 200, Height: 160, ShortcutFrac: 0.02,
+					WeightMu: 0.4, WeightSigma: 1.2, Seed: seedBase + 6,
+				})
+			},
+		},
+		"uk": {
+			Name: "uk", PaperVertices: "40M", PaperEdges: "936M",
+			Build: func() (*graph.Graph, error) {
+				return gen.PowerLaw(gen.PowerLawConfig{
+					NumVertices: 96000, NumEdges: 2200000, Alpha: 2.0,
+					SelfishFraction: 0.02, Seed: seedBase + 7,
+				})
+			},
+		},
+		"twitter": {
+			Name: "twitter", PaperVertices: "42M", PaperEdges: "1.47B",
+			Build: func() (*graph.Graph, error) {
+				return gen.PowerLaw(gen.PowerLawConfig{
+					NumVertices: 64000, NumEdges: 2240000, Alpha: 1.9,
+					SelfishFraction: 0.01, Seed: seedBase + 8,
+				})
+			},
+		},
+	}
+	// Synthetic alpha sweep (Table 4): fixed 32k vertices, edge count scaled
+	// from the paper's 10M-vertex originals (39M..673M edges) by 1/312.
+	alphaEdges := map[string]int{
+		"2.2": 125000, "2.1": 173000, "2.0": 336000, "1.9": 797000, "1.8": 2150000,
+	}
+	for i, a := range []string{"2.2", "2.1", "2.0", "1.9", "1.8"} {
+		a := a
+		alpha := []float64{2.2, 2.1, 2.0, 1.9, 1.8}[i]
+		edges := alphaEdges[a]
+		seed := uint64(seedBase + 16 + i)
+		cat["alpha-"+a] = Dataset{
+			Name: "alpha-" + a, PaperVertices: "10M",
+			PaperEdges: fmt.Sprintf("%dM", []int{39, 54, 105, 249, 673}[i]),
+			Build: func() (*graph.Graph, error) {
+				return gen.PowerLaw(gen.PowerLawConfig{
+					NumVertices: 32000, NumEdges: edges, Alpha: alpha, Seed: seed,
+				})
+			},
+		}
+	}
+	return cat
+}
+
+// Names returns all dataset names in deterministic order.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, 0, len(cat))
+	for n := range cat {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*graph.Graph{}
+)
+
+// Load builds (and memoizes) the named dataset. The cache keeps the
+// benchmark suite from regenerating multi-million-edge graphs per figure.
+func Load(name string) (*graph.Graph, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := cache[name]; ok {
+		return g, nil
+	}
+	d, ok := Catalog()[name]
+	if !ok {
+		return nil, fmt.Errorf("datasets: unknown dataset %q", name)
+	}
+	g, err := d.Build()
+	if err != nil {
+		return nil, fmt.Errorf("datasets: build %q: %w", name, err)
+	}
+	cache[name] = g
+	return g, nil
+}
+
+// MustLoad is Load but panics on error; for benchmarks and examples whose
+// dataset names are compile-time constants.
+func MustLoad(name string) *graph.Graph {
+	g, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Tiny returns a small deterministic power-law graph for unit tests.
+func Tiny(numVertices, numEdges int, seed uint64) *graph.Graph {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: numVertices, NumEdges: numEdges, Alpha: 2.0, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

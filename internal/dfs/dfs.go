@@ -1,0 +1,138 @@
+// Package dfs simulates the HDFS-like distributed file system the paper
+// uses for checkpoints and edge-ckpt files. Contents are stored
+// byte-for-byte in memory; every read and write returns its simulated cost
+// (disk bandwidth, pipelined 3-way replication) from the cost model, and
+// per-node traffic counters feed the checkpoint-overhead figures.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"imitator/internal/costmodel"
+)
+
+// ErrNotFound reports a missing path.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// DFS is a simulated distributed file system shared by all nodes.
+type DFS struct {
+	params costmodel.Params
+
+	mu    sync.Mutex
+	files map[string][]byte
+	// Per-node cumulative traffic (indexed by node id).
+	readBytes  []int64
+	writeBytes []int64
+}
+
+// New creates a DFS for a cluster of numNodes nodes.
+func New(numNodes int, params costmodel.Params) (*DFS, error) {
+	if numNodes < 1 {
+		return nil, fmt.Errorf("dfs: need at least one node, got %d", numNodes)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &DFS{
+		params:     params,
+		files:      make(map[string][]byte),
+		readBytes:  make([]int64, numNodes),
+		writeBytes: make([]int64, numNodes),
+	}, nil
+}
+
+// Write stores data at path (replacing any previous content) on behalf of
+// node, returning the simulated seconds the write took. The data is copied.
+func (d *DFS) Write(node int, path string, data []byte) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files[path] = append([]byte(nil), data...)
+	d.writeBytes[node] += int64(len(data))
+	return d.params.DFSWrite(int64(len(data)))
+}
+
+// Append extends the file at path, creating it if needed; returns the
+// simulated cost of writing the appended bytes.
+func (d *DFS) Append(node int, path string, data []byte) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files[path] = append(d.files[path], data...)
+	d.writeBytes[node] += int64(len(data))
+	return d.params.DFSWrite(int64(len(data)))
+}
+
+// Read returns the content at path and the simulated seconds the read took.
+// The returned slice is a copy.
+func (d *DFS) Read(node int, path string) ([]byte, float64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, ok := d.files[path]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	d.readBytes[node] += int64(len(data))
+	return append([]byte(nil), data...), d.params.DFSRead(int64(len(data))), nil
+}
+
+// Exists reports whether path exists.
+func (d *DFS) Exists(path string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[path]
+	return ok
+}
+
+// Size returns the size of the file at path, or an error when missing.
+func (d *DFS) Size(path string) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, ok := d.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return int64(len(data)), nil
+}
+
+// Delete removes path; deleting a missing path is a no-op.
+func (d *DFS) Delete(path string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, path)
+}
+
+// List returns all paths with the given prefix, sorted.
+func (d *DFS) List(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for p := range d.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeTraffic returns cumulative (read, written) bytes for a node.
+func (d *DFS) NodeTraffic(node int) (read, written int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.readBytes[node], d.writeBytes[node]
+}
+
+// TotalStored returns the total bytes currently stored (before the DFS's
+// own replication factor, which multiplies real capacity use).
+func (d *DFS) TotalStored() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var t int64
+	for _, f := range d.files {
+		t += int64(len(f))
+	}
+	return t
+}

@@ -1,0 +1,174 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"imitator/internal/costmodel"
+)
+
+func newDFS(t *testing.T) *DFS {
+	t.Helper()
+	d, err := New(4, costmodel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWriteRead(t *testing.T) {
+	d := newDFS(t)
+	cost := d.Write(0, "ckpt/0/node0", []byte("hello"))
+	if cost <= 0 {
+		t.Error("write cost should be positive")
+	}
+	data, rcost, err := d.Read(1, "ckpt/0/node0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Errorf("read %q", data)
+	}
+	if rcost <= 0 {
+		t.Error("read cost should be positive")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	d := newDFS(t)
+	if _, _, err := d.Read(0, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestWriteReplaces(t *testing.T) {
+	d := newDFS(t)
+	d.Write(0, "f", []byte("one"))
+	d.Write(0, "f", []byte("two"))
+	data, _, _ := d.Read(0, "f")
+	if string(data) != "two" {
+		t.Errorf("got %q", data)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	d := newDFS(t)
+	d.Append(0, "log", []byte("a"))
+	d.Append(0, "log", []byte("b"))
+	data, _, _ := d.Read(0, "log")
+	if string(data) != "ab" {
+		t.Errorf("got %q", data)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	d := newDFS(t)
+	d.Write(0, "f", []byte("abc"))
+	data, _, _ := d.Read(0, "f")
+	data[0] = 'z'
+	again, _, _ := d.Read(0, "f")
+	if string(again) != "abc" {
+		t.Error("Read leaked internal storage")
+	}
+}
+
+func TestWriteCopiesInput(t *testing.T) {
+	d := newDFS(t)
+	buf := []byte("abc")
+	d.Write(0, "f", buf)
+	buf[0] = 'z'
+	data, _, _ := d.Read(0, "f")
+	if string(data) != "abc" {
+		t.Error("Write retained caller's slice")
+	}
+}
+
+func TestExistsSizeDelete(t *testing.T) {
+	d := newDFS(t)
+	d.Write(0, "f", []byte("abcd"))
+	if !d.Exists("f") {
+		t.Error("Exists false")
+	}
+	if sz, err := d.Size("f"); err != nil || sz != 4 {
+		t.Errorf("Size = %d, %v", sz, err)
+	}
+	d.Delete("f")
+	if d.Exists("f") {
+		t.Error("Delete failed")
+	}
+	if _, err := d.Size("f"); !errors.Is(err, ErrNotFound) {
+		t.Error("Size after delete should be ErrNotFound")
+	}
+	d.Delete("f") // no-op
+}
+
+func TestList(t *testing.T) {
+	d := newDFS(t)
+	d.Write(0, "edges/2/file0", nil)
+	d.Write(0, "edges/2/file1", nil)
+	d.Write(0, "edges/1/file0", nil)
+	got := d.List("edges/2/")
+	if len(got) != 2 || got[0] != "edges/2/file0" || got[1] != "edges/2/file1" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	d := newDFS(t)
+	d.Write(2, "f", make([]byte, 100))
+	d.Read(3, "f")
+	d.Read(3, "f")
+	if _, w := d.NodeTraffic(2); w != 100 {
+		t.Errorf("node2 written = %d", w)
+	}
+	if r, _ := d.NodeTraffic(3); r != 200 {
+		t.Errorf("node3 read = %d", r)
+	}
+	if d.TotalStored() != 100 {
+		t.Errorf("TotalStored = %d", d.TotalStored())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := newDFS(t)
+	var wg sync.WaitGroup
+	for n := 0; n < 4; n++ {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				path := "p" + string(rune('a'+n))
+				d.Write(n, path, []byte{byte(i)})
+				d.Read(n, path)
+				d.List("p")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: read-your-writes for arbitrary content.
+func TestReadYourWrites(t *testing.T) {
+	d := newDFS(t)
+	f := func(path string, content []byte) bool {
+		if path == "" {
+			path = "x"
+		}
+		d.Write(0, path, content)
+		got, _, err := d.Read(0, path)
+		return err == nil && bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, costmodel.Default()); err == nil {
+		t.Error("expected error for zero nodes")
+	}
+}

@@ -1,0 +1,321 @@
+// Package gen provides deterministic synthetic graph generators. The paper
+// evaluates on real web/social graphs (GWeb, LJournal, Wiki, UK-2005,
+// Twitter), a road network (RoadCA), a co-author graph (DBLP), a bipartite
+// rating graph (SYN-GL) and synthetic power-law graphs with varying Zipf
+// constant alpha. Real traces are not redistributable, so each generator
+// here reproduces the structural properties the paper's measurements depend
+// on: degree skew, |E|/|V| ratio, and the fraction of "selfish" vertices
+// (vertices with no out-edges).
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"imitator/internal/graph"
+	"imitator/internal/rng"
+)
+
+// PowerLawConfig parameterizes a directed power-law graph. Per-vertex
+// out-degrees and in-degree attractiveness are drawn from a Pareto tail
+// with index (Alpha-1), matching the paper's synthetic graphs where a
+// smaller Zipf constant alpha yields a fatter tail: bigger hubs and, at
+// fixed |V|, more edges (Table 4).
+type PowerLawConfig struct {
+	NumVertices int
+	// NumEdges, when positive, is the exact edge count to emit (degrees are
+	// scaled to the target). When zero, the edge count emerges from Alpha.
+	NumEdges int
+	Alpha    float64 // power-law exponent; the paper sweeps 1.8..2.2
+	// SelfishFraction of the vertices become pure sinks (no out-edges).
+	// GWeb and LJournal have >10% such vertices (Fig 3a).
+	SelfishFraction float64
+	Seed            uint64
+}
+
+// PowerLaw generates a directed power-law graph.
+func PowerLaw(cfg PowerLawConfig) (*graph.Graph, error) {
+	if cfg.NumVertices <= 1 {
+		return nil, fmt.Errorf("gen: power-law needs >= 2 vertices, got %d", cfg.NumVertices)
+	}
+	if cfg.Alpha <= 1 {
+		return nil, fmt.Errorf("gen: alpha must exceed 1, got %v", cfg.Alpha)
+	}
+	if cfg.SelfishFraction < 0 || cfg.SelfishFraction >= 1 {
+		return nil, fmt.Errorf("gen: selfish fraction %v outside [0,1)", cfg.SelfishFraction)
+	}
+	r := rng.New(cfg.Seed)
+	n := cfg.NumVertices
+
+	// Vertices in the top SelfishFraction of a random permutation become
+	// sinks: they receive edges but emit none.
+	sink := make([]bool, n)
+	numSinks := int(cfg.SelfishFraction * float64(n))
+	perm := r.Perm(n)
+	for _, v := range perm[:numSinks] {
+		sink[v] = true
+	}
+
+	// A degree distribution P(d) ~ d^-alpha corresponds, in rank space, to
+	// Zipf's law with exponent s = 1/(alpha-1): the vertex of rank i has
+	// weight ~ (i+1)^-s. A smaller alpha therefore yields a steeper rank
+	// curve — bigger hubs — exactly as in the paper's Table 4 sweep. Hub
+	// ranks are assigned via random permutations so hubs are spread across
+	// the id space (and across hash partitions), as in crawled datasets.
+	s := 1 / (cfg.Alpha - 1)
+	zipfWeight := func(rank int) float64 { return math.Pow(float64(rank+1), -s) }
+
+	// Out-degree sequence over non-sink vertices.
+	outRank := r.Perm(n)
+	outDeg := make([]float64, n)
+	sum := 0.0
+	for v := 0; v < n; v++ {
+		if sink[v] {
+			continue
+		}
+		outDeg[v] = zipfWeight(outRank[v])
+		sum += outDeg[v]
+	}
+	scale := float64(3*n) / sum // default |E| ~ 3|V| when no target given
+	if cfg.NumEdges > 0 {
+		scale = float64(cfg.NumEdges) / sum
+	}
+
+	// In-degree attractiveness: an independent rank assignment, sampled via
+	// binary search over the prefix-sum table.
+	inRank := r.Perm(n)
+	prefix := make([]float64, n+1)
+	for v := 0; v < n; v++ {
+		prefix[v+1] = prefix[v] + zipfWeight(inRank[v])
+	}
+	total := prefix[n]
+	sampleDst := func() graph.VertexID {
+		x := r.Float64() * total
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if prefix[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.VertexID(lo)
+	}
+
+	capHint := cfg.NumEdges
+	if capHint == 0 {
+		capHint = int(sum * scale)
+	}
+	edges := make([]graph.Edge, 0, capHint)
+	emit := func(src graph.VertexID) bool {
+		for tries := 0; tries < 16; tries++ {
+			if dst := sampleDst(); dst != src {
+				edges = append(edges, graph.Edge{Src: src, Dst: dst, Weight: 1})
+				return true
+			}
+		}
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if sink[v] {
+			continue
+		}
+		d := outDeg[v] * scale
+		di := int(d)
+		if r.Float64() < d-float64(di) {
+			di++
+		}
+		if di == 0 {
+			di = 1 // every non-sink vertex emits at least one edge
+		}
+		for i := 0; i < di; i++ {
+			if cfg.NumEdges > 0 && len(edges) >= cfg.NumEdges {
+				break
+			}
+			emit(graph.VertexID(v))
+		}
+	}
+	// Top up to the exact target from random non-sink sources.
+	for cfg.NumEdges > 0 && len(edges) < cfg.NumEdges {
+		v := graph.VertexID(r.Intn(n))
+		if !sink[v] {
+			emit(v)
+		}
+	}
+	return graph.New(n, edges)
+}
+
+// RoadConfig parameterizes a road-like network: a 2D lattice with a few
+// random shortcuts, log-normally weighted (paper §6.1 assigns RoadCA
+// weights from LogNormal(mu=0.4, sigma=1.2)).
+type RoadConfig struct {
+	Width, Height int
+	ShortcutFrac  float64 // extra edges as a fraction of lattice edges
+	WeightMu      float64
+	WeightSigma   float64
+	Seed          uint64
+}
+
+// Road generates a bidirectional lattice road network with weights.
+func Road(cfg RoadConfig) (*graph.Graph, error) {
+	if cfg.Width < 2 || cfg.Height < 2 {
+		return nil, fmt.Errorf("gen: road grid must be at least 2x2, got %dx%d", cfg.Width, cfg.Height)
+	}
+	r := rng.New(cfg.Seed)
+	n := cfg.Width * cfg.Height
+	at := func(x, y int) graph.VertexID { return graph.VertexID(y*cfg.Width + x) }
+	w := func() float64 {
+		if cfg.WeightSigma == 0 && cfg.WeightMu == 0 {
+			return 1
+		}
+		return r.LogNormal(cfg.WeightMu, cfg.WeightSigma)
+	}
+	var edges []graph.Edge
+	addBoth := func(a, b graph.VertexID) {
+		wt := w()
+		edges = append(edges, graph.Edge{Src: a, Dst: b, Weight: wt}, graph.Edge{Src: b, Dst: a, Weight: wt})
+	}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			if x+1 < cfg.Width {
+				addBoth(at(x, y), at(x+1, y))
+			}
+			if y+1 < cfg.Height {
+				addBoth(at(x, y), at(x, y+1))
+			}
+		}
+	}
+	shortcuts := int(cfg.ShortcutFrac * float64(len(edges)/2))
+	for i := 0; i < shortcuts; i++ {
+		a := graph.VertexID(r.Intn(n))
+		b := graph.VertexID(r.Intn(n))
+		if a != b {
+			addBoth(a, b)
+		}
+	}
+	return graph.New(n, edges)
+}
+
+// BipartiteConfig parameterizes a user-item rating graph for ALS (SYN-GL in
+// the paper is a synthetic GraphLab collaborative-filtering input).
+type BipartiteConfig struct {
+	NumUsers, NumItems int
+	NumRatings         int
+	ItemAlpha          float64 // item-popularity skew
+	Seed               uint64
+}
+
+// Bipartite generates a bipartite rating graph. Vertices [0, NumUsers) are
+// users, [NumUsers, NumUsers+NumItems) are items. Each rating contributes an
+// edge in both directions (ALS gathers over both sides), with the rating
+// value in [1, 5] as the weight.
+func Bipartite(cfg BipartiteConfig) (*graph.Graph, error) {
+	if cfg.NumUsers <= 0 || cfg.NumItems <= 0 {
+		return nil, fmt.Errorf("gen: bipartite needs users and items, got %d/%d", cfg.NumUsers, cfg.NumItems)
+	}
+	r := rng.New(cfg.Seed)
+	zItem := rng.NewZipf(r, cfg.NumItems, cfg.ItemAlpha)
+	n := cfg.NumUsers + cfg.NumItems
+	edges := make([]graph.Edge, 0, 2*cfg.NumRatings)
+	for i := 0; i < cfg.NumRatings; i++ {
+		u := graph.VertexID(r.Intn(cfg.NumUsers))
+		it := graph.VertexID(cfg.NumUsers + zItem.Next())
+		rating := float64(1 + r.Intn(5))
+		edges = append(edges,
+			graph.Edge{Src: u, Dst: it, Weight: rating},
+			graph.Edge{Src: it, Dst: u, Weight: rating})
+	}
+	return graph.New(n, edges)
+}
+
+// CommunityConfig parameterizes a DBLP-like community graph: dense clusters
+// with sparse inter-cluster edges, symmetric.
+type CommunityConfig struct {
+	NumVertices    int
+	NumCommunities int
+	IntraDegree    float64 // expected intra-community out-degree per vertex
+	InterDegree    float64 // expected cross-community out-degree per vertex
+	Seed           uint64
+}
+
+// Community generates a community-structured graph.
+func Community(cfg CommunityConfig) (*graph.Graph, error) {
+	if cfg.NumVertices <= 0 || cfg.NumCommunities <= 0 {
+		return nil, fmt.Errorf("gen: community needs vertices and communities")
+	}
+	if cfg.NumCommunities > cfg.NumVertices {
+		return nil, fmt.Errorf("gen: more communities (%d) than vertices (%d)", cfg.NumCommunities, cfg.NumVertices)
+	}
+	r := rng.New(cfg.Seed)
+	n := cfg.NumVertices
+	comm := make([]int, n)
+	for v := range comm {
+		comm[v] = r.Intn(cfg.NumCommunities)
+	}
+	// Bucket members per community for intra sampling.
+	members := make([][]graph.VertexID, cfg.NumCommunities)
+	for v, c := range comm {
+		members[c] = append(members[c], graph.VertexID(v))
+	}
+	var edges []graph.Edge
+	addBoth := func(a, b graph.VertexID) {
+		edges = append(edges, graph.Edge{Src: a, Dst: b, Weight: 1}, graph.Edge{Src: b, Dst: a, Weight: 1})
+	}
+	for v := 0; v < n; v++ {
+		c := comm[v]
+		intra := int(cfg.IntraDegree/2 + 0.5)
+		for i := 0; i < intra; i++ {
+			peers := members[c]
+			if len(peers) < 2 {
+				break
+			}
+			u := peers[r.Intn(len(peers))]
+			if u != graph.VertexID(v) {
+				addBoth(graph.VertexID(v), u)
+			}
+		}
+		inter := cfg.InterDegree / 2
+		if r.Float64() < inter-float64(int(inter)) {
+			inter++
+		}
+		for i := 0; i < int(inter); i++ {
+			u := graph.VertexID(r.Intn(n))
+			if u != graph.VertexID(v) && comm[u] != c {
+				addBoth(graph.VertexID(v), u)
+			}
+		}
+	}
+	return graph.New(n, edges)
+}
+
+// Uniform generates a uniform random directed graph (Erdős–Rényi G(n, m)),
+// useful for tests where skew is unwanted.
+func Uniform(numVertices, numEdges int, seed uint64) (*graph.Graph, error) {
+	if numVertices <= 1 {
+		return nil, fmt.Errorf("gen: uniform needs >= 2 vertices, got %d", numVertices)
+	}
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, numEdges)
+	for len(edges) < numEdges {
+		src := graph.VertexID(r.Intn(numVertices))
+		dst := graph.VertexID(r.Intn(numVertices))
+		if src != dst {
+			edges = append(edges, graph.Edge{Src: src, Dst: dst, Weight: 1})
+		}
+	}
+	return graph.New(numVertices, edges)
+}
+
+// WithLogNormalWeights returns a copy of g whose edge weights are redrawn
+// from LogNormal(mu, sigma); used to make unweighted graphs usable by SSSP
+// as the paper does for RoadCA.
+func WithLogNormalWeights(g *graph.Graph, mu, sigma float64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	src := g.Edges()
+	edges := make([]graph.Edge, len(src))
+	for i, e := range src {
+		edges[i] = graph.Edge{Src: e.Src, Dst: e.Dst, Weight: r.LogNormal(mu, sigma)}
+	}
+	return graph.MustNew(g.NumVertices(), edges)
+}

@@ -1,0 +1,228 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerLawBasics(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{NumVertices: 2000, NumEdges: 10000, Alpha: 2.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 10000 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.Src == e.Dst {
+			t.Fatal("self-loop generated")
+		}
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	cfg := PowerLawConfig{NumVertices: 500, NumEdges: 2000, Alpha: 2.0, Seed: 7}
+	a, _ := PowerLaw(cfg)
+	b, _ := PowerLaw(cfg)
+	for i := range a.Edges() {
+		if a.Edges()[i] != b.Edges()[i] {
+			t.Fatalf("edge %d differs between identical seeds", i)
+		}
+	}
+	cfg.Seed = 8
+	c, _ := PowerLaw(cfg)
+	diff := 0
+	for i := range a.Edges() {
+		if a.Edges()[i] != c.Edges()[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{NumVertices: 2000, NumEdges: 20000, Alpha: 2.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.ComputeStats()
+	// A power-law graph's hub must have far more than average in-degree.
+	if float64(s.MaxInDeg) < 20*s.AvgDeg {
+		t.Errorf("max in-degree %d too small for power law (avg %v)", s.MaxInDeg, s.AvgDeg)
+	}
+}
+
+func TestPowerLawAlphaControlsSkew(t *testing.T) {
+	// Lower alpha -> heavier tail -> larger max degree (paper Table 4:
+	// alpha 1.8 has 673M edges vs 39M at 2.2 for fixed |V|; at fixed |E|
+	// the hub concentration still grows as alpha falls).
+	flat, _ := PowerLaw(PowerLawConfig{NumVertices: 3000, NumEdges: 30000, Alpha: 2.2, Seed: 5})
+	skewed, _ := PowerLaw(PowerLawConfig{NumVertices: 3000, NumEdges: 30000, Alpha: 1.6, Seed: 5})
+	if skewed.ComputeStats().MaxInDeg <= flat.ComputeStats().MaxInDeg {
+		t.Errorf("alpha=1.6 max in-degree %d not above alpha=2.2's %d",
+			skewed.ComputeStats().MaxInDeg, flat.ComputeStats().MaxInDeg)
+	}
+}
+
+func TestPowerLawSelfishFraction(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{NumVertices: 4000, NumEdges: 20000, Alpha: 2.0, SelfishFraction: 0.15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(g.NumSelfish()) / float64(g.NumVertices())
+	if frac < 0.14 {
+		t.Errorf("selfish fraction %v below requested 0.15", frac)
+	}
+	if frac > 0.6 {
+		t.Errorf("selfish fraction %v implausibly high", frac)
+	}
+}
+
+func TestPowerLawValidation(t *testing.T) {
+	if _, err := PowerLaw(PowerLawConfig{NumVertices: 1, NumEdges: 5, Alpha: 2}); err == nil {
+		t.Error("expected error for 1 vertex")
+	}
+	if _, err := PowerLaw(PowerLawConfig{NumVertices: 10, NumEdges: 5, Alpha: 0}); err == nil {
+		t.Error("expected error for alpha=0")
+	}
+	if _, err := PowerLaw(PowerLawConfig{NumVertices: 10, NumEdges: 5, Alpha: 2, SelfishFraction: 1.0}); err == nil {
+		t.Error("expected error for selfish=1.0")
+	}
+}
+
+func TestRoadStructure(t *testing.T) {
+	g, err := Road(RoadConfig{Width: 10, Height: 8, WeightMu: 0.4, WeightSigma: 1.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 80 {
+		t.Errorf("NumVertices = %d, want 80", g.NumVertices())
+	}
+	// Lattice edges: (W-1)*H horizontal + W*(H-1) vertical, both directions.
+	want := 2 * ((10-1)*8 + 10*(8-1))
+	if g.NumEdges() != want {
+		t.Errorf("NumEdges = %d, want %d", g.NumEdges(), want)
+	}
+	// All weights positive; symmetric pairs share weights.
+	for i := 0; i < g.NumEdges(); i += 2 {
+		a, b := g.Edge(i), g.Edge(i+1)
+		if a.Weight <= 0 {
+			t.Fatal("non-positive weight")
+		}
+		if a.Src != b.Dst || a.Dst != b.Src || a.Weight != b.Weight {
+			t.Fatal("asymmetric pair")
+		}
+	}
+	// Road graphs are low-degree.
+	if g.MaxDegree() > 10 {
+		t.Errorf("road max degree %d too high", g.MaxDegree())
+	}
+}
+
+func TestRoadShortcuts(t *testing.T) {
+	base, _ := Road(RoadConfig{Width: 6, Height: 6, Seed: 1})
+	withCuts, _ := Road(RoadConfig{Width: 6, Height: 6, ShortcutFrac: 0.2, Seed: 1})
+	if withCuts.NumEdges() <= base.NumEdges() {
+		t.Error("shortcuts did not add edges")
+	}
+}
+
+func TestRoadValidation(t *testing.T) {
+	if _, err := Road(RoadConfig{Width: 1, Height: 5}); err == nil {
+		t.Error("expected error for 1-wide grid")
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	g, err := Bipartite(BipartiteConfig{NumUsers: 100, NumItems: 20, NumRatings: 500, ItemAlpha: 1.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 120 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 1000 {
+		t.Errorf("NumEdges = %d, want 1000 (bidirectional)", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		uSide := e.Src < 100
+		iSide := e.Dst >= 100
+		if uSide != iSide && (e.Src >= 100) == (e.Dst >= 100) {
+			t.Fatal("edge within one side of the bipartition")
+		}
+		if e.Weight < 1 || e.Weight > 5 {
+			t.Fatalf("rating %v outside [1,5]", e.Weight)
+		}
+	}
+}
+
+func TestBipartiteValidation(t *testing.T) {
+	if _, err := Bipartite(BipartiteConfig{NumUsers: 0, NumItems: 5, NumRatings: 5, ItemAlpha: 1}); err == nil {
+		t.Error("expected error for zero users")
+	}
+}
+
+func TestCommunity(t *testing.T) {
+	g, err := Community(CommunityConfig{NumVertices: 1000, NumCommunities: 20, IntraDegree: 6, InterDegree: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+	// Symmetric by construction.
+	if g.NumEdges()%2 != 0 {
+		t.Error("edge count should be even (bidirectional)")
+	}
+}
+
+func TestCommunityValidation(t *testing.T) {
+	if _, err := Community(CommunityConfig{NumVertices: 5, NumCommunities: 10, IntraDegree: 1}); err == nil {
+		t.Error("expected error for more communities than vertices")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g, err := Uniform(100, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 500 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	s := g.ComputeStats()
+	if s.MaxInDeg > 30 {
+		t.Errorf("uniform graph too skewed: max in-degree %d", s.MaxInDeg)
+	}
+}
+
+func TestWithLogNormalWeights(t *testing.T) {
+	g, _ := Uniform(50, 200, 1)
+	w := WithLogNormalWeights(g, 0.4, 1.2, 2)
+	if w.NumEdges() != g.NumEdges() || w.NumVertices() != g.NumVertices() {
+		t.Fatal("topology changed")
+	}
+	varied := false
+	for i, e := range w.Edges() {
+		if e.Src != g.Edge(i).Src || e.Dst != g.Edge(i).Dst {
+			t.Fatal("edge endpoints changed")
+		}
+		if e.Weight <= 0 || math.IsNaN(e.Weight) {
+			t.Fatal("bad weight")
+		}
+		if e.Weight != 1 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("weights were not redrawn")
+	}
+}

@@ -1,0 +1,215 @@
+// Package graph defines the input graph representation shared by every
+// component in the repository: generators produce Graphs, partitioners
+// consume them, and the engines build their per-node local structures from
+// partitioned views.
+//
+// Graphs are directed and optionally weighted. Vertices are dense integers
+// [0, NumVertices). Edges are stored as a flat edge list; compressed views
+// (CSR by destination and by source) are built on demand and cached.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. Dense in [0, NumVertices).
+type VertexID uint32
+
+// Edge is a directed edge Src -> Dst with an optional weight (1.0 when the
+// graph is unweighted).
+type Edge struct {
+	Src, Dst VertexID
+	Weight   float64
+}
+
+// Graph is an immutable directed graph. Build one with New and Finalize, or
+// via the generators in internal/gen.
+type Graph struct {
+	numVertices int
+	edges       []Edge
+
+	// Lazily built indexes (Finalize builds them eagerly).
+	inCSR  *csr // edges grouped by Dst
+	outCSR *csr // edges grouped by Src
+	inDeg  []int32
+	outDeg []int32
+}
+
+// csr is a compressed adjacency: offsets[v]..offsets[v+1] index into edgeIdx,
+// which points back into the flat edge list.
+type csr struct {
+	offsets []int32
+	edgeIdx []int32
+}
+
+// ErrVertexOutOfRange reports an edge endpoint outside [0, NumVertices).
+var ErrVertexOutOfRange = errors.New("graph: vertex id out of range")
+
+// New builds a graph from an edge list. It validates endpoints and builds
+// both adjacency indexes. The edge slice is retained; callers must not
+// mutate it afterwards.
+func New(numVertices int, edges []Edge) (*Graph, error) {
+	if numVertices < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", numVertices)
+	}
+	g := &Graph{numVertices: numVertices, edges: edges}
+	for i, e := range edges {
+		if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
+			return nil, fmt.Errorf("%w: edge %d (%d->%d) with %d vertices",
+				ErrVertexOutOfRange, i, e.Src, e.Dst, numVertices)
+		}
+	}
+	g.buildIndexes()
+	return g, nil
+}
+
+// MustNew is New but panics on error; for tests and generators whose inputs
+// are valid by construction.
+func MustNew(numVertices int, edges []Edge) *Graph {
+	g, err := New(numVertices, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) buildIndexes() {
+	n := g.numVertices
+	g.inDeg = make([]int32, n)
+	g.outDeg = make([]int32, n)
+	for _, e := range g.edges {
+		g.inDeg[e.Dst]++
+		g.outDeg[e.Src]++
+	}
+	g.inCSR = buildCSR(n, g.edges, func(e Edge) VertexID { return e.Dst })
+	g.outCSR = buildCSR(n, g.edges, func(e Edge) VertexID { return e.Src })
+}
+
+func buildCSR(n int, edges []Edge, key func(Edge) VertexID) *csr {
+	offsets := make([]int32, n+1)
+	for _, e := range edges {
+		offsets[key(e)+1]++
+	}
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	idx := make([]int32, len(edges))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i, e := range edges {
+		k := key(e)
+		idx[cursor[k]] = int32(i)
+		cursor[k]++
+	}
+	return &csr{offsets: offsets, edgeIdx: idx}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.numVertices }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns the underlying edge list. Callers must not mutate it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns edge i.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int { return int(g.inDeg[v]) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int { return int(g.outDeg[v]) }
+
+// InEdges calls fn for each edge whose Dst is v, passing the edge index.
+func (g *Graph) InEdges(v VertexID, fn func(edgeIndex int, e Edge)) {
+	lo, hi := g.inCSR.offsets[v], g.inCSR.offsets[v+1]
+	for _, ei := range g.inCSR.edgeIdx[lo:hi] {
+		fn(int(ei), g.edges[ei])
+	}
+}
+
+// OutEdges calls fn for each edge whose Src is v, passing the edge index.
+func (g *Graph) OutEdges(v VertexID, fn func(edgeIndex int, e Edge)) {
+	lo, hi := g.outCSR.offsets[v], g.outCSR.offsets[v+1]
+	for _, ei := range g.outCSR.edgeIdx[lo:hi] {
+		fn(int(ei), g.edges[ei])
+	}
+}
+
+// IsSelfish reports whether v has no out-edges. The paper calls such
+// vertices "selfish": their value has no consumer, so Imitator never
+// synchronizes their FT replicas during normal execution (§4.4).
+func (g *Graph) IsSelfish(v VertexID) bool { return g.outDeg[v] == 0 }
+
+// NumSelfish counts vertices with no out-edges.
+func (g *Graph) NumSelfish() int {
+	n := 0
+	for _, d := range g.outDeg {
+		if d == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxDegree returns the maximum total (in+out) degree; used by tests and by
+// hybrid-cut threshold heuristics.
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for v := 0; v < g.numVertices; v++ {
+		if d := int(g.inDeg[v]) + int(g.outDeg[v]); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// DegreeHistogram returns sorted (degree, count) pairs of the in-degree
+// distribution; used to validate power-law generators.
+func (g *Graph) DegreeHistogram() (degrees []int, counts []int) {
+	hist := make(map[int]int)
+	for _, d := range g.inDeg {
+		hist[int(d)]++
+	}
+	degrees = make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = hist[d]
+	}
+	return degrees, counts
+}
+
+// Stats summarizes a graph for reports and DESIGN/EXPERIMENTS tables.
+type Stats struct {
+	NumVertices int
+	NumEdges    int
+	NumSelfish  int
+	MaxInDeg    int
+	MaxOutDeg   int
+	AvgDeg      float64
+}
+
+// ComputeStats returns summary statistics.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{NumVertices: g.numVertices, NumEdges: len(g.edges), NumSelfish: g.NumSelfish()}
+	for v := 0; v < g.numVertices; v++ {
+		if d := int(g.inDeg[v]); d > s.MaxInDeg {
+			s.MaxInDeg = d
+		}
+		if d := int(g.outDeg[v]); d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+	}
+	if g.numVertices > 0 {
+		s.AvgDeg = float64(len(g.edges)) / float64(g.numVertices)
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the common whitespace-separated edge-list format used
+// by SNAP and WebGraph exports:
+//
+//	# comment lines start with '#' or '%'
+//	<src> <dst> [weight]
+//
+// Vertex ids may be sparse; they are densified in first-appearance order
+// unless numVertices > 0, in which case ids must already be dense in
+// [0, numVertices). Missing weights default to 1.
+func ReadEdgeList(r io.Reader, numVertices int) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var edges []Edge
+	remap := map[uint64]VertexID{}
+	next := VertexID(0)
+	resolve := func(raw uint64) (VertexID, error) {
+		if numVertices > 0 {
+			if raw >= uint64(numVertices) {
+				return 0, fmt.Errorf("graph: vertex %d outside declared range %d", raw, numVertices)
+			}
+			return VertexID(raw), nil
+		}
+		if id, ok := remap[raw]; ok {
+			return id, nil
+		}
+		id := next
+		remap[raw] = id
+		next++
+		return id, nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", lineNo, line)
+		}
+		rawSrc, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %w", lineNo, err)
+		}
+		rawDst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %w", lineNo, err)
+		}
+		weight := 1.0
+		if len(fields) >= 3 {
+			weight, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNo, err)
+			}
+		}
+		src, err := resolve(rawSrc)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := resolve(rawDst)
+		if err != nil {
+			return nil, err
+		}
+		edges = append(edges, Edge{Src: src, Dst: dst, Weight: weight})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	n := numVertices
+	if n == 0 {
+		n = int(next)
+	}
+	return New(n, edges)
+}
+
+// WriteEdgeList writes the graph in the format ReadEdgeList parses,
+// emitting weights only when some edge's weight differs from 1.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	weighted := false
+	for _, e := range g.edges {
+		if e.Weight != 1 {
+			weighted = true
+			break
+		}
+	}
+	for _, e := range g.edges {
+		if weighted {
+			fmt.Fprintf(bw, "%d %d %g\n", e.Src, e.Dst, e.Weight)
+		} else {
+			fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
+		}
+	}
+	return bw.Flush()
+}

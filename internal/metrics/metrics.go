@@ -1,0 +1,108 @@
+// Package metrics collects the counters the paper's figures report:
+// messages and bytes per category (Fig 8b, Table 6), DFS traffic (Fig 2),
+// and byte-exact memory footprints (Tables 3 and 7).
+package metrics
+
+import "fmt"
+
+// Node accumulates counters for one simulated node. Not safe for concurrent
+// use; each node owns its Node and the cluster merges after barriers.
+type Node struct {
+	// Messages and bytes sent, split by purpose. Sync messages maintain
+	// computation replicas; FT messages exist only because of fault
+	// tolerance (syncs to FT replicas and mirror full-state extensions) —
+	// the paper calls these "redundant messages" (Fig 8b).
+	SyncMsgs  int64
+	SyncBytes int64
+	FTMsgs    int64
+	FTBytes   int64
+	// GatherMsgs/Bytes are vertex-cut partial-accumulator traffic.
+	GatherMsgs  int64
+	GatherBytes int64
+	// ActivationMsgs/Bytes carry scatter activation notices.
+	ActivationMsgs  int64
+	ActivationBytes int64
+	// RecoveryMsgs/Bytes flow during Rebirth/Migration.
+	RecoveryMsgs  int64
+	RecoveryBytes int64
+	// DFS traffic.
+	DFSReadBytes  int64
+	DFSWriteBytes int64
+	// MemoryBytes is the current footprint of graph state (vertex entries,
+	// values, edges, replica metadata), maintained by the engine.
+	MemoryBytes int64
+}
+
+// Add merges other into n.
+func (n *Node) Add(other *Node) {
+	n.SyncMsgs += other.SyncMsgs
+	n.SyncBytes += other.SyncBytes
+	n.FTMsgs += other.FTMsgs
+	n.FTBytes += other.FTBytes
+	n.GatherMsgs += other.GatherMsgs
+	n.GatherBytes += other.GatherBytes
+	n.ActivationMsgs += other.ActivationMsgs
+	n.ActivationBytes += other.ActivationBytes
+	n.RecoveryMsgs += other.RecoveryMsgs
+	n.RecoveryBytes += other.RecoveryBytes
+	n.DFSReadBytes += other.DFSReadBytes
+	n.DFSWriteBytes += other.DFSWriteBytes
+	n.MemoryBytes += other.MemoryBytes
+}
+
+// TotalMsgs returns all messages sent.
+func (n *Node) TotalMsgs() int64 {
+	return n.SyncMsgs + n.FTMsgs + n.GatherMsgs + n.ActivationMsgs + n.RecoveryMsgs
+}
+
+// TotalBytes returns all bytes sent over the network.
+func (n *Node) TotalBytes() int64 {
+	return n.SyncBytes + n.FTBytes + n.GatherBytes + n.ActivationBytes + n.RecoveryBytes
+}
+
+// RedundantMsgFraction is the share of messages that exist only for fault
+// tolerance (Fig 8b's metric).
+func (n *Node) RedundantMsgFraction() float64 {
+	total := n.TotalMsgs()
+	if total == 0 {
+		return 0
+	}
+	return float64(n.FTMsgs) / float64(total)
+}
+
+// String summarizes the counters for debug logs.
+func (n *Node) String() string {
+	return fmt.Sprintf("msgs=%d bytes=%d ft=%d/%d dfs=r%d/w%d mem=%d",
+		n.TotalMsgs(), n.TotalBytes(), n.FTMsgs, n.FTBytes,
+		n.DFSReadBytes, n.DFSWriteBytes, n.MemoryBytes)
+}
+
+// Cluster aggregates per-node metrics.
+type Cluster struct {
+	Nodes []Node
+}
+
+// NewCluster returns metrics storage for numNodes nodes.
+func NewCluster(numNodes int) *Cluster {
+	return &Cluster{Nodes: make([]Node, numNodes)}
+}
+
+// Total returns the sum over all nodes.
+func (c *Cluster) Total() Node {
+	var t Node
+	for i := range c.Nodes {
+		t.Add(&c.Nodes[i])
+	}
+	return t
+}
+
+// MaxMemoryNode returns the largest per-node memory footprint.
+func (c *Cluster) MaxMemoryNode() int64 {
+	var best int64
+	for i := range c.Nodes {
+		if c.Nodes[i].MemoryBytes > best {
+			best = c.Nodes[i].MemoryBytes
+		}
+	}
+	return best
+}

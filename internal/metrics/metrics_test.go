@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndTotals(t *testing.T) {
+	a := Node{SyncMsgs: 10, SyncBytes: 100, FTMsgs: 2, FTBytes: 20}
+	b := Node{GatherMsgs: 5, GatherBytes: 50, RecoveryMsgs: 1, RecoveryBytes: 9}
+	a.Add(&b)
+	if a.TotalMsgs() != 18 {
+		t.Errorf("TotalMsgs = %d, want 18", a.TotalMsgs())
+	}
+	if a.TotalBytes() != 179 {
+		t.Errorf("TotalBytes = %d, want 179", a.TotalBytes())
+	}
+}
+
+func TestRedundantFraction(t *testing.T) {
+	n := Node{SyncMsgs: 90, FTMsgs: 10}
+	if f := n.RedundantMsgFraction(); f != 0.1 {
+		t.Errorf("fraction = %v, want 0.1", f)
+	}
+	var empty Node
+	if empty.RedundantMsgFraction() != 0 {
+		t.Error("empty node should report 0")
+	}
+}
+
+func TestClusterTotalAndMax(t *testing.T) {
+	c := NewCluster(3)
+	c.Nodes[0].MemoryBytes = 100
+	c.Nodes[1].MemoryBytes = 300
+	c.Nodes[2].MemoryBytes = 200
+	c.Nodes[0].SyncMsgs = 7
+	c.Nodes[2].SyncMsgs = 3
+	total := c.Total()
+	if total.MemoryBytes != 600 || total.SyncMsgs != 10 {
+		t.Errorf("total = %+v", total)
+	}
+	if c.MaxMemoryNode() != 300 {
+		t.Errorf("MaxMemoryNode = %d, want 300", c.MaxMemoryNode())
+	}
+}
+
+func TestString(t *testing.T) {
+	n := Node{SyncMsgs: 1, SyncBytes: 8}
+	if !strings.Contains(n.String(), "msgs=1") {
+		t.Errorf("String() = %q", n.String())
+	}
+}

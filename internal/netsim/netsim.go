@@ -1,0 +1,334 @@
+// Package netsim is the simulated cluster interconnect. Nodes exchange
+// real encoded byte payloads; the package accounts bytes per round and
+// converts them into simulated seconds using the cost model (per-node
+// bandwidth, per-round latency, and a shared-fabric bisection term).
+//
+// Delivery is pluggable: the default in-memory backend moves payloads
+// through per-(sender, receiver) mailboxes; the TCP backend
+// (internal/transport) streams the same frames over loopback sockets, so
+// the whole BSP protocol can run against the operating system's network
+// stack. Cost accounting is identical either way — the simulated clock
+// models the paper's testbed, not the host machine.
+//
+// Concurrency contract: within one round, each sender goroutine may call
+// Send concurrently with other senders; FinishRound and Receive must be
+// called after all senders are done (the cluster enforces this with its
+// barrier).
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"imitator/internal/costmodel"
+	"imitator/internal/transport"
+)
+
+// Kind labels a message's purpose, for dispatch and accounting.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindSync       Kind = iota + 1 // master -> replica value sync
+	KindGather                     // vertex-cut partial accumulator
+	KindActivation                 // scatter activation notice
+	KindRecovery                   // rebirth/migration recovery payload
+	KindControl                    // membership / global state
+)
+
+// Message is one delivered payload.
+type Message struct {
+	From    int
+	Kind    Kind
+	Payload []byte
+}
+
+// Backend moves payloads between nodes. Implementations must support one
+// concurrent sender goroutine per `from` and deliver each (from, to)
+// stream in FIFO order.
+type Backend interface {
+	// Send enqueues one payload.
+	Send(from, to int, kind Kind, payload []byte) error
+	// EndRound marks the end of from's sends for this round, to every node
+	// enabled in aliveTo.
+	EndRound(from int, aliveTo []bool) error
+	// Collect returns the round's messages for `to` in ascending sender
+	// order, waiting (if the transport is asynchronous) for the round-end
+	// marks of every sender enabled in expectFrom.
+	Collect(to int, expectFrom []bool) ([]Message, error)
+	// Drain discards anything pending for `to`.
+	Drain(to int)
+	// DrainFrom discards anything pending from `from` at every receiver
+	// (stale state when a failed slot is revived).
+	DrainFrom(from int)
+	// Close releases transport resources.
+	Close() error
+}
+
+// Network connects numNodes simulated nodes.
+type Network struct {
+	numNodes int
+	params   costmodel.Params
+	backend  Backend
+
+	// Per-round byte counters; senders run concurrently, so ingress and
+	// the round total are atomics.
+	bytesOut []atomic.Int64
+	bytesIn  []atomic.Int64
+	failed   []bool
+
+	// Cumulative per-node egress bytes, for Table 6.
+	totalOut []atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// New creates a network of numNodes nodes with in-memory delivery.
+func New(numNodes int, params costmodel.Params) (*Network, error) {
+	return NewWithBackend(numNodes, params, newMemBackend(numNodes))
+}
+
+// NewTCP creates a network whose payloads travel over a loopback TCP mesh.
+func NewTCP(numNodes int, params costmodel.Params) (*Network, error) {
+	mesh, err := transport.NewMesh(numNodes)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithBackend(numNodes, params, &tcpBackend{mesh: mesh})
+}
+
+// NewWithBackend creates a network over a custom delivery backend.
+func NewWithBackend(numNodes int, params costmodel.Params, backend Backend) (*Network, error) {
+	if numNodes < 1 {
+		return nil, fmt.Errorf("netsim: need at least one node, got %d", numNodes)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		numNodes: numNodes,
+		params:   params,
+		backend:  backend,
+		bytesOut: make([]atomic.Int64, numNodes),
+		bytesIn:  make([]atomic.Int64, numNodes),
+		failed:   make([]bool, numNodes),
+		totalOut: make([]atomic.Int64, numNodes),
+	}, nil
+}
+
+// NumNodes returns the network size.
+func (n *Network) NumNodes() int { return n.numNodes }
+
+// SetFailed marks a node failed (its sends and deliveries are dropped) or
+// revives it (a rebirth newbie taking over the slot). Reviving a slot
+// discards any stale traffic attributed to its previous life.
+func (n *Network) SetFailed(node int, failed bool) {
+	if n.failed[node] && !failed {
+		n.backend.DrainFrom(node)
+		n.backend.Drain(node)
+	}
+	n.failed[node] = failed
+}
+
+// Failed reports whether a node is marked failed.
+func (n *Network) Failed(node int) bool { return n.failed[node] }
+
+// Err returns the first backend error, if any.
+func (n *Network) Err() error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	return n.firstErr
+}
+
+func (n *Network) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	if n.firstErr == nil {
+		n.firstErr = err
+	}
+}
+
+// Send enqueues payload from one node to another. Messages to or from
+// failed nodes are silently dropped (fail-stop). The payload is retained;
+// callers must not reuse the slice.
+func (n *Network) Send(from, to int, kind Kind, payload []byte) {
+	if n.failed[from] || n.failed[to] {
+		return
+	}
+	size := int64(len(payload)) + headerBytes
+	n.bytesOut[from].Add(size)
+	n.bytesIn[to].Add(size)
+	n.totalOut[from].Add(size)
+	n.recordErr(n.backend.Send(from, to, kind, payload))
+}
+
+// headerBytes models per-message framing overhead on the wire.
+const headerBytes = 16
+
+// alive returns the liveness mask.
+func (n *Network) alive() []bool {
+	mask := make([]bool, n.numNodes)
+	for i := range mask {
+		mask[i] = !n.failed[i]
+	}
+	return mask
+}
+
+// FinishRound closes the current messaging round and returns the simulated
+// communication seconds per node — max(egress, ingress)/bandwidth plus one
+// latency unit for nodes that communicated — and the aggregate fabric cost:
+// the round's total bytes over the cluster's bisection capacity. The round
+// duration is the larger of the slowest node and the fabric term, so even
+// well-spread extra traffic (like fault-tolerance sync records) costs time.
+func (n *Network) FinishRound() (costs []float64, fabric float64) {
+	aliveMask := n.alive()
+	for from := 0; from < n.numNodes; from++ {
+		if aliveMask[from] {
+			n.recordErr(n.backend.EndRound(from, aliveMask))
+		}
+	}
+	costs = make([]float64, n.numNodes)
+	active := 0
+	var total int64
+	for i := 0; i < n.numNodes; i++ {
+		out := n.bytesOut[i].Swap(0)
+		in := n.bytesIn[i].Swap(0)
+		total += out
+		vol := out
+		if in > vol {
+			vol = in
+		}
+		if vol > 0 {
+			costs[i] = n.params.NetTransfer(vol) + n.params.NetLatency
+			active++
+		}
+	}
+	if active > 0 {
+		// The shared switch sustains about half its ideal bisection under
+		// the all-to-all patterns BSP sync produces, so the fabric term is
+		// 2x the per-node average; for balanced rounds it dominates the
+		// per-node maximum and total traffic prices the round.
+		fabric = n.params.NetTransfer(2*total)/float64(active) + n.params.NetLatency
+	}
+	return costs, fabric
+}
+
+// Receive drains node `to`'s round in deterministic sender order.
+func (n *Network) Receive(to int) []Message {
+	msgs, err := n.backend.Collect(to, n.alive())
+	n.recordErr(err)
+	return msgs
+}
+
+// Drop discards all pending messages for a node; used when rolling back an
+// iteration interrupted by a failure.
+func (n *Network) Drop(to int) {
+	n.backend.Drain(to)
+}
+
+// Close releases the delivery backend.
+func (n *Network) Close() error { return n.backend.Close() }
+
+// TotalOutBytes returns cumulative egress bytes for a node.
+func (n *Network) TotalOutBytes(node int) int64 { return n.totalOut[node].Load() }
+
+// TotalBytes returns cumulative egress bytes across all nodes.
+func (n *Network) TotalBytes() int64 {
+	var t int64
+	for i := range n.totalOut {
+		t += n.totalOut[i].Load()
+	}
+	return t
+}
+
+// memBackend delivers through per-(receiver, sender) mailboxes. Rounds
+// need no markers: the caller's barrier separates send and collect.
+type memBackend struct {
+	boxes [][][]Message // boxes[to][from]
+}
+
+func newMemBackend(numNodes int) *memBackend {
+	boxes := make([][][]Message, numNodes)
+	for to := range boxes {
+		boxes[to] = make([][]Message, numNodes)
+	}
+	return &memBackend{boxes: boxes}
+}
+
+// Send implements Backend. Only the goroutine driving `from` appends to
+// boxes[*][from], so no locking is needed within a round.
+func (b *memBackend) Send(from, to int, kind Kind, payload []byte) error {
+	b.boxes[to][from] = append(b.boxes[to][from], Message{From: from, Kind: kind, Payload: payload})
+	return nil
+}
+
+// EndRound implements Backend (no-op: the barrier is the round boundary).
+func (b *memBackend) EndRound(int, []bool) error { return nil }
+
+// Collect implements Backend.
+func (b *memBackend) Collect(to int, _ []bool) ([]Message, error) {
+	var out []Message
+	for from := range b.boxes[to] {
+		out = append(out, b.boxes[to][from]...)
+		b.boxes[to][from] = nil
+	}
+	return out, nil
+}
+
+// Drain implements Backend.
+func (b *memBackend) Drain(to int) {
+	for from := range b.boxes[to] {
+		b.boxes[to][from] = nil
+	}
+}
+
+// DrainFrom implements Backend.
+func (b *memBackend) DrainFrom(from int) {
+	for to := range b.boxes {
+		b.boxes[to][from] = nil
+	}
+}
+
+// Close implements Backend.
+func (b *memBackend) Close() error { return nil }
+
+// tcpBackend adapts the loopback TCP mesh.
+type tcpBackend struct {
+	mesh *transport.Mesh
+}
+
+func (b *tcpBackend) Send(from, to int, kind Kind, payload []byte) error {
+	return b.mesh.Send(from, to, byte(kind), payload)
+}
+
+func (b *tcpBackend) EndRound(from int, aliveTo []bool) error {
+	return b.mesh.EndRound(from, aliveTo)
+}
+
+func (b *tcpBackend) Collect(to int, expectFrom []bool) ([]Message, error) {
+	raw, err := b.mesh.Collect(to, expectFrom)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Message, len(raw))
+	for i, m := range raw {
+		out[i] = Message{From: m.From, Kind: Kind(m.Kind), Payload: m.Payload}
+	}
+	return out, nil
+}
+
+func (b *tcpBackend) Drain(to int) { b.mesh.Drain(to) }
+
+func (b *tcpBackend) DrainFrom(from int) { b.mesh.DrainFrom(from) }
+
+func (b *tcpBackend) Close() error { return b.mesh.Close() }
+
+var (
+	_ Backend = (*memBackend)(nil)
+	_ Backend = (*tcpBackend)(nil)
+)

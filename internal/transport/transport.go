@@ -1,0 +1,289 @@
+// Package transport moves the cluster's messages over real TCP sockets
+// (loopback full mesh). The simulated-network package accounts costs; this
+// package provides an alternative delivery backend that exercises actual
+// framing, connection management and per-round synchronization, so the BSP
+// protocol runs byte-for-byte over the operating system's network stack.
+//
+// Round protocol: senders write any number of frames and then one
+// round-end marker per peer; Collect blocks until it has the marker from
+// every expected sender, returning messages grouped by ascending sender id
+// (the same deterministic order the in-memory backend provides).
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Message is one delivered payload.
+type Message struct {
+	From    int
+	Kind    byte
+	Payload []byte
+}
+
+// frame header: from u16 | kind u8 | marker u8 | len u32
+const headerLen = 8
+
+// queueDepth bounds buffered items per (receiver, sender) pair. The BSP
+// engine sends one batched frame plus one marker per pair per round, so a
+// small buffer suffices; TCP flow control covers pathological cases.
+const queueDepth = 64
+
+type item struct {
+	kind    byte
+	payload []byte
+	marker  bool
+}
+
+// Mesh is a full mesh of TCP connections between n logical nodes hosted in
+// this process.
+type Mesh struct {
+	n         int
+	listeners []net.Listener
+	conns     [][]net.Conn  // conns[from][to]; nil on the diagonal
+	queues    [][]chan item // queues[to][from]
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+	once    sync.Once
+}
+
+// NewMesh builds an n-node loopback mesh: n listeners, n*(n-1) dialed
+// connections, and one reader goroutine per connection.
+func NewMesh(n int) (*Mesh, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: need at least one node, got %d", n)
+	}
+	m := &Mesh{
+		n:         n,
+		listeners: make([]net.Listener, n),
+		conns:     make([][]net.Conn, n),
+		queues:    make([][]chan item, n),
+		closing:   make(chan struct{}),
+	}
+	for to := 0; to < n; to++ {
+		m.queues[to] = make([]chan item, n)
+		for from := 0; from < n; from++ {
+			m.queues[to][from] = make(chan item, queueDepth)
+		}
+	}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("transport: listen node %d: %w", i, err)
+		}
+		m.listeners[i] = l
+	}
+	// Accept loops: each accepted connection identifies its sender with a
+	// 2-byte hello, then streams frames into the receiver's queues.
+	for to := 0; to < n; to++ {
+		to := to
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			var readers sync.WaitGroup
+			defer readers.Wait()
+			for {
+				conn, err := m.listeners[to].Accept()
+				if err != nil {
+					return // listener closed
+				}
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					m.readLoop(to, conn)
+				}()
+			}
+		}()
+	}
+	// Dial the mesh.
+	for from := 0; from < n; from++ {
+		m.conns[from] = make([]net.Conn, n)
+		for to := 0; to < n; to++ {
+			if to == from {
+				continue
+			}
+			conn, err := net.Dial("tcp", m.listeners[to].Addr().String())
+			if err != nil {
+				m.Close()
+				return nil, fmt.Errorf("transport: dial %d->%d: %w", from, to, err)
+			}
+			var hello [2]byte
+			binary.LittleEndian.PutUint16(hello[:], uint16(from))
+			if _, err := conn.Write(hello[:]); err != nil {
+				m.Close()
+				return nil, fmt.Errorf("transport: hello %d->%d: %w", from, to, err)
+			}
+			m.conns[from][to] = conn
+		}
+	}
+	return m, nil
+}
+
+// readLoop parses frames from one connection into the receiver's queues.
+func (m *Mesh) readLoop(to int, conn net.Conn) {
+	defer conn.Close()
+	var hello [2]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := int(binary.LittleEndian.Uint16(hello[:]))
+	if from < 0 || from >= m.n {
+		return
+	}
+	q := m.queues[to][from]
+	var hdr [headerLen]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		it := item{
+			kind:   hdr[2],
+			marker: hdr[3] != 0,
+		}
+		size := binary.LittleEndian.Uint32(hdr[4:])
+		if size > 0 {
+			it.payload = make([]byte, size)
+			if _, err := io.ReadFull(conn, it.payload); err != nil {
+				return
+			}
+		}
+		select {
+		case q <- it:
+		case <-m.closing:
+			return
+		}
+	}
+}
+
+// Send writes one frame from -> to. Self-sends short-circuit through the
+// local queue.
+func (m *Mesh) Send(from, to int, kind byte, payload []byte) error {
+	if from == to {
+		select {
+		case m.queues[to][from] <- item{kind: kind, payload: payload}:
+			return nil
+		case <-m.closing:
+			return fmt.Errorf("transport: mesh closed")
+		}
+	}
+	return m.write(from, to, kind, false, payload)
+}
+
+// EndRound writes a round-end marker from `from` to every node enabled in
+// aliveTo (including itself, via the local queue).
+func (m *Mesh) EndRound(from int, aliveTo []bool) error {
+	for to := 0; to < m.n; to++ {
+		if !aliveTo[to] {
+			continue
+		}
+		if to == from {
+			select {
+			case m.queues[to][from] <- item{marker: true}:
+			case <-m.closing:
+				return fmt.Errorf("transport: mesh closed")
+			}
+			continue
+		}
+		if err := m.write(from, to, 0, true, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Mesh) write(from, to int, kind byte, marker bool, payload []byte) error {
+	conn := m.conns[from][to]
+	if conn == nil {
+		return fmt.Errorf("transport: no connection %d->%d", from, to)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint16(buf[0:], uint16(from))
+	buf[2] = kind
+	if marker {
+		buf[3] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	copy(buf[headerLen:], payload)
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("transport: write %d->%d: %w", from, to, err)
+	}
+	return nil
+}
+
+// Collect blocks until a round-end marker has arrived from every sender
+// enabled in expectFrom, returning the round's messages grouped by
+// ascending sender id.
+func (m *Mesh) Collect(to int, expectFrom []bool) ([]Message, error) {
+	var out []Message
+	for from := 0; from < m.n; from++ {
+		if !expectFrom[from] {
+			continue
+		}
+		q := m.queues[to][from]
+		for {
+			select {
+			case it := <-q:
+				if it.marker {
+					goto nextSender
+				}
+				out = append(out, Message{From: from, Kind: it.kind, Payload: it.payload})
+			case <-m.closing:
+				return out, fmt.Errorf("transport: mesh closed")
+			}
+		}
+	nextSender:
+	}
+	return out, nil
+}
+
+// Drain non-blockingly empties node `to`'s queues (iteration rollback).
+func (m *Mesh) Drain(to int) {
+	for from := 0; from < m.n; from++ {
+		drainQueue(m.queues[to][from])
+	}
+}
+
+// DrainFrom non-blockingly discards everything sender `from` has pending at
+// every receiver (stale state when a failed slot is revived).
+func (m *Mesh) DrainFrom(from int) {
+	for to := 0; to < m.n; to++ {
+		drainQueue(m.queues[to][from])
+	}
+}
+
+func drainQueue(q chan item) {
+	for {
+		select {
+		case <-q:
+		default:
+			return
+		}
+	}
+}
+
+// Close tears down every connection and listener and waits for readers.
+func (m *Mesh) Close() error {
+	m.once.Do(func() {
+		close(m.closing)
+		for _, l := range m.listeners {
+			if l != nil {
+				l.Close()
+			}
+		}
+		for _, row := range m.conns {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	})
+	m.wg.Wait()
+	return nil
+}

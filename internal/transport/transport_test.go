@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func allTrue(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	m, err := NewMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if err := m.Send(0, 2, 7, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(1, 2, 9, []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	for from := 0; from < 3; from++ {
+		if err := m.EndRound(from, allTrue(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := m.Collect(2, allTrue(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want 2", len(msgs))
+	}
+	if msgs[0].From != 0 || msgs[0].Kind != 7 || !bytes.Equal(msgs[0].Payload, []byte("alpha")) {
+		t.Errorf("msg0 = %+v", msgs[0])
+	}
+	if msgs[1].From != 1 || msgs[1].Kind != 9 || !bytes.Equal(msgs[1].Payload, []byte("beta")) {
+		t.Errorf("msg1 = %+v", msgs[1])
+	}
+	// Other receivers see empty rounds.
+	for _, to := range []int{0, 1} {
+		msgs, err := m.Collect(to, allTrue(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 0 {
+			t.Errorf("node %d received %d unexpected messages", to, len(msgs))
+		}
+	}
+}
+
+func TestMultipleRoundsStaySeparated(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for round := 0; round < 5; round++ {
+		payload := []byte(fmt.Sprintf("round-%d", round))
+		if err := m.Send(0, 1, byte(round), payload); err != nil {
+			t.Fatal(err)
+		}
+		for from := 0; from < 2; from++ {
+			if err := m.EndRound(from, allTrue(2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		msgs, err := m.Collect(1, allTrue(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 1 || string(msgs[0].Payload) != string(payload) {
+			t.Fatalf("round %d: msgs = %+v", round, msgs)
+		}
+		if _, err := m.Collect(0, allTrue(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExpectSubset(t *testing.T) {
+	// Node 1 is "failed": collector must not wait for its marker.
+	m, err := NewMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	expect := []bool{true, false, true}
+	if err := m.Send(0, 2, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EndRound(0, allTrue(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EndRound(2, allTrue(3)); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := m.Collect(2, expect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Send(0, 0, 5, []byte("me")); err != nil {
+		t.Fatal(err)
+	}
+	for from := 0; from < 2; from++ {
+		if err := m.EndRound(from, allTrue(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := m.Collect(0, allTrue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || string(msgs[0].Payload) != "me" {
+		t.Fatalf("msgs = %+v", msgs)
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	const n = 4
+	m, err := NewMesh(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var wg sync.WaitGroup
+	for from := 0; from < n; from++ {
+		from := from
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for to := 0; to < n; to++ {
+				if to == from {
+					continue
+				}
+				if err := m.Send(from, to, 1, []byte{byte(from)}); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := m.EndRound(from, allTrue(n)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	for to := 0; to < n; to++ {
+		msgs, err := m.Collect(to, allTrue(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != n-1 {
+			t.Fatalf("node %d got %d messages", to, len(msgs))
+		}
+		for i := 1; i < len(msgs); i++ {
+			if msgs[i].From < msgs[i-1].From {
+				t.Fatal("messages not sender-ordered")
+			}
+		}
+	}
+}
+
+func TestDrain(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Send(0, 1, 1, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EndRound(0, allTrue(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Let the frame arrive, then drain.
+	for len(m.queues[1][0]) < 2 {
+	}
+	m.Drain(1)
+	if err := m.Send(0, 1, 2, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	for from := 0; from < 2; from++ {
+		if err := m.EndRound(from, allTrue(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := m.Collect(1, allTrue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || string(msgs[0].Payload) != "fresh" {
+		t.Fatalf("msgs = %+v", msgs)
+	}
+}
+
+func TestCloseUnblocksCollect(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Collect(0, allTrue(2))
+		done <- err
+	}()
+	m.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Collect should fail after Close")
+	}
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(0); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
