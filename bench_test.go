@@ -8,6 +8,7 @@ package imitator_test
 // heavy ones) and see cmd/bench for the rendered tables.
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -17,6 +18,9 @@ import (
 
 func benchOptions() experiments.Options {
 	o := experiments.Defaults()
+	// Results are worker-count invariant, so benchmarks always use the
+	// full machine; -cpu therefore scales real wall clock, not output.
+	o.Workers = runtime.GOMAXPROCS(0)
 	if testing.Short() {
 		o.Small = true
 		o.Nodes = 4

@@ -17,11 +17,7 @@ import (
 	"strconv"
 	"strings"
 
-	"imitator/internal/core"
-	"imitator/internal/datasets"
-	"imitator/internal/experiments"
-	"imitator/internal/graph"
-	"imitator/internal/trace"
+	"imitator/pkg/imitator"
 )
 
 func main() {
@@ -40,6 +36,7 @@ func run(args []string) error {
 		partitioner = fs.String("partitioner", "", "hash|fennel (edge-cut), random|grid|hybrid (vertex-cut); empty = mode default")
 		nodes       = fs.Int("nodes", 8, "number of simulated nodes")
 		iters       = fs.Int("iters", 10, "supersteps to run")
+		workers     = fs.Int("workers", 1, "intra-node worker-pool width (results are identical for any value)")
 		ft          = fs.Bool("ft", true, "enable replication-based fault tolerance")
 		k           = fs.Int("k", 1, "number of simultaneous failures to tolerate")
 		selfish     = fs.Bool("selfish-opt", true, "enable the selfish-vertex optimization")
@@ -56,49 +53,55 @@ func run(args []string) error {
 		return err
 	}
 	if *list {
-		for _, name := range datasets.Names() {
-			d := datasets.Catalog()[name]
+		for _, name := range imitator.DatasetNames() {
+			d := imitator.Datasets()[name]
 			fmt.Printf("%-10s paper %s vertices, %s edges\n", name, d.PaperVertices, d.PaperEdges)
 		}
 		return nil
 	}
 
-	var m core.Mode
+	opts := []imitator.Option{
+		imitator.WithNodes(*nodes),
+		imitator.WithIterations(*iters),
+		imitator.WithWorkers(*workers),
+		imitator.WithMaxRebirths(*nodes),
+	}
 	switch *mode {
 	case "edgecut":
-		m = core.EdgeCutMode
+		opts = append(opts, imitator.WithMode(imitator.EdgeCutMode))
 	case "vertexcut":
-		m = core.VertexCutMode
+		opts = append(opts, imitator.WithMode(imitator.VertexCutMode))
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
-	}
-	cfg := core.DefaultConfig(m, *nodes)
-	cfg.MaxIter = *iters
-	cfg.MaxRebirths = *nodes
-	if *tcp {
-		cfg.Transport = core.TransportTCP
 	}
 	if *partitioner != "" {
 		p, err := parsePartitioner(*partitioner)
 		if err != nil {
 			return err
 		}
-		cfg.Partitioner = p
+		opts = append(opts, imitator.WithPartitioner(p))
 	}
-	cfg.FT = core.FTConfig{Enabled: *ft, K: *k, SelfishOpt: *selfish}
+	if *ft {
+		opts = append(opts, imitator.WithFT(*k), imitator.WithSelfishOpt(*selfish))
+	} else {
+		opts = append(opts, imitator.WithoutFT())
+	}
 	switch *recovery {
 	case "none":
-		cfg.Recovery = core.RecoverNone
+		opts = append(opts, imitator.WithRecovery(imitator.RecoverNone))
 	case "checkpoint":
-		cfg.Recovery = core.RecoverCheckpoint
-		cfg.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: *ckptIvl}
-		cfg.FT = core.FTConfig{}
+		// The checkpoint baseline runs without replication FT, like the
+		// paper's Hama-style comparison point.
+		opts = append(opts, imitator.WithCheckpoint(*ckptIvl))
 	case "rebirth":
-		cfg.Recovery = core.RecoverRebirth
+		opts = append(opts, imitator.WithRecovery(imitator.RecoverRebirth))
 	case "migration":
-		cfg.Recovery = core.RecoverMigration
+		opts = append(opts, imitator.WithRecovery(imitator.RecoverMigration))
 	default:
 		return fmt.Errorf("unknown recovery %q", *recovery)
+	}
+	if *tcp {
+		opts = append(opts, imitator.WithTransport(imitator.TransportTCP))
 	}
 	if *failIter >= 0 {
 		var crash []int
@@ -109,31 +112,30 @@ func run(args []string) error {
 			}
 			crash = append(crash, n)
 		}
-		cfg.Failures = []core.FailureSpec{{
-			Iteration: *failIter, Phase: core.FailBeforeBarrier, Nodes: crash,
-		}}
+		opts = append(opts, imitator.WithFailure(*failIter, imitator.FailBeforeBarrier, crash...))
 	}
+	cfg := imitator.New(opts...)
 
-	w := experiments.Workload{Algo: *algo, Dataset: *dataset, Iters: *iters}
-	var s experiments.RunSummary
+	w := imitator.Workload{Algo: *algo, Dataset: *dataset, Iters: *iters}
+	var s imitator.RunSummary
 	if *input != "" {
 		f, err := os.Open(*input)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		g, err := graph.ReadEdgeList(f, 0)
+		g, err := imitator.ReadEdgeList(f, 0)
 		if err != nil {
 			return err
 		}
 		w.Dataset = *input
-		s, err = experiments.RunWorkloadOn(w, g, cfg)
+		s, err = imitator.RunWorkloadOn(w, g, cfg)
 		if err != nil {
 			return err
 		}
 	} else {
 		var err error
-		s, err = experiments.RunWorkload(w, cfg)
+		s, err = imitator.RunWorkload(w, cfg)
 		if err != nil {
 			return err
 		}
@@ -141,36 +143,36 @@ func run(args []string) error {
 	report(w, cfg, s)
 	if *timeline {
 		fmt.Println("timeline:")
-		trace.Render(os.Stdout, s.Trace, trace.Options{})
-		fmt.Println(trace.Summary(s.Trace))
+		imitator.RenderTimeline(os.Stdout, s.Trace, imitator.TimelineOptions{})
+		fmt.Println(imitator.TimelineSummary(s.Trace))
 	}
 	return nil
 }
 
-func parsePartitioner(s string) (core.PartitionerKind, error) {
+func parsePartitioner(s string) (imitator.Partitioner, error) {
 	switch s {
 	case "hash":
-		return core.PartHash, nil
+		return imitator.PartHash, nil
 	case "fennel":
-		return core.PartFennel, nil
+		return imitator.PartFennel, nil
 	case "ldg":
-		return core.PartLDG, nil
+		return imitator.PartLDG, nil
 	case "oblivious":
-		return core.PartOblivious, nil
+		return imitator.PartOblivious, nil
 	case "random":
-		return core.PartRandom, nil
+		return imitator.PartRandom, nil
 	case "grid":
-		return core.PartGrid, nil
+		return imitator.PartGrid, nil
 	case "hybrid":
-		return core.PartHybrid, nil
+		return imitator.PartHybrid, nil
 	default:
 		return 0, fmt.Errorf("unknown partitioner %q", s)
 	}
 }
 
-func report(w experiments.Workload, cfg core.Config, s experiments.RunSummary) {
-	fmt.Printf("job: %s on %s (%s, %v, %d nodes)\n",
-		w.Algo, w.Dataset, cfg.Mode, cfg.Partitioner, cfg.NumNodes)
+func report(w imitator.Workload, cfg imitator.Config, s imitator.RunSummary) {
+	fmt.Printf("job: %s on %s (%s, %v, %d nodes x %d workers)\n",
+		w.Algo, w.Dataset, cfg.Mode, cfg.Partitioner, cfg.NumNodes, cfg.WorkersPerNode)
 	fmt.Printf("graph: %d vertices, %d edges; replication factor %.2f (%d FT replicas added)\n",
 		s.NumVertices, s.NumEdges, s.ReplicationFactor, s.ExtraReplicas)
 	fmt.Printf("run: %d-iteration job in %.3f simulated seconds (%.4f s/iter avg)\n",

@@ -11,10 +11,7 @@ import (
 	"math"
 	"sort"
 
-	"imitator/internal/algorithms"
-	"imitator/internal/core"
-	"imitator/internal/datasets"
-	"imitator/internal/graph"
+	"imitator/pkg/imitator"
 )
 
 const (
@@ -24,20 +21,16 @@ const (
 )
 
 func main() {
-	g := datasets.MustLoad("syn-gl")
-	prog := algorithms.NewALS(numUsers, dim, lambda)
+	g := imitator.MustLoadDataset("syn-gl")
+	prog := imitator.NewALS(numUsers, dim, lambda)
 
-	cfg := core.DefaultConfig(core.EdgeCutMode, 4)
-	cfg.MaxIter = 10
-	cfg.Failures = []core.FailureSpec{{
-		Iteration: 4, Phase: core.FailBeforeBarrier, Nodes: []int{3},
-	}}
+	cfg := imitator.New(
+		imitator.WithNodes(4),
+		imitator.WithIterations(10),
+		imitator.WithFailure(4, imitator.FailBeforeBarrier, 3),
+	)
 
-	cluster, err := core.NewCluster[[]float64, []float64](cfg, g, prog)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := cluster.Run()
+	res, err := imitator.Run(cfg, g, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,16 +44,16 @@ func main() {
 	}
 
 	// Recommend unrated items for one user.
-	const user graph.VertexID = 42
-	rated := map[graph.VertexID]bool{}
-	g.OutEdges(user, func(_ int, e graph.Edge) { rated[e.Dst] = true })
+	const user imitator.VertexID = 42
+	rated := map[imitator.VertexID]bool{}
+	g.OutEdges(user, func(_ int, e imitator.Edge) { rated[e.Dst] = true })
 	type scored struct {
-		item  graph.VertexID
+		item  imitator.VertexID
 		score float64
 	}
 	var recs []scored
 	for item := numUsers; item < g.NumVertices(); item++ {
-		it := graph.VertexID(item)
+		it := imitator.VertexID(item)
 		if rated[it] {
 			continue
 		}
@@ -81,7 +74,7 @@ func dot(a, b []float64) float64 {
 	return s
 }
 
-func rmse(g *graph.Graph, values [][]float64) float64 {
+func rmse(g *imitator.Graph, values [][]float64) float64 {
 	var se float64
 	var n int
 	for _, e := range g.Edges() {

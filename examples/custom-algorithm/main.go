@@ -1,6 +1,6 @@
 // custom-algorithm shows how to implement a new vertex program against the
-// core.Program interface and run it fault-tolerantly without touching the
-// engine — the paper's "no source code changes to graph algorithms"
+// imitator.Program interface and run it fault-tolerantly without touching
+// the engine — the paper's "no source code changes to graph algorithms"
 // property. The program computes each vertex's in-neighborhood weighted
 // degree percentile rank ("local influence"): influence(v) converges to the
 // share of v's in-neighbors whose influence is below v's own, seeded from
@@ -12,9 +12,7 @@ import (
 	"log"
 	"sort"
 
-	"imitator/internal/core"
-	"imitator/internal/datasets"
-	"imitator/internal/graph"
+	"imitator/pkg/imitator"
 )
 
 // influence is the custom vertex program. V = float64 (current influence
@@ -23,13 +21,13 @@ type influence struct {
 	maxDeg float64
 }
 
-var _ core.Program[float64, []float64] = (*influence)(nil)
+var _ imitator.Program[float64, []float64] = (*influence)(nil)
 
 func (p *influence) Name() string              { return "influence" }
 func (p *influence) AlwaysActive() bool        { return true }
 func (p *influence) CanRecomputeSelfish() bool { return false }
 
-func (p *influence) Init(_ graph.VertexID, info core.VertexInfo) (float64, bool) {
+func (p *influence) Init(_ imitator.VertexID, info imitator.VertexInfo) (float64, bool) {
 	return float64(info.InDeg) / p.maxDeg, true
 }
 
@@ -37,7 +35,7 @@ func (p *influence) Init(_ graph.VertexID, info core.VertexInfo) (float64, bool)
 // carried as raw score so Apply can compare, 1 total). To keep the
 // accumulator associative we ship (sum of src scores, count) and compare
 // against the mean in Apply.
-func (p *influence) Gather(_ graph.Edge, src float64, _ core.VertexInfo) []float64 {
+func (p *influence) Gather(_ imitator.Edge, src float64, _ imitator.VertexInfo) []float64 {
 	return []float64{src, 1}
 }
 
@@ -47,7 +45,7 @@ func (p *influence) Merge(a, b []float64) []float64 {
 
 // Apply: move the score toward "how far above the neighborhood mean am I",
 // damped for stability.
-func (p *influence) Apply(_ graph.VertexID, info core.VertexInfo, old float64, acc []float64, hasAcc bool, _ int) (float64, bool) {
+func (p *influence) Apply(_ imitator.VertexID, info imitator.VertexInfo, old float64, acc []float64, hasAcc bool, _ int) (float64, bool) {
 	if !hasAcc || acc[1] == 0 {
 		return old, true
 	}
@@ -62,14 +60,14 @@ func (p *influence) Apply(_ graph.VertexID, info core.VertexInfo, old float64, a
 	return old*0.5 + target*0.5, true
 }
 
-func (p *influence) ValueCodec() core.Codec[float64] { return core.Float64Codec{} }
-func (p *influence) AccCodec() core.Codec[[]float64] { return core.VecCodec{Dim: 2} }
+func (p *influence) ValueCodec() imitator.Codec[float64] { return imitator.Float64Codec{} }
+func (p *influence) AccCodec() imitator.Codec[[]float64] { return imitator.VecCodec{Dim: 2} }
 
 func main() {
-	g := datasets.MustLoad("dblp")
+	g := imitator.MustLoadDataset("dblp")
 	maxDeg := 1
 	for v := 0; v < g.NumVertices(); v++ {
-		if d := g.InDegree(graph.VertexID(v)); d > maxDeg {
+		if d := g.InDegree(imitator.VertexID(v)); d > maxDeg {
 			maxDeg = d
 		}
 	}
@@ -77,20 +75,16 @@ func main() {
 
 	// The custom program runs under the same fault-tolerance machinery as
 	// the built-ins: crash two nodes, recover by migration.
-	cfg := core.DefaultConfig(core.EdgeCutMode, 6)
-	cfg.Recovery = core.RecoverMigration
-	cfg.FT.K = 2
-	cfg.FT.SelfishOpt = false
-	cfg.MaxIter = 12
-	cfg.Failures = []core.FailureSpec{{
-		Iteration: 6, Phase: core.FailBeforeBarrier, Nodes: []int{1, 4},
-	}}
+	cfg := imitator.New(
+		imitator.WithNodes(6),
+		imitator.WithFT(2),
+		imitator.WithSelfishOpt(false),
+		imitator.WithRecovery(imitator.RecoverMigration),
+		imitator.WithIterations(12),
+		imitator.WithFailure(6, imitator.FailBeforeBarrier, 1, 4),
+	)
 
-	cluster, err := core.NewCluster[float64, []float64](cfg, g, prog)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := cluster.Run()
+	res, err := imitator.Run(cfg, g, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,12 +95,12 @@ func main() {
 	}
 
 	type scored struct {
-		v graph.VertexID
+		v imitator.VertexID
 		s float64
 	}
 	top := make([]scored, g.NumVertices())
 	for v, s := range res.Values {
-		top[v] = scored{graph.VertexID(v), s}
+		top[v] = scored{imitator.VertexID(v), s}
 	}
 	sort.Slice(top, func(a, b int) bool { return top[a].s > top[b].s })
 	fmt.Println("most locally influential vertices:")

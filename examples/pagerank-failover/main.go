@@ -10,10 +10,7 @@ import (
 	"fmt"
 	"log"
 
-	"imitator/internal/algorithms"
-	"imitator/internal/core"
-	"imitator/internal/datasets"
-	"imitator/internal/graph"
+	"imitator/pkg/imitator"
 )
 
 const (
@@ -23,27 +20,27 @@ const (
 )
 
 func main() {
-	g := datasets.MustLoad("ljournal")
+	g := imitator.MustLoadDataset("ljournal")
 	fmt.Printf("PageRank on %d vertices / %d edges, %d nodes, failure after iteration %d\n\n",
 		g.NumVertices(), g.NumEdges(), nodes, failIter)
 
 	configs := []struct {
 		label string
-		cfg   core.Config
+		cfg   imitator.Config
 		fail  bool
 	}{
 		{"BASE (no FT, no failure)", base(), false},
-		{"REP (no failure)", rep(core.RecoverRebirth), false},
+		{"REP (no failure)", rep(imitator.RecoverRebirth), false},
 		{"CKPT/4 (no failure)", ckpt(4), false},
-		{"REP + Rebirth", rep(core.RecoverRebirth), true},
-		{"REP + Migration", rep(core.RecoverMigration), true},
+		{"REP + Rebirth", rep(imitator.RecoverRebirth), true},
+		{"REP + Migration", rep(imitator.RecoverMigration), true},
 		{"CKPT/4 + recovery", ckpt(4), true},
 	}
 	for _, c := range configs {
 		cfg := c.cfg
 		if c.fail {
-			cfg.Failures = []core.FailureSpec{{
-				Iteration: failIter, Phase: core.FailAfterBarrier, Nodes: []int{1},
+			cfg.Failures = []imitator.FailureSpec{{
+				Iteration: failIter, Phase: imitator.FailAfterBarrier, Nodes: []int{1},
 			}}
 		}
 		res := run(g, cfg)
@@ -59,43 +56,43 @@ func main() {
 	}
 }
 
-func base() core.Config {
-	cfg := core.DefaultConfig(core.EdgeCutMode, nodes)
-	cfg.FT = core.FTConfig{}
-	cfg.Recovery = core.RecoverNone
-	cfg.MaxIter = iters
-	return cfg
+func base() imitator.Config {
+	return imitator.New(
+		imitator.WithNodes(nodes),
+		imitator.WithIterations(iters),
+		imitator.WithoutFT(),
+		imitator.WithRecovery(imitator.RecoverNone),
+	)
 }
 
-func rep(rk core.RecoveryKind) core.Config {
-	cfg := base()
-	cfg.FT = core.FTConfig{Enabled: true, K: 1, SelfishOpt: true}
-	cfg.Recovery = rk
-	cfg.MaxRebirths = 2
-	return cfg
+func rep(rk imitator.Recovery) imitator.Config {
+	return imitator.New(
+		imitator.WithNodes(nodes),
+		imitator.WithIterations(iters),
+		imitator.WithFT(1),
+		imitator.WithRecovery(rk),
+		imitator.WithMaxRebirths(2),
+	)
 }
 
-func ckpt(interval int) core.Config {
-	cfg := base()
-	cfg.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: interval}
-	cfg.Recovery = core.RecoverCheckpoint
-	cfg.MaxRebirths = 2
-	return cfg
+func ckpt(interval int) imitator.Config {
+	return imitator.New(
+		imitator.WithNodes(nodes),
+		imitator.WithIterations(iters),
+		imitator.WithCheckpoint(interval),
+		imitator.WithMaxRebirths(2),
+	)
 }
 
-func run(g *graph.Graph, cfg core.Config) *core.Result[float64] {
-	cluster, err := core.NewCluster[float64, float64](cfg, g, algorithms.NewPageRank(g.NumVertices()))
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := cluster.Run()
+func run(g *imitator.Graph, cfg imitator.Config) *imitator.Result[float64] {
+	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	return res
 }
 
-func printTimeline(res *core.Result[float64]) {
+func printTimeline(res *imitator.Result[float64]) {
 	fmt.Println("  timeline (simulated seconds):")
 	for _, ev := range res.Trace {
 		bar := int(ev.Duration() * 400)

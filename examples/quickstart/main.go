@@ -8,30 +8,24 @@ import (
 	"log"
 	"sort"
 
-	"imitator/internal/algorithms"
-	"imitator/internal/core"
-	"imitator/internal/datasets"
+	"imitator/pkg/imitator"
 )
 
 func main() {
 	// 1. Load a dataset (a scaled GWeb-like power-law web graph).
-	g := datasets.MustLoad("gweb")
+	g := imitator.MustLoadDataset("gweb")
 	fmt.Printf("loaded %d vertices / %d edges\n", g.NumVertices(), g.NumEdges())
 
 	// 2. Configure a 4-node edge-cut cluster with fault tolerance on and
 	// Rebirth recovery, and schedule node 2 to crash during iteration 5.
-	cfg := core.DefaultConfig(core.EdgeCutMode, 4)
-	cfg.MaxIter = 10
-	cfg.Failures = []core.FailureSpec{{
-		Iteration: 5, Phase: core.FailBeforeBarrier, Nodes: []int{2},
-	}}
+	cfg := imitator.New(
+		imitator.WithNodes(4),
+		imitator.WithIterations(10),
+		imitator.WithFailure(5, imitator.FailBeforeBarrier, 2),
+	)
 
 	// 3. Run PageRank.
-	cluster, err := core.NewCluster[float64, float64](cfg, g, algorithms.NewPageRank(g.NumVertices()))
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := cluster.Run()
+	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
 	if err != nil {
 		log.Fatal(err)
 	}

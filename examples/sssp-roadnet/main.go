@@ -10,30 +10,25 @@ import (
 	"log"
 	"math"
 
-	"imitator/internal/algorithms"
-	"imitator/internal/core"
-	"imitator/internal/datasets"
-	"imitator/internal/graph"
+	"imitator/pkg/imitator"
 )
 
 func main() {
-	g := datasets.MustLoad("roadca")
-	const source graph.VertexID = 0
+	g := imitator.MustLoadDataset("roadca")
+	const source imitator.VertexID = 0
 
-	cfg := core.DefaultConfig(core.VertexCutMode, 6)
-	cfg.Partitioner = core.PartHybrid
-	cfg.FT = core.FTConfig{Enabled: true, K: 2, SelfishOpt: false}
-	cfg.Recovery = core.RecoverMigration
-	cfg.MaxIter = 400 // road networks have large diameters
-	cfg.Failures = []core.FailureSpec{{
-		Iteration: 40, Phase: core.FailBeforeBarrier, Nodes: []int{2, 4},
-	}}
+	cfg := imitator.New(
+		imitator.WithMode(imitator.VertexCutMode),
+		imitator.WithNodes(6),
+		imitator.WithPartitioner(imitator.PartHybrid),
+		imitator.WithFT(2),
+		imitator.WithSelfishOpt(false),
+		imitator.WithRecovery(imitator.RecoverMigration),
+		imitator.WithIterations(400), // road networks have large diameters
+		imitator.WithFailure(40, imitator.FailBeforeBarrier, 2, 4),
+	)
 
-	cluster, err := core.NewCluster[float64, float64](cfg, g, algorithms.NewSSSP(source))
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := cluster.Run()
+	res, err := imitator.Run(cfg, g, imitator.NewSSSP(source))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +54,7 @@ func main() {
 	fmt.Printf("job took %.3f simulated seconds over %d supersteps\n", res.SimSeconds, res.Iterations)
 
 	fmt.Println("sample distances:")
-	for _, v := range []graph.VertexID{1, 100, 5000, 20000, 31999} {
+	for _, v := range []imitator.VertexID{1, 100, 5000, 20000, 31999} {
 		fmt.Printf("  vertex %6d: %.3f\n", v, res.Values[v])
 	}
 }

@@ -41,26 +41,35 @@ func (c *Cluster[V, A]) writeCheckpointAt(epoch int, charge bool) {
 	if !full {
 		since = int32(c.ckptHistory[len(c.ckptHistory)-1].epoch)
 	}
-	var span costmodel.Span
-	for _, nd := range c.aliveNodes() {
+	// Nodes snapshot concurrently (they do on a real cluster); each node's
+	// records encode chunk-parallel and concatenate in chunk order, so the
+	// snapshot bytes match the sequential encoder's for any worker count.
+	nodeCosts := make([]float64, c.cfg.NumNodes)
+	c.eachAlive(func(nd *node[V, A]) {
 		buf := putU32(nil, uint32(epoch))
 		countAt := len(buf)
 		buf = putU32(buf, 0) // patched below
-		count := 0
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.isMaster() {
-				continue
+		chunks, count := c.chunkEncode(len(nd.entries), func(b []byte, lo, hi int) ([]byte, int) {
+			cnt := 0
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.isMaster() {
+					continue
+				}
+				if !full && e.lastTouchedIter < since {
+					continue
+				}
+				b = putI32(b, int32(i))
+				b = c.vc.Append(b, e.value)
+				b = putBool(b, e.active)
+				b = putBool(b, e.lastActivate)
+				b = putI32(b, e.lastActivateIter)
+				cnt++
 			}
-			if !full && e.lastTouchedIter < since {
-				continue
-			}
-			buf = putI32(buf, int32(i))
-			buf = c.vc.Append(buf, e.value)
-			buf = putBool(buf, e.active)
-			buf = putBool(buf, e.lastActivate)
-			buf = putI32(buf, e.lastActivateIter)
-			count++
+			return b, cnt
+		})
+		for _, cb := range chunks {
+			buf = append(buf, cb...)
 		}
 		binary.LittleEndian.PutUint32(buf[countAt:countAt+4], uint32(count))
 		cost := c.dfsWriteCost(nd, ckptPath(epoch, nd.id), buf)
@@ -69,6 +78,10 @@ func (c *Cluster[V, A]) writeCheckpointAt(epoch int, charge bool) {
 			// the paper notes triple replication still crosses machines.
 			cost = c.cfg.Cost.NetTransfer(int64(len(buf)) * int64(c.cfg.Cost.DFSReplication-1))
 		}
+		nodeCosts[nd.id] = cost
+	})
+	var span costmodel.Span
+	for _, cost := range nodeCosts {
 		span.Observe(cost)
 	}
 	if charge {
@@ -289,49 +302,56 @@ func (c *Cluster[V, A]) rebuildPristineNode(id int) *node[V, A] {
 // including activity flags; used after snapshot restores.
 func (c *Cluster[V, A]) fullResync() {
 	c.eachAlive(func(nd *node[V, A]) {
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.isMaster() {
-				continue
+		c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.isMaster() {
+					continue
+				}
+				for ri, rn := range e.replicaNodes {
+					pos := e.replicaPos[ri]
+					before := len(st.send[rn])
+					st.stage(int(rn), func(buf []byte) []byte {
+						buf = putI32(buf, pos)
+						buf = c.vc.Append(buf, e.value)
+						buf = putBool(buf, e.active)
+						buf = putBool(buf, e.lastActivate)
+						return putI32(buf, e.lastActivateIter)
+					})
+					st.met.RecoveryMsgs++
+					st.met.RecoveryBytes += int64(len(st.send[rn]) - before)
+				}
 			}
-			for ri, rn := range e.replicaNodes {
-				pos := e.replicaPos[ri]
-				before := len(nd.sendBuf[rn])
-				nd.stage(int(rn), func(buf []byte) []byte {
-					buf = putI32(buf, pos)
-					buf = c.vc.Append(buf, e.value)
-					buf = putBool(buf, e.active)
-					buf = putBool(buf, e.lastActivate)
-					return putI32(buf, e.lastActivateIter)
-				})
-				nd.met.RecoveryMsgs++
-				nd.met.RecoveryBytes += int64(len(nd.sendBuf[rn]) - before)
-			}
-		}
+		})
 	})
 	c.flushSendRound(netsim.KindRecovery)
+	// Decode parallelizes over messages: each replica position is pushed by
+	// exactly one master, so writes are position-disjoint.
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
-			r := &reader{buf: m.Payload}
-			for r.remaining() > 0 && r.err == nil {
-				pos := r.i32()
-				val := readValue(r, c.vc)
-				active := r.bool()
-				lastAct := r.bool()
-				stamp := r.i32()
-				if r.err != nil {
-					break
+		msgs := c.net.Receive(nd.id)
+		c.chunked(nd, len(msgs), func(_ *stager, lo, hi int) {
+			for _, m := range msgs[lo:hi] {
+				r := &reader{buf: m.Payload}
+				for r.remaining() > 0 && r.err == nil {
+					pos := r.i32()
+					val := readValue(r, c.vc)
+					active := r.bool()
+					lastAct := r.bool()
+					stamp := r.i32()
+					if r.err != nil {
+						break
+					}
+					e := &nd.entries[pos]
+					e.value = val
+					if !e.isMaster() {
+						e.active = active
+					}
+					e.lastActivate = lastAct
+					e.lastActivateIter = stamp
+					e.clearPending()
 				}
-				e := &nd.entries[pos]
-				e.value = val
-				if !e.isMaster() {
-					e.active = active
-				}
-				e.lastActivate = lastAct
-				e.lastActivateIter = stamp
-				e.clearPending()
 			}
-		}
+		})
 	})
 }
 

@@ -280,25 +280,27 @@ func (c *Cluster[V, A]) resetSendBufs() {
 func (c *Cluster[V, A]) commit(iter int) {
 	always := c.prog.AlwaysActive()
 	c.eachAlive(func(n *node[V, A]) {
-		for i := range n.entries {
-			e := &n.entries[i]
-			if e.hasPending {
-				e.value = e.pendingValue
-				e.lastActivate = e.pendingScatter
-				e.lastActivateIter = e.pendingScatterI
-				e.hasPending = false
-				e.lastTouchedIter = int32(iter)
-			}
-			if e.isMaster() {
-				newActive := e.pendingActive || always
-				if newActive != e.active {
+		c.chunked(n, len(n.entries), func(_ *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &n.entries[i]
+				if e.hasPending {
+					e.value = e.pendingValue
+					e.lastActivate = e.pendingScatter
+					e.lastActivateIter = e.pendingScatterI
+					e.hasPending = false
 					e.lastTouchedIter = int32(iter)
 				}
-				e.active = newActive
+				if e.isMaster() {
+					newActive := e.pendingActive || always
+					if newActive != e.active {
+						e.lastTouchedIter = int32(iter)
+					}
+					e.active = newActive
+				}
+				e.pendingActive = false
+				e.pendingScatter = false
 			}
-			e.pendingActive = false
-			e.pendingScatter = false
-		}
+		})
 	})
 }
 

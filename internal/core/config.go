@@ -200,6 +200,13 @@ type Config struct {
 	MaxIter int
 	// MaxRebirths bounds the standby pool for Rebirth/Checkpoint recovery.
 	MaxRebirths int
+	// WorkersPerNode is the width of each node's intra-node worker pool.
+	// Compute phases (gather/apply, sync encode, recovery reconstruction,
+	// checkpoint encode) shard the node's vertex array into this many
+	// contiguous chunks processed concurrently; results are reduced in chunk
+	// order so every byte stream and vertex value is identical for any pool
+	// width. Must be >= 1; DefaultConfig sets 1 (the paper's serial engine).
+	WorkersPerNode int
 
 	Cost     costmodel.Params
 	Failures []FailureSpec
@@ -212,6 +219,17 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxIter < 1 {
 		return fmt.Errorf("core: MaxIter must be >= 1, got %d", c.MaxIter)
+	}
+	if c.WorkersPerNode < 1 {
+		return fmt.Errorf("core: WorkersPerNode must be >= 1, got %d (set it to 1 for the serial engine, or runtime.GOMAXPROCS(0) to use every core)", c.WorkersPerNode)
+	}
+	if c.MaxRebirths < 0 {
+		return fmt.Errorf("core: MaxRebirths must be >= 0, got %d", c.MaxRebirths)
+	}
+	switch c.Transport {
+	case TransportMem, TransportTCP:
+	default:
+		return fmt.Errorf("core: unknown transport %d (use TransportMem or TransportTCP)", int(c.Transport))
 	}
 	switch c.Mode {
 	case EdgeCutMode:
@@ -237,8 +255,13 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: FT.K %d must be below NumNodes %d", c.FT.K, c.NumNodes)
 		}
 	}
-	if c.Checkpoint.Enabled && c.Checkpoint.Interval < 1 {
-		return fmt.Errorf("core: checkpoint interval must be >= 1, got %d", c.Checkpoint.Interval)
+	if c.Checkpoint.Enabled {
+		if c.Checkpoint.Interval < 1 {
+			return fmt.Errorf("core: checkpoint interval must be >= 1, got %d", c.Checkpoint.Interval)
+		}
+		if c.Checkpoint.FullEvery < 0 {
+			return fmt.Errorf("core: Checkpoint.FullEvery must be >= 0, got %d (0 means the default of 4)", c.Checkpoint.FullEvery)
+		}
 	}
 	switch c.Recovery {
 	case RecoverNone:
@@ -281,13 +304,14 @@ func (c *Config) Validate() error {
 // DefaultConfig returns a ready-to-run configuration for the given mode.
 func DefaultConfig(mode Mode, numNodes int) Config {
 	cfg := Config{
-		NumNodes:    numNodes,
-		Mode:        mode,
-		FT:          FTConfig{Enabled: true, K: 1, SelfishOpt: true},
-		Recovery:    RecoverRebirth,
-		MaxIter:     10,
-		MaxRebirths: 4,
-		Cost:        costmodel.Default(),
+		NumNodes:       numNodes,
+		Mode:           mode,
+		FT:             FTConfig{Enabled: true, K: 1, SelfishOpt: true},
+		Recovery:       RecoverRebirth,
+		MaxIter:        10,
+		MaxRebirths:    4,
+		WorkersPerNode: 1,
+		Cost:           costmodel.Default(),
 	}
 	if mode == EdgeCutMode {
 		cfg.Partitioner = PartHash

@@ -14,74 +14,86 @@ import (
 // Activation propagates locally on every node that holds the scattering
 // vertex (master or replica), so no extra messaging round is needed.
 func (c *Cluster[V, A]) superstepEdgeCut(iter int) error {
-	// Compute phase (Algorithm 1 line 5).
+	// Compute phase (Algorithm 1 line 5). Each chunk writes only the staged
+	// fields of its own masters; cross-chunk scatter activation goes through
+	// the stager's position list.
 	c.eachAlive(func(nd *node[V, A]) {
-		edges, applies := 0, 0
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.isMaster() || !e.active {
-				continue
-			}
-			var acc A
-			has := false
-			for k, src := range e.inNbr {
-				se := &nd.entries[src]
-				contrib := c.prog.Gather(
-					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
-					se.value, se.info())
-				if has {
-					acc = c.prog.Merge(acc, contrib)
-				} else {
-					acc, has = contrib, true
+		nd.phaseCost = c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+			edges, applies := 0, 0
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.isMaster() || !e.active {
+					continue
+				}
+				var acc A
+				has := false
+				for k, src := range e.inNbr {
+					se := &nd.entries[src]
+					contrib := c.prog.Gather(
+						graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+						se.value, se.info())
+					if has {
+						acc = c.prog.Merge(acc, contrib)
+					} else {
+						acc, has = contrib, true
+					}
+				}
+				edges += len(e.inNbr)
+				newV, scatter := c.prog.Apply(e.id, e.info(), e.value, acc, has, iter)
+				e.pendingValue = newV
+				e.hasPending = true
+				e.pendingScatter = scatter
+				e.pendingScatterI = int32(iter)
+				applies++
+				if scatter {
+					for _, w := range e.outNbr {
+						st.markPendingActive(w)
+					}
 				}
 			}
-			edges += len(e.inNbr)
-			newV, scatter := c.prog.Apply(e.id, e.info(), e.value, acc, has, iter)
-			e.pendingValue = newV
-			e.hasPending = true
-			e.pendingScatter = scatter
-			e.pendingScatterI = int32(iter)
-			applies++
-			if scatter {
-				for _, w := range e.outNbr {
-					nd.entries[w].pendingActive = true
-				}
-			}
-		}
-		nd.phaseCost = float64(edges)*c.cfg.Cost.ComputePerEdge +
-			float64(applies)*c.cfg.Cost.ComputePerVertex
+			st.busy = float64(edges)*c.cfg.Cost.ComputePerEdge +
+				float64(applies)*c.cfg.Cost.ComputePerVertex
+		})
 	})
 	c.advanceComputeSpan()
 
-	// Send phase (line 6): one sync record per (computed master, replica).
+	// Send phase (line 6): one sync record per (computed master, replica),
+	// encoded chunk-parallel and merged in chunk order.
 	c.eachAlive(func(nd *node[V, A]) {
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.isMaster() || !e.hasPending {
-				continue
+		c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.isMaster() || !e.hasPending {
+					continue
+				}
+				c.stageSyncRecords(st, e)
 			}
-			c.stageSyncRecords(nd, e)
-		}
+		})
 	})
 	c.flushSendRound(netsim.KindSync)
 
 	// Receive phase: replicas stage the new value and propagate scatter
-	// activation to their local out-targets.
+	// activation to their local out-targets. Messages decode in parallel —
+	// every replica position is synced by exactly one master, so the staged
+	// writes are position-disjoint across messages.
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
-			if m.Kind != netsim.KindSync {
-				continue
+		msgs := c.net.Receive(nd.id)
+		c.chunked(nd, len(msgs), func(st *stager, lo, hi int) {
+			for _, m := range msgs[lo:hi] {
+				if m.Kind != netsim.KindSync {
+					continue
+				}
+				c.applySyncPayload(nd, st, m.Payload)
 			}
-			c.applySyncPayload(nd, m.Payload)
-		}
+		})
 	})
 	return nil
 }
 
 // stageSyncRecords appends one sync record per replica of master e to the
-// per-destination buffers, honoring the selfish-vertex optimization and
-// keeping the FT/normal message accounting the figures need.
-func (c *Cluster[V, A]) stageSyncRecords(nd *node[V, A], e *vertexEntry[V]) {
+// worker's per-destination buffers, honoring the selfish-vertex optimization
+// and keeping the FT/normal message accounting the figures need.
+func (c *Cluster[V, A]) stageSyncRecords(st *stager, e *vertexEntry[V]) {
 	// The mirror's "full state" needs no extra bytes during normal sync:
 	// the dynamic extension the paper describes (the activation/scatter
 	// state) is the scatter flag already in every record, stamped with the
@@ -94,8 +106,8 @@ func (c *Cluster[V, A]) stageSyncRecords(nd *node[V, A], e *vertexEntry[V]) {
 			continue
 		}
 		pos := e.replicaPos[ri]
-		before := len(nd.sendBuf[rn])
-		nd.stage(int(rn), func(buf []byte) []byte {
+		before := len(st.send[rn])
+		st.stage(int(rn), func(buf []byte) []byte {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(pos))
 			var flags byte
 			if e.pendingScatter {
@@ -104,20 +116,21 @@ func (c *Cluster[V, A]) stageSyncRecords(nd *node[V, A], e *vertexEntry[V]) {
 			buf = append(buf, flags)
 			return c.vc.Append(buf, e.pendingValue)
 		})
-		size := int64(len(nd.sendBuf[rn]) - before)
+		size := int64(len(st.send[rn]) - before)
 		if ftOnly {
-			nd.met.FTMsgs++
-			nd.met.FTBytes += size
+			st.met.FTMsgs++
+			st.met.FTBytes += size
 		} else {
-			nd.met.SyncMsgs++
-			nd.met.SyncBytes += size
+			st.met.SyncMsgs++
+			st.met.SyncBytes += size
 		}
 	}
 }
 
 // applySyncPayload decodes a batch of sync records into local entries;
-// scatter flags activate the replicas' local out-targets.
-func (c *Cluster[V, A]) applySyncPayload(nd *node[V, A], buf []byte) {
+// scatter flags activate the replicas' local out-targets through the
+// worker's activation list.
+func (c *Cluster[V, A]) applySyncPayload(nd *node[V, A], st *stager, buf []byte) {
 	iter := int32(c.iter)
 	for len(buf) > 0 {
 		pos := int32(binary.LittleEndian.Uint32(buf))
@@ -137,7 +150,7 @@ func (c *Cluster[V, A]) applySyncPayload(nd *node[V, A], buf []byte) {
 		e.pendingScatterI = iter
 		if e.pendingScatter {
 			for _, w := range e.outNbr {
-				nd.entries[w].pendingActive = true
+				st.markPendingActive(w)
 			}
 		}
 	}

@@ -28,11 +28,21 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 	// itself. Scans run in parallel; promotions apply deterministically.
 	promoLists := make([][]int32, c.cfg.NumNodes)
 	c.eachAlive(func(nd *node[V, A]) {
+		// Chunk-parallel scan: each chunk flags its own slots; the ordered
+		// list is collected serially so promotion order is chunk-independent.
+		promo := make([]bool, len(nd.entries))
+		c.chunked(nd, len(nd.entries), func(_ *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if e.isMirror() && failedSet[int(e.masterNode)] &&
+					c.lowestSurvivingMirror(e, failedSet) == nd.id {
+					promo[i] = true
+				}
+			}
+		})
 		var list []int32
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if e.isMirror() && failedSet[int(e.masterNode)] &&
-				c.lowestSurvivingMirror(e, failedSet) == nd.id {
+		for i, p := range promo {
+			if p {
 				list = append(list, int32(i))
 			}
 		}
@@ -259,40 +269,47 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		for _, id := range ids {
-			mn := int(c.masterLoc[id])
-			vid := id
-			before := len(nd.sendBuf[mn])
-			nd.stage(mn, func(buf []byte) []byte {
-				return putU32(buf, uint32(vid))
-			})
-			nd.met.RecoveryMsgs++
-			nd.met.RecoveryBytes += int64(len(nd.sendBuf[mn]) - before)
-		}
+		c.chunked(nd, len(ids), func(st *stager, lo, hi int) {
+			for _, id := range ids[lo:hi] {
+				mn := int(c.masterLoc[id])
+				vid := id
+				before := len(st.send[mn])
+				st.stage(mn, func(buf []byte) []byte {
+					return putU32(buf, uint32(vid))
+				})
+				st.met.RecoveryMsgs++
+				st.met.RecoveryBytes += int64(len(st.send[mn]) - before)
+			}
+		})
 	})
 	c.flushSendRound(netsim.KindRecovery)
+	// Replies encode in parallel across request messages (one per requester,
+	// so per-destination reply streams never interleave within a chunk merge).
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
-			r := &reader{buf: m.Payload}
-			for r.remaining() >= 4 && r.err == nil {
-				id := graph.VertexID(r.u32())
-				pos, ok := nd.pos(id)
-				if !ok {
-					continue
+		msgs := c.net.Receive(nd.id)
+		c.chunked(nd, len(msgs), func(st *stager, lo, hi int) {
+			for _, m := range msgs[lo:hi] {
+				r := &reader{buf: m.Payload}
+				for r.remaining() >= 4 && r.err == nil {
+					id := graph.VertexID(r.u32())
+					pos, ok := nd.pos(id)
+					if !ok {
+						continue
+					}
+					e := &nd.entries[pos]
+					flags := entryFlags(0)
+					if e.isSelfish() {
+						flags |= flagSelfish
+					}
+					before := len(st.send[m.From])
+					st.send[m.From] = encodeRecoveryRecord(st.send[m.From], c.vc, roleReplica,
+						-1, id, flags, -1, int16(nd.id), pos, e.inDeg, e.outDeg,
+						e.value, e.lastActivate, e.lastActivateIter, nil, nil)
+					st.met.RecoveryMsgs++
+					st.met.RecoveryBytes += int64(len(st.send[m.From]) - before)
 				}
-				e := &nd.entries[pos]
-				flags := entryFlags(0)
-				if e.isSelfish() {
-					flags |= flagSelfish
-				}
-				before := len(nd.sendBuf[m.From])
-				nd.sendBuf[m.From] = encodeRecoveryRecord(nd.sendBuf[m.From], c.vc, roleReplica,
-					-1, id, flags, -1, int16(nd.id), pos, e.inDeg, e.outDeg,
-					e.value, e.lastActivate, e.lastActivateIter, nil, nil)
-				nd.met.RecoveryMsgs++
-				nd.met.RecoveryBytes += int64(len(nd.sendBuf[m.From]) - before)
 			}
-		}
+		})
 	})
 	c.flushSendRound(netsim.KindRecovery)
 	createdPerNode := make([]int, c.cfg.NumNodes)
@@ -713,28 +730,32 @@ func (c *Cluster[V, A]) recomputeSelfishAt(isTarget func(mn int16, mp int32) boo
 	if prev < 0 {
 		prev = 0
 	}
+	// Chunk-parallel under the same safety argument as recomputeSelfish:
+	// selfish vertices are never anyone's in-neighbor.
 	for _, nd := range c.aliveNodes() {
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.isMaster() || !e.isSelfish() || !isTarget(int16(nd.id), int32(i)) || len(e.inNbr) == 0 {
-				continue
-			}
-			var acc A
-			has := false
-			for k, src := range e.inNbr {
-				se := &nd.entries[src]
-				contrib := c.prog.Gather(
-					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
-					se.value, se.info())
-				if has {
-					acc = c.prog.Merge(acc, contrib)
-				} else {
-					acc, has = contrib, true
+		c.chunked(nd, len(nd.entries), func(_ *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.isMaster() || !e.isSelfish() || !isTarget(int16(nd.id), int32(i)) || len(e.inNbr) == 0 {
+					continue
 				}
+				var acc A
+				has := false
+				for k, src := range e.inNbr {
+					se := &nd.entries[src]
+					contrib := c.prog.Gather(
+						graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+						se.value, se.info())
+					if has {
+						acc = c.prog.Merge(acc, contrib)
+					} else {
+						acc, has = contrib, true
+					}
+				}
+				initVal, _ := c.prog.Init(e.id, e.info())
+				newV, _ := c.prog.Apply(e.id, e.info(), initVal, acc, has, prev)
+				e.value = newV
 			}
-			initVal, _ := c.prog.Init(e.id, e.info())
-			newV, _ := c.prog.Apply(e.id, e.info(), initVal, acc, has, prev)
-			e.value = newV
-		}
+		})
 	}
 }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+
+	"imitator/internal/metrics"
+)
+
+// This file implements the intra-node worker pool. Each simulated node
+// shards its flat vertex array (or any indexable work list) into
+// Config.WorkersPerNode contiguous chunks and processes them concurrently.
+//
+// Determinism argument: every parallelized loop writes either
+//   (a) fields of the entry it owns (index-disjoint across chunks),
+//   (b) per-worker staging buffers (stager) merged in chunk order, or
+//   (c) idempotent boolean activations collected as position lists and
+//       applied after the join.
+// Sequential iteration order equals the concatenation of chunks 0..P-1, so
+// the merged per-destination byte streams, metric sums and vertex values are
+// bit-for-bit identical for every worker count — which is what keeps the
+// recovery-equivalence invariant independent of P.
+
+// chunkBounds splits [0, n) into at most p contiguous chunks whose sizes
+// differ by at most one. p is clamped to [1, n]; n == 0 yields no chunks.
+func chunkBounds(n, p int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	bounds := make([][2]int, p)
+	base, rem := n/p, n%p
+	lo := 0
+	for i := range bounds {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		bounds[i] = [2]int{lo, hi}
+		lo = hi
+	}
+	return bounds
+}
+
+// stager is one worker's private staging area for a chunked phase. Workers
+// never touch the owning node's shared buffers; the pool merges stagers in
+// chunk order after the join, reproducing the sequential byte streams.
+type stager struct {
+	// send/notice mirror node.sendBuf/noticeBuf, one buffer per destination.
+	send   [][]byte
+	notice [][]byte
+	// met accumulates this worker's metric deltas.
+	met metrics.Node
+	// pendingActive/active list entry positions whose flag the worker wants
+	// set. Booleans are idempotent, so applying the lists after the join is
+	// order-insensitive — but doing it post-join keeps the race detector
+	// clean and the writes out of the parallel section.
+	pendingActive []int32
+	active        []int32
+	// busy is the worker's raw single-core compute cost in simulated seconds.
+	busy float64
+}
+
+// stage appends encoded bytes to the worker's buffer for destination dst.
+func (st *stager) stage(dst int, encode func(buf []byte) []byte) {
+	st.send[dst] = encode(st.send[dst])
+}
+
+// stageNotice appends to the worker's out-of-round activation notice buffer.
+func (st *stager) stageNotice(dst int, encode func(buf []byte) []byte) {
+	st.notice[dst] = encode(st.notice[dst])
+}
+
+// markPendingActive requests entries[pos].pendingActive = true after join.
+func (st *stager) markPendingActive(pos int32) {
+	st.pendingActive = append(st.pendingActive, pos)
+}
+
+// markActive requests entries[pos].active = true after join.
+func (st *stager) markActive(pos int32) {
+	st.active = append(st.active, pos)
+}
+
+// chunked shards [0, n) across nd's worker pool and runs body on every
+// chunk, giving each worker a private stager. After all workers join it
+// merges the stagers in chunk order into nd's shared buffers, applies the
+// activation lists, folds worker metrics into nd.met and per-worker busy
+// time into the cluster's worker metrics, and converts the phase's raw cost
+// (sum of busy) into simulated seconds via Cost.ComputeTime. The return
+// value is that simulated duration; callers that model time add it to
+// nd.phaseCost. Phases that stage bytes without accounting compute cost
+// leave busy at zero and get 0 back.
+func (c *Cluster[V, A]) chunked(nd *node[V, A], n int, body func(st *stager, lo, hi int)) float64 {
+	bounds := chunkBounds(n, c.cfg.WorkersPerNode)
+	if len(bounds) == 0 {
+		return 0
+	}
+	width := len(nd.sendBuf)
+	sts := make([]*stager, len(bounds))
+	if len(bounds) == 1 {
+		// Inline fast path: one chunk runs on the calling goroutine.
+		st := &stager{send: make([][]byte, width), notice: make([][]byte, width)}
+		body(st, bounds[0][0], bounds[0][1])
+		sts[0] = st
+	} else {
+		var wg sync.WaitGroup
+		for w, b := range bounds {
+			st := &stager{send: make([][]byte, width), notice: make([][]byte, width)}
+			sts[w] = st
+			wg.Add(1)
+			go func(st *stager, lo, hi int) {
+				defer wg.Done()
+				body(st, lo, hi)
+			}(st, b[0], b[1])
+		}
+		wg.Wait()
+	}
+
+	var total, slowest float64
+	for w, st := range sts {
+		for dst, buf := range st.send {
+			if len(buf) == 0 {
+				continue
+			}
+			if len(nd.sendBuf[dst]) == 0 {
+				nd.sendBuf[dst] = buf // steal: no copy at W=1
+			} else {
+				nd.sendBuf[dst] = append(nd.sendBuf[dst], buf...)
+			}
+		}
+		for dst, buf := range st.notice {
+			if len(buf) == 0 {
+				continue
+			}
+			if len(nd.noticeBuf[dst]) == 0 {
+				nd.noticeBuf[dst] = buf
+			} else {
+				nd.noticeBuf[dst] = append(nd.noticeBuf[dst], buf...)
+			}
+		}
+		nd.met.Add(&st.met)
+		for _, pos := range st.pendingActive {
+			nd.entries[pos].pendingActive = true
+		}
+		for _, pos := range st.active {
+			nd.entries[pos].active = true
+		}
+		total += st.busy
+		if st.busy > slowest {
+			slowest = st.busy
+		}
+		if st.busy > 0 {
+			c.met.Workers[nd.id].Observe(w, st.busy)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	t := c.cfg.Cost.ComputeTime(total, slowest)
+	nd.met.ComputeSeconds += t
+	nd.met.ComputeWorkSeconds += total
+	return t
+}
+
+// chunkEncode shards [0, n) across the pool for flat-stream encoding: each
+// worker appends its chunk's records to a private buffer and reports how
+// many it wrote. Buffers come back in chunk order, so their concatenation
+// equals the sequential encoding; the caller stitches them after any header.
+func (c *Cluster[V, A]) chunkEncode(n int, body func(buf []byte, lo, hi int) ([]byte, int)) ([][]byte, int) {
+	bounds := chunkBounds(n, c.cfg.WorkersPerNode)
+	if len(bounds) == 0 {
+		return nil, 0
+	}
+	bufs := make([][]byte, len(bounds))
+	counts := make([]int, len(bounds))
+	if len(bounds) == 1 {
+		bufs[0], counts[0] = body(nil, bounds[0][0], bounds[0][1])
+	} else {
+		var wg sync.WaitGroup
+		for w, b := range bounds {
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				bufs[w], counts[w] = body(nil, lo, hi)
+			}(w, b[0], b[1])
+		}
+		wg.Wait()
+	}
+	total := 0
+	for _, cnt := range counts {
+		total += cnt
+	}
+	return bufs, total
+}

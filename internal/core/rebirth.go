@@ -58,29 +58,31 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 		if failedSet[nd.id] {
 			return // newbies have nothing to send
 		}
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if e.isMaster() {
-				for ri, rn := range e.replicaNodes {
-					if failedSet[int(rn)] {
-						c.stageReplicaRecovery(nd, e, ri, int(rn))
-					}
-				}
-			} else if e.isMirror() && failedSet[int(e.masterNode)] {
-				if c.lowestSurvivingMirror(e, failedSet) == nd.id {
-					c.stageMasterRecovery(nd, e, int(e.masterNode))
-					// With multiple simultaneous failures, the lost
-					// master's replicas on *other* failed nodes have no
-					// master to recover them; the recovering mirror does
-					// it from its full-state copy (§5.3.1).
-					for ri, rn := range e.mReplicaN {
+		c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if e.isMaster() {
+					for ri, rn := range e.replicaNodes {
 						if failedSet[int(rn)] {
-							c.stageReplicaRecoveryFromMirror(nd, e, ri, int(rn))
+							c.stageReplicaRecovery(nd, st, e, ri, int(rn))
+						}
+					}
+				} else if e.isMirror() && failedSet[int(e.masterNode)] {
+					if c.lowestSurvivingMirror(e, failedSet) == nd.id {
+						c.stageMasterRecovery(st, e, int(e.masterNode))
+						// With multiple simultaneous failures, the lost
+						// master's replicas on *other* failed nodes have no
+						// master to recover them; the recovering mirror does
+						// it from its full-state copy (§5.3.1).
+						for ri, rn := range e.mReplicaN {
+							if failedSet[int(rn)] {
+								c.stageReplicaRecoveryFromMirror(st, e, ri, int(rn))
+							}
 						}
 					}
 				}
 			}
-		}
+		})
 	})
 	c.flushSendRound(netsim.KindRecovery)
 
@@ -124,6 +126,9 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 	for _, f := range failed {
 		nd := c.nodes[f]
 		raw := make(map[int32]*rawEdges)
+		// Decode serially (the streams are sequential), collecting records so
+		// placement can run on the worker pool.
+		var recs []recoveryRecord[V]
 		for _, m := range received[f] {
 			if m.Kind != netsim.KindRecovery {
 				continue
@@ -134,19 +139,31 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 				if r.err != nil {
 					break
 				}
-				c.placeRecovered(nd, &recRec)
+				recs = append(recs, recRec)
 				// Only master records carry local in-edges; a recovered
 				// mirror's edge list is part of its full state (mInSrc),
 				// not this node's topology.
 				if recRec.role == roleMaster && recRec.edges != nil {
 					raw[recRec.pos] = recRec.edges
 				}
-				rec.RecoveredVertices++
 			}
 			if r.err != nil {
 				return nil, fmt.Errorf("core: rebirth decode on node %d: %w", f, r.err)
 			}
 		}
+		// Position-addressed placement is contention-free (§5.1.2): every
+		// record targets a distinct slot, so records place in parallel. The
+		// id index rebuilds serially afterwards (map writes don't share).
+		placeCost := c.chunked(nd, len(recs), func(st *stager, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				c.placeRecovered(nd, &recs[k])
+			}
+			st.busy = float64(hi-lo) * c.cfg.Cost.ReconstructPerVertex
+		})
+		for i := range nd.entries {
+			nd.index[nd.entries[i].id] = int32(i)
+		}
+		rec.RecoveredVertices += len(recs)
 		// Every slot must have been recovered.
 		for i := range nd.entries {
 			if nd.entries[i].masterNode == noNode {
@@ -180,8 +197,7 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 		}
 		nd.localEdges = edges
 		rec.RecoveredEdges += edges
-		reconSpan.Observe(float64(len(nd.entries))*c.cfg.Cost.ReconstructPerVertex +
-			float64(edges)*c.cfg.Cost.ComputePerEdge)
+		reconSpan.Observe(placeCost + float64(edges)*c.cfg.Cost.ComputePerEdge)
 	}
 	c.clock.Advance(reconSpan.Max())
 	if state := c.barrier(); state.IsFail() {
@@ -210,7 +226,7 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 // stageReplicaRecovery emits the record recreating master e's replica that
 // lived on failed node rn. If the lost replica was a mirror, the record
 // carries the master's full state so the mirror can be recreated intact.
-func (c *Cluster[V, A]) stageReplicaRecovery(nd *node[V, A], e *vertexEntry[V], ri, rn int) {
+func (c *Cluster[V, A]) stageReplicaRecovery(nd *node[V, A], st *stager, e *vertexEntry[V], ri, rn int) {
 	flags := entryFlags(0)
 	if e.replicaFTOnly[ri] {
 		flags |= flagFTOnly
@@ -238,18 +254,18 @@ func (c *Cluster[V, A]) stageReplicaRecovery(nd *node[V, A], e *vertexEntry[V], 
 			edges = c.masterRawEdges(nd, e)
 		}
 	}
-	before := len(nd.sendBuf[rn])
-	nd.sendBuf[rn] = encodeRecoveryRecord(nd.sendBuf[rn], c.vc, roleReplica,
+	before := len(st.send[rn])
+	st.send[rn] = encodeRecoveryRecord(st.send[rn], c.vc, roleReplica,
 		e.replicaPos[ri], e.id, flags, mirrorRank,
 		int16(nd.id), e.masterPos, e.inDeg, e.outDeg,
 		e.value, e.lastActivate, e.lastActivateIter, table, edges)
-	nd.met.RecoveryMsgs++
-	nd.met.RecoveryBytes += int64(len(nd.sendBuf[rn]) - before)
+	st.met.RecoveryMsgs++
+	st.met.RecoveryBytes += int64(len(st.send[rn]) - before)
 }
 
 // stageMasterRecovery emits the record recreating the master that lived on
 // the failed node, from this surviving mirror's full state.
-func (c *Cluster[V, A]) stageMasterRecovery(nd *node[V, A], e *vertexEntry[V], dst int) {
+func (c *Cluster[V, A]) stageMasterRecovery(st *stager, e *vertexEntry[V], dst int) {
 	flags := flagMaster
 	if e.isSelfish() {
 		flags |= flagSelfish
@@ -264,18 +280,18 @@ func (c *Cluster[V, A]) stageMasterRecovery(nd *node[V, A], e *vertexEntry[V], d
 	if c.ec != nil {
 		edges = &rawEdges{src: e.mInSrc, wt: e.mInWt, srcMaster: e.mInSrcMaster}
 	}
-	before := len(nd.sendBuf[dst])
-	nd.sendBuf[dst] = encodeRecoveryRecord(nd.sendBuf[dst], c.vc, roleMaster,
+	before := len(st.send[dst])
+	st.send[dst] = encodeRecoveryRecord(st.send[dst], c.vc, roleMaster,
 		e.masterPos, e.id, flags, -1,
 		int16(dst), e.masterPos, e.inDeg, e.outDeg,
 		e.value, e.lastActivate, e.lastActivateIter, table, edges)
-	nd.met.RecoveryMsgs++
-	nd.met.RecoveryBytes += int64(len(nd.sendBuf[dst]) - before)
+	st.met.RecoveryMsgs++
+	st.met.RecoveryBytes += int64(len(st.send[dst]) - before)
 }
 
 // stageReplicaRecoveryFromMirror recreates the lost master's replica on
 // failed node rn using the recovering mirror's full state.
-func (c *Cluster[V, A]) stageReplicaRecoveryFromMirror(nd *node[V, A], e *vertexEntry[V], ri, rn int) {
+func (c *Cluster[V, A]) stageReplicaRecoveryFromMirror(st *stager, e *vertexEntry[V], ri, rn int) {
 	flags := entryFlags(0)
 	if e.mReplicaFT[ri] {
 		flags |= flagFTOnly
@@ -303,13 +319,13 @@ func (c *Cluster[V, A]) stageReplicaRecoveryFromMirror(nd *node[V, A], e *vertex
 			edges = &rawEdges{src: e.mInSrc, wt: e.mInWt, srcMaster: e.mInSrcMaster}
 		}
 	}
-	before := len(nd.sendBuf[rn])
-	nd.sendBuf[rn] = encodeRecoveryRecord(nd.sendBuf[rn], c.vc, roleReplica,
+	before := len(st.send[rn])
+	st.send[rn] = encodeRecoveryRecord(st.send[rn], c.vc, roleReplica,
 		e.mReplicaP[ri], e.id, flags, mirrorRank,
 		e.masterNode, e.masterPos, e.inDeg, e.outDeg,
 		e.value, e.lastActivate, e.lastActivateIter, table, edges)
-	nd.met.RecoveryMsgs++
-	nd.met.RecoveryBytes += int64(len(nd.sendBuf[rn]) - before)
+	st.met.RecoveryMsgs++
+	st.met.RecoveryBytes += int64(len(st.send[rn]) - before)
 }
 
 // masterRawEdges converts a master's local in-edge positions into global
@@ -329,7 +345,9 @@ func (c *Cluster[V, A]) masterRawEdges(nd *node[V, A], e *vertexEntry[V]) *rawEd
 }
 
 // placeRecovered materializes one recovery record at its position in the
-// newbie's array. Position-addressed placement is contention-free (§5.1.2).
+// newbie's array. Position-addressed placement is contention-free (§5.1.2),
+// so records place chunk-parallel; the caller rebuilds the id index after
+// all placements land.
 func (c *Cluster[V, A]) placeRecovered(nd *node[V, A], rec *recoveryRecord[V]) {
 	e := &nd.entries[rec.pos]
 	e.id = rec.id
@@ -366,7 +384,6 @@ func (c *Cluster[V, A]) placeRecovered(nd *node[V, A], rec *recoveryRecord[V]) {
 			e.mInSrcMaster = rec.edges.srcMaster
 		}
 	}
-	nd.index[rec.id] = rec.pos
 }
 
 // attachEdgeCkpt links the (src, dst, weight) triples of one edge-ckpt file
@@ -425,27 +442,31 @@ func (c *Cluster[V, A]) recomputeSelfish(failed []int, iter int) {
 		if nd == nil || !nd.alive {
 			continue
 		}
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.isMaster() || !e.isSelfish() || len(e.inNbr) == 0 {
-				continue
-			}
-			var acc A
-			has := false
-			for k, src := range e.inNbr {
-				se := &nd.entries[src]
-				contrib := c.prog.Gather(
-					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
-					se.value, se.info())
-				if has {
-					acc = c.prog.Merge(acc, contrib)
-				} else {
-					acc, has = contrib, true
+		// Chunk-parallel: selfish vertices have no out-edges, so they are
+		// never read as another chunk's in-neighbor while being rewritten.
+		c.chunked(nd, len(nd.entries), func(_ *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.isMaster() || !e.isSelfish() || len(e.inNbr) == 0 {
+					continue
 				}
+				var acc A
+				has := false
+				for k, src := range e.inNbr {
+					se := &nd.entries[src]
+					contrib := c.prog.Gather(
+						graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+						se.value, se.info())
+					if has {
+						acc = c.prog.Merge(acc, contrib)
+					} else {
+						acc, has = contrib, true
+					}
+				}
+				initVal, _ := c.prog.Init(e.id, e.info())
+				newV, _ := c.prog.Apply(e.id, e.info(), initVal, acc, has, max(prev, 0))
+				e.value = newV
 			}
-			initVal, _ := c.prog.Init(e.id, e.info())
-			newV, _ := c.prog.Apply(e.id, e.info(), initVal, acc, has, max(prev, 0))
-			e.value = newV
-		}
+		})
 	}
 }

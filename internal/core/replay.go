@@ -20,50 +20,56 @@ func (c *Cluster[V, A]) replayActivation(iter int, isTarget func(masterNode int1
 
 	// Reset the targets to their activation baseline.
 	c.eachAlive(func(nd *node[V, A]) {
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.isMaster() || !isTarget(int16(nd.id), int32(i)) {
-				continue
+		c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.isMaster() || !isTarget(int16(nd.id), int32(i)) {
+					continue
+				}
+				switch {
+				case always:
+					e.active = true
+				case iter == 0:
+					_, act := c.prog.Init(e.id, e.info())
+					e.active = act
+				default:
+					e.active = false
+				}
 			}
-			switch {
-			case always:
-				e.active = true
-			case iter == 0:
-				_, act := c.prog.Init(e.id, e.info())
-				e.active = act
-			default:
-				e.active = false
-			}
-		}
+		})
 	})
 	if always || iter == 0 {
 		return
 	}
 	prev := int32(iter - 1)
 
-	// Regenerate activation operations aimed at the targets.
+	// Regenerate activation operations aimed at the targets. Local-master
+	// activations cross chunk boundaries, so they go through the worker's
+	// activation list.
 	c.eachAlive(func(nd *node[V, A]) {
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.lastActivate || e.lastActivateIter != prev {
-				continue
-			}
-			for _, w := range e.outNbr {
-				we := &nd.entries[w]
-				if we.isMaster() {
-					if isTarget(int16(nd.id), int32(w)) {
-						we.active = true
+		c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.lastActivate || e.lastActivateIter != prev {
+					continue
+				}
+				for _, w := range e.outNbr {
+					we := &nd.entries[w]
+					if we.isMaster() {
+						if isTarget(int16(nd.id), int32(w)) {
+							st.markActive(w)
+						}
+					} else if isTarget(we.masterNode, we.masterPos) {
+						mpos := we.masterPos
+						st.stageNotice(int(we.masterNode), func(buf []byte) []byte {
+							return binary.LittleEndian.AppendUint32(buf, uint32(mpos))
+						})
+						st.met.RecoveryMsgs++
+						st.met.RecoveryBytes += 4
 					}
-				} else if isTarget(we.masterNode, we.masterPos) {
-					mpos := we.masterPos
-					nd.stageNotice(int(we.masterNode), func(buf []byte) []byte {
-						return binary.LittleEndian.AppendUint32(buf, uint32(mpos))
-					})
-					nd.met.RecoveryMsgs++
-					nd.met.RecoveryBytes += 4
 				}
 			}
-		}
+		})
 	})
 	c.flushNoticeRound()
 	c.eachAlive(func(nd *node[V, A]) {

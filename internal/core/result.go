@@ -76,6 +76,10 @@ type Result[V any] struct {
 	MaxMemory   int64 // largest per-node footprint, bytes
 	TotalMemory int64
 
+	// Workers holds per-node, per-worker busy seconds when WorkersPerNode
+	// > 1 (empty entries otherwise): the intra-node load-balance picture.
+	Workers []metrics.WorkerTimes
+
 	Trace      []TraceEvent
 	Recoveries []RecoveryStats
 }
@@ -105,6 +109,7 @@ func (c *Cluster[V, A]) result() *Result[V] {
 	c.refreshMemoryMetrics()
 	res.Metrics = c.met.Total()
 	res.PerNode = append([]metrics.Node(nil), c.met.Nodes...)
+	res.Workers = append([]metrics.WorkerTimes(nil), c.met.Workers...)
 	res.MaxMemory = c.met.MaxMemoryNode()
 	res.TotalMemory = res.Metrics.MemoryBytes
 

@@ -30,31 +30,35 @@ func (c *Cluster[V, A]) superstepVertexCut(iter int) error {
 	// R1: activation broadcast.
 	if !always {
 		c.eachAlive(func(nd *node[V, A]) {
-			for i := range nd.entries {
-				e := &nd.entries[i]
-				if !e.isMaster() || !e.active {
-					continue
-				}
-				for ri, rn := range e.replicaNodes {
-					if e.replicaFTOnly[ri] {
-						continue // FT replicas hold no edges: nothing to gather
+			c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e := &nd.entries[i]
+					if !e.isMaster() || !e.active {
+						continue
 					}
-					pos := e.replicaPos[ri]
-					nd.stage(int(rn), func(buf []byte) []byte {
-						return binary.LittleEndian.AppendUint32(buf, uint32(pos))
-					})
-					nd.met.ActivationMsgs++
-					nd.met.ActivationBytes += 4
+					for ri, rn := range e.replicaNodes {
+						if e.replicaFTOnly[ri] {
+							continue // FT replicas hold no edges: nothing to gather
+						}
+						pos := e.replicaPos[ri]
+						st.stage(int(rn), func(buf []byte) []byte {
+							return binary.LittleEndian.AppendUint32(buf, uint32(pos))
+						})
+						st.met.ActivationMsgs++
+						st.met.ActivationBytes += 4
+					}
 				}
-			}
+			})
 		})
 		c.flushSendRound(netsim.KindActivation)
 		c.eachAlive(func(nd *node[V, A]) {
-			for i := range nd.entries {
-				if e := &nd.entries[i]; !e.isMaster() {
-					e.active = false
+			c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if e := &nd.entries[i]; !e.isMaster() {
+						e.active = false
+					}
 				}
-			}
+			})
 			for _, m := range c.net.Receive(nd.id) {
 				buf := m.Payload
 				for len(buf) >= 4 {
@@ -70,45 +74,47 @@ func (c *Cluster[V, A]) superstepVertexCut(iter int) error {
 	partials := make([][]gatherPartial[A], len(c.nodes))
 	c.eachAlive(func(nd *node[V, A]) {
 		local := make([]gatherPartial[A], len(nd.entries))
-		edges := 0
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.active || len(e.inNbr) == 0 {
-				continue
-			}
-			var acc A
-			has := false
-			for k, src := range e.inNbr {
-				se := &nd.entries[src]
-				contrib := c.prog.Gather(
-					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
-					se.value, se.info())
-				if has {
-					acc = c.prog.Merge(acc, contrib)
+		nd.phaseCost = c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+			edges := 0
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.active || len(e.inNbr) == 0 {
+					continue
+				}
+				var acc A
+				has := false
+				for k, src := range e.inNbr {
+					se := &nd.entries[src]
+					contrib := c.prog.Gather(
+						graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+						se.value, se.info())
+					if has {
+						acc = c.prog.Merge(acc, contrib)
+					} else {
+						acc, has = contrib, true
+					}
+				}
+				edges += len(e.inNbr)
+				if !has {
+					continue
+				}
+				if e.isMaster() {
+					local[i] = gatherPartial[A]{acc: acc, has: true}
 				} else {
-					acc, has = contrib, true
+					mn := int(e.masterNode)
+					mpos := e.masterPos
+					before := len(st.send[mn])
+					st.stage(mn, func(buf []byte) []byte {
+						buf = binary.LittleEndian.AppendUint32(buf, uint32(mpos))
+						return c.ac.Append(buf, acc)
+					})
+					st.met.GatherMsgs++
+					st.met.GatherBytes += int64(len(st.send[mn]) - before)
 				}
 			}
-			edges += len(e.inNbr)
-			if !has {
-				continue
-			}
-			if e.isMaster() {
-				local[i] = gatherPartial[A]{acc: acc, has: true}
-			} else {
-				mn := int(e.masterNode)
-				mpos := e.masterPos
-				before := len(nd.sendBuf[mn])
-				nd.stage(mn, func(buf []byte) []byte {
-					buf = binary.LittleEndian.AppendUint32(buf, uint32(mpos))
-					return c.ac.Append(buf, acc)
-				})
-				nd.met.GatherMsgs++
-				nd.met.GatherBytes += int64(len(nd.sendBuf[mn]) - before)
-			}
-		}
+			st.busy = float64(edges) * c.cfg.Cost.ComputePerEdge
+		})
 		partials[nd.id] = local
-		nd.phaseCost = float64(edges) * c.cfg.Cost.ComputePerEdge
 	})
 	c.advanceComputeSpan()
 	c.flushSendRound(netsim.KindGather)
@@ -160,44 +166,55 @@ func (c *Cluster[V, A]) superstepVertexCut(iter int) error {
 		}
 		takeLocal()
 
-		applies := 0
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.isMaster() || !e.active {
-				continue
+		// Apply runs chunk-parallel over the serially merged partials: each
+		// chunk writes only its own masters' staged state.
+		nd.phaseCost = c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+			applies := 0
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.isMaster() || !e.active {
+					continue
+				}
+				newV, scatter := c.prog.Apply(e.id, e.info(), e.value, merged[i].acc, merged[i].has, iter)
+				e.pendingValue = newV
+				e.hasPending = true
+				e.pendingScatter = scatter
+				e.pendingScatterI = int32(iter)
+				applies++
+				if scatter {
+					c.scatterMark(nd, st, e)
+				}
 			}
-			newV, scatter := c.prog.Apply(e.id, e.info(), e.value, merged[i].acc, merged[i].has, iter)
-			e.pendingValue = newV
-			e.hasPending = true
-			e.pendingScatter = scatter
-			e.pendingScatterI = int32(iter)
-			applies++
-			if scatter {
-				c.scatterMark(nd, e)
-			}
-		}
-		nd.phaseCost = float64(applies) * c.cfg.Cost.ComputePerVertex
+			st.busy = float64(applies) * c.cfg.Cost.ComputePerVertex
+		})
 	})
 	c.advanceComputeSpan()
 
-	// R3 sync: masters broadcast new values + scatter bits.
+	// R3 sync: masters broadcast new values + scatter bits. Encode is
+	// chunk-parallel; decode parallelizes over messages (replica positions
+	// are disjoint across senders).
 	c.eachAlive(func(nd *node[V, A]) {
-		for i := range nd.entries {
-			e := &nd.entries[i]
-			if !e.isMaster() || !e.hasPending {
-				continue
+		c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := &nd.entries[i]
+				if !e.isMaster() || !e.hasPending {
+					continue
+				}
+				c.stageSyncRecords(st, e)
 			}
-			c.stageSyncRecords(nd, e)
-		}
+		})
 	})
 	c.flushSendRound(netsim.KindSync)
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
-			if m.Kind != netsim.KindSync {
-				continue
+		msgs := c.net.Receive(nd.id)
+		c.chunked(nd, len(msgs), func(st *stager, lo, hi int) {
+			for _, m := range msgs[lo:hi] {
+				if m.Kind != netsim.KindSync {
+					continue
+				}
+				c.applySyncScatter(nd, st, m.Payload)
 			}
-			c.applySyncScatter(nd, m.Payload)
-		}
+		})
 	})
 
 	// R4 activation notices to the masters of activated vertices.
@@ -217,7 +234,7 @@ func (c *Cluster[V, A]) superstepVertexCut(iter int) error {
 
 // applySyncScatter stages sync records and performs local scatter marking,
 // queueing activation notices for remote masters.
-func (c *Cluster[V, A]) applySyncScatter(nd *node[V, A], buf []byte) {
+func (c *Cluster[V, A]) applySyncScatter(nd *node[V, A], st *stager, buf []byte) {
 	iter := int32(c.iter)
 	for len(buf) > 0 {
 		pos := int32(binary.LittleEndian.Uint32(buf))
@@ -236,26 +253,27 @@ func (c *Cluster[V, A]) applySyncScatter(nd *node[V, A], buf []byte) {
 		e.pendingScatter = flags&1 != 0
 		e.pendingScatterI = iter
 		if e.pendingScatter {
-			c.scatterMark(nd, e)
+			c.scatterMark(nd, st, e)
 		}
 	}
 }
 
-// scatterMark activates vertex e's local out-targets: masters directly,
-// replicas via an activation notice to their master's node.
-func (c *Cluster[V, A]) scatterMark(nd *node[V, A], e *vertexEntry[V]) {
+// scatterMark activates vertex e's local out-targets: masters through the
+// worker's activation list, replicas via an activation notice to their
+// master's node.
+func (c *Cluster[V, A]) scatterMark(nd *node[V, A], st *stager, e *vertexEntry[V]) {
 	for _, w := range e.outNbr {
 		we := &nd.entries[w]
 		if we.isMaster() {
-			we.pendingActive = true
+			st.markPendingActive(w)
 			continue
 		}
 		mn := int(we.masterNode)
 		mpos := we.masterPos
-		nd.stageNotice(mn, func(buf []byte) []byte {
+		st.stageNotice(mn, func(buf []byte) []byte {
 			return binary.LittleEndian.AppendUint32(buf, uint32(mpos))
 		})
-		nd.met.ActivationMsgs++
-		nd.met.ActivationBytes += 4
+		st.met.ActivationMsgs++
+		st.met.ActivationBytes += 4
 	}
 }

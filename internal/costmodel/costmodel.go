@@ -43,6 +43,11 @@ type Params struct {
 	// DetectMissedBeats * HeartbeatInterval.
 	HeartbeatInterval float64
 	DetectMissedBeats int
+	// ComputeSerialFrac is the fraction of each compute phase that cannot
+	// parallelize across a node's cores (dispatch, cache contention,
+	// reduction). The rest runs on the per-node worker pool and is bounded
+	// by the slowest worker; see ComputeTime. Irrelevant with one worker.
+	ComputeSerialFrac float64
 }
 
 // Default returns constants calibrated so the scaled datasets (1/64 of the
@@ -65,6 +70,7 @@ func Default() Params {
 		BarrierOverhead:      5e-3,
 		HeartbeatInterval:    0.5,
 		DetectMissedBeats:    3,
+		ComputeSerialFrac:    0.05,
 	}
 }
 
@@ -76,7 +82,24 @@ func (p Params) Validate() error {
 	if p.DFSReplication < 1 {
 		return fmt.Errorf("costmodel: DFS replication %d < 1", p.DFSReplication)
 	}
+	if p.ComputeSerialFrac < 0 || p.ComputeSerialFrac >= 1 {
+		return fmt.Errorf("costmodel: ComputeSerialFrac %g outside [0, 1)", p.ComputeSerialFrac)
+	}
 	return nil
+}
+
+// ComputeTime converts one node's compute phase into simulated seconds when
+// the work is spread over a per-node worker pool: `total` is the raw
+// single-core cost of the whole phase and `slowest` the raw cost of the
+// busiest worker's share. The serial fraction of the total is paid in full;
+// the parallel remainder is bounded by the slowest worker (Amdahl's law with
+// explicit load imbalance). With one worker slowest == total and the result
+// is exactly `total`, so single-worker figures match the paper's model.
+func (p Params) ComputeTime(total, slowest float64) float64 {
+	if slowest >= total {
+		return total
+	}
+	return p.ComputeSerialFrac*total + (1-p.ComputeSerialFrac)*slowest
 }
 
 // NetTransfer returns the simulated seconds to move n bytes point-to-point.

@@ -24,12 +24,16 @@ type Options struct {
 	Nodes int
 	// Iters is the PageRank superstep count (the paper uses 20).
 	Iters int
+	// Workers is the intra-node worker-pool width (Config.WorkersPerNode).
+	// Results are bit-for-bit independent of it; it only shortens wall
+	// clock (and simulated compute via the cost model). 0 means 1.
+	Workers int
 	// Small shrinks datasets and sweeps for unit tests.
 	Small bool
 }
 
 // Defaults returns the standard scaled configuration.
-func Defaults() Options { return Options{Nodes: 8, Iters: 10} }
+func Defaults() Options { return Options{Nodes: 8, Iters: 10, Workers: 1} }
 
 func (o Options) orDefaults() Options {
 	d := Defaults()
@@ -38,6 +42,9 @@ func (o Options) orDefaults() Options {
 	}
 	if o.Iters == 0 {
 		o.Iters = d.Iters
+	}
+	if o.Workers == 0 {
+		o.Workers = d.Workers
 	}
 	return o
 }
@@ -203,6 +210,7 @@ func baseEdgeCut(o Options) core.Config {
 	cfg := core.DefaultConfig(core.EdgeCutMode, o.Nodes)
 	cfg.FT = core.FTConfig{}
 	cfg.Recovery = core.RecoverNone
+	cfg.WorkersPerNode = workersOf(o)
 	return cfg
 }
 
@@ -210,7 +218,17 @@ func baseVertexCut(o Options) core.Config {
 	cfg := core.DefaultConfig(core.VertexCutMode, o.Nodes)
 	cfg.FT = core.FTConfig{}
 	cfg.Recovery = core.RecoverNone
+	cfg.WorkersPerNode = workersOf(o)
 	return cfg
+}
+
+// workersOf guards against callers that build Options literals without
+// going through orDefaults.
+func workersOf(o Options) int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 func withREP(cfg core.Config, k int) core.Config {

@@ -1,0 +1,38 @@
+package imitator
+
+import "imitator/internal/algorithms"
+
+// NewPageRank returns the damped PageRank program (V = A = float64).
+func NewPageRank(numVertices int) Program[float64, float64] {
+	return algorithms.NewPageRank(numVertices)
+}
+
+// NewSSSP returns single-source shortest paths from source
+// (V = A = float64; unreachable vertices converge to +Inf).
+func NewSSSP(source VertexID) Program[float64, float64] {
+	return algorithms.NewSSSP(source)
+}
+
+// NewCD returns label-propagation community detection
+// (V = int32 label, A = []LabelCount).
+func NewCD() Program[int32, []LabelCount] {
+	return algorithms.NewCD()
+}
+
+// NewALS returns alternating least squares for a bipartite rating graph
+// whose first numUsers ids are users (V = A = []float64 of length dim).
+func NewALS(numUsers, dim int, lambda float64) Program[[]float64, []float64] {
+	return algorithms.NewALS(numUsers, dim, lambda)
+}
+
+// NewCC returns connected components by min-label propagation
+// (V = A = int32).
+func NewCC() Program[int32, int32] {
+	return algorithms.NewCC()
+}
+
+// NewKCore returns iterative k-core decomposition membership
+// (V = A = int32).
+func NewKCore(k int) Program[int32, int32] {
+	return algorithms.NewKCore(k)
+}

@@ -1,0 +1,120 @@
+package imitator
+
+import "imitator/internal/core"
+
+// Option mutates a job configuration being assembled by New.
+type Option func(*Config)
+
+// New assembles a Config from options on top of the engine defaults:
+// edge-cut mode, 8 nodes, replication-based FT with K=1 and the selfish
+// optimization, Rebirth recovery, 10 iterations, one worker per node.
+// Options apply in order (later options win). The partitioner defaults to
+// the mode's standard choice — hash for edge-cut, hybrid-cut for
+// vertex-cut — unless WithPartitioner overrides it.
+//
+// New never fails; an impossible combination is reported by NewCluster /
+// Run via Config.Validate.
+func New(opts ...Option) Config {
+	cfg := core.DefaultConfig(core.EdgeCutMode, 8)
+	cfg.Partitioner = 0 // sentinel: resolve from final mode below
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Partitioner == 0 {
+		cfg.Partitioner = core.DefaultConfig(cfg.Mode, cfg.NumNodes).Partitioner
+	}
+	return cfg
+}
+
+// WithMode selects the execution engine: EdgeCutMode or VertexCutMode.
+func WithMode(m Mode) Option {
+	return func(c *Config) { c.Mode = m }
+}
+
+// WithNodes sets the simulated cluster size.
+func WithNodes(n int) Option {
+	return func(c *Config) { c.NumNodes = n }
+}
+
+// WithIterations caps the job at n supersteps.
+func WithIterations(n int) Option {
+	return func(c *Config) { c.MaxIter = n }
+}
+
+// WithWorkers sets the intra-node worker-pool width: each node shards its
+// vertex array into n contiguous chunks per phase and reduces them in
+// chunk order, so results are bit-for-bit identical for every n >= 1.
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.WorkersPerNode = n }
+}
+
+// WithFT enables replication-based fault tolerance configured to survive k
+// simultaneous machine failures (the paper's K), keeping the selfish-vertex
+// optimization on.
+func WithFT(k int) Option {
+	return func(c *Config) {
+		c.FT.Enabled = true
+		c.FT.K = k
+	}
+}
+
+// WithoutFT disables replication-based fault tolerance (baseline runs and
+// checkpoint-only configurations).
+func WithoutFT() Option {
+	return func(c *Config) { c.FT = core.FTConfig{} }
+}
+
+// WithSelfishOpt toggles the selfish-vertex optimization (§4.4): vertices
+// with no out-edges skip FT replication and are recomputed on demand.
+func WithSelfishOpt(on bool) Option {
+	return func(c *Config) { c.FT.SelfishOpt = on }
+}
+
+// WithRecovery selects the recovery strategy. Selecting RecoverCheckpoint
+// also enables checkpointing (interval 1) if no WithCheckpoint option has
+// configured it.
+func WithRecovery(r Recovery) Option {
+	return func(c *Config) {
+		c.Recovery = r
+		if r == core.RecoverCheckpoint && !c.Checkpoint.Enabled {
+			c.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: 1}
+		}
+	}
+}
+
+// WithCheckpoint configures the checkpoint-based baseline: periodic
+// snapshots every interval iterations, checkpoint recovery, and
+// replication FT off (apply WithFT afterwards to combine them).
+func WithCheckpoint(interval int) Option {
+	return func(c *Config) {
+		c.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: interval}
+		c.Recovery = core.RecoverCheckpoint
+		c.FT = core.FTConfig{}
+	}
+}
+
+// WithPartitioner overrides the mode's default graph partitioner.
+func WithPartitioner(p Partitioner) Option {
+	return func(c *Config) { c.Partitioner = p }
+}
+
+// WithFailure schedules a crash of the given nodes at iteration iter in
+// the given phase. Repeat the option to inject several failures.
+func WithFailure(iter int, phase FailPhase, nodes ...int) Option {
+	return func(c *Config) {
+		c.Failures = append(c.Failures, core.FailureSpec{
+			Iteration: iter, Phase: phase, Nodes: nodes,
+		})
+	}
+}
+
+// WithMaxRebirths bounds how many standby rebirths the cluster can perform.
+func WithMaxRebirths(n int) Option {
+	return func(c *Config) { c.MaxRebirths = n }
+}
+
+// WithTransport selects message delivery: in-memory (default) or a
+// loopback TCP mesh.
+func WithTransport(t Transport) Option {
+	return func(c *Config) { c.Transport = t }
+}
