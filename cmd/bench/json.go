@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"imitator/internal/core"
+	"imitator/internal/experiments"
+)
+
+// The -json mode measures the engine's host-side performance — wall clock
+// and heap allocations — on the Fig 7 / Fig 13 workloads plus an isolated
+// steady-state superstep probe, and writes a machine-readable report. The
+// report also records simulated seconds and message bytes per workload:
+// those must stay bit-for-bit identical across engine optimizations, so a
+// diff of two reports separates "faster" from "changed the semantics".
+//
+// Trajectory workflow: run `bench -json old.json` before an optimization,
+// re-run with `-json new.json -baseline old.json` after; the new report
+// embeds the old one's results for side-by-side comparison.
+
+// benchEntry is one measured workload.
+type benchEntry struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Allocs      uint64  `json:"allocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+
+	// Invariants: identical across engine-internal optimizations.
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	MsgBytes   int64   `json:"msg_bytes,omitempty"`
+
+	// Steady-state probe: per-superstep deltas between a short and a long
+	// run of the same job, which cancels load/partitioning costs.
+	Supersteps         int     `json:"supersteps,omitempty"`
+	AllocsPerSuperstep float64 `json:"allocs_per_superstep,omitempty"`
+	WallPerSuperstep   float64 `json:"wall_seconds_per_superstep,omitempty"`
+}
+
+// benchReport is the emitted JSON document.
+type benchReport struct {
+	Schema       string       `json:"schema"`
+	Nodes        int          `json:"nodes"`
+	Iters        int          `json:"iters"`
+	Workers      int          `json:"workers"`
+	Small        bool         `json:"small"`
+	Results      []benchEntry `json:"results"`
+	Baseline     []benchEntry `json:"baseline,omitempty"`
+	BaselineNote string       `json:"baseline_note,omitempty"`
+}
+
+// measure runs f and returns its wall seconds and heap-allocation deltas.
+func measure(f func() error) (wall float64, allocs, bytes uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err = f()
+	wall = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return wall, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
+}
+
+// runJSON executes the bench suite and writes the report to path.
+func runJSON(opts experiments.Options, path, baselinePath string) error {
+	report := benchReport{
+		Schema:  "imitator-bench/v1",
+		Nodes:   opts.Nodes,
+		Iters:   opts.Iters,
+		Workers: opts.Workers,
+		Small:   opts.Small,
+	}
+
+	figures := []struct {
+		id  string
+		run func(experiments.Options) (*experiments.Table, error)
+	}{
+		{"fig7", experiments.Fig7RuntimeOverheadEdgeCut},
+		{"fig13", experiments.Fig13RuntimeOverheadVertexCut},
+	}
+	for _, fig := range figures {
+		wall, allocs, bytes, err := measure(func() error {
+			_, err := fig.run(opts)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", fig.id, err)
+		}
+		report.Results = append(report.Results, benchEntry{
+			ID: fig.id, WallSeconds: wall, Allocs: allocs, AllocBytes: bytes,
+		})
+		fmt.Fprintf(os.Stderr, "bench: %s wall=%.2fs allocs=%d\n", fig.id, wall, allocs)
+	}
+
+	for _, mode := range []core.Mode{core.EdgeCutMode, core.VertexCutMode} {
+		entry, err := superstepProbe(mode, opts)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, entry)
+		fmt.Fprintf(os.Stderr, "bench: %s allocs/superstep=%.1f\n", entry.ID, entry.AllocsPerSuperstep)
+	}
+
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("bench: baseline: %w", err)
+		}
+		var base benchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("bench: baseline: %w", err)
+		}
+		report.Baseline = base.Results
+		report.BaselineNote = fmt.Sprintf("pre-optimization run of the same suite (nodes=%d iters=%d workers=%d small=%v)",
+			base.Nodes, base.Iters, base.Workers, base.Small)
+	}
+
+	out, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}
+
+// superstepProbe isolates the steady-state superstep loop: it runs the same
+// PageRank job short and long, so the per-superstep delta excludes loading,
+// partitioning and replication setup. The default config keeps the FT layer
+// on (K=1 replication, rebirth recovery) — the configuration whose inner
+// loop the paper's overhead claims are about.
+func superstepProbe(mode core.Mode, opts experiments.Options) (benchEntry, error) {
+	const shortIters, span = 5, 20
+	id := "superstep/edgecut/pagerank"
+	if mode == core.VertexCutMode {
+		id = "superstep/vertexcut/pagerank"
+	}
+	cfg := core.DefaultConfig(mode, opts.Nodes)
+	if opts.Workers > 0 {
+		cfg.WorkersPerNode = opts.Workers
+	}
+	run := func(iters int) (experiments.RunSummary, float64, uint64, error) {
+		w := experiments.Workload{Algo: "pagerank", Dataset: "gweb", Iters: iters}
+		var sum experiments.RunSummary
+		wall, allocs, _, err := measure(func() error {
+			var err error
+			sum, err = experiments.RunWorkload(w, cfg)
+			return err
+		})
+		return sum, wall, allocs, err
+	}
+	_, shortWall, shortAllocs, err := run(shortIters)
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("%s: %w", id, err)
+	}
+	long, longWall, longAllocs, err := run(shortIters + span)
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("%s: %w", id, err)
+	}
+	return benchEntry{
+		ID:                 id,
+		WallSeconds:        longWall,
+		Allocs:             longAllocs,
+		SimSeconds:         long.SimSeconds,
+		MsgBytes:           long.Metrics.TotalBytes(),
+		Supersteps:         span,
+		AllocsPerSuperstep: float64(longAllocs-shortAllocs) / span,
+		WallPerSuperstep:   (longWall - shortWall) / span,
+	}, nil
+}

@@ -34,13 +34,19 @@ func run(args []string) error {
 		table   = fs.String("table", "", "table id to regenerate (1, 2, 3, 5, 6, 7, young)")
 		nodes   = fs.Int("nodes", 8, "simulated cluster size")
 		iters   = fs.Int("iters", 10, "PageRank iterations")
-		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "intra-node worker-pool width (identical results, less wall clock)")
-		small   = fs.Bool("small", false, "shrink datasets and sweeps for a quick pass")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "intra-node worker-pool width (identical results, less wall clock)")
+		small    = fs.Bool("small", false, "shrink datasets and sweeps for a quick pass")
+		jsonPath = fs.String("json", "", "write a wall-clock + allocations report (e.g. BENCH_PR2.json) instead of tables")
+		basePath = fs.String("baseline", "", "embed a previous -json report for side-by-side comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := experiments.Options{Nodes: *nodes, Iters: *iters, Workers: *workers, Small: *small}
+
+	if *jsonPath != "" {
+		return runJSON(opts, *jsonPath, *basePath)
+	}
 
 	var ids []string
 	switch {

@@ -37,7 +37,12 @@ type Coordinator struct {
 	arrived     map[int]bool
 	generation  int
 	pendingFail []int
-	states      []BarrierState // states[g] = state of generation g's release
+	// states is a two-slot ring: states[g%2] = state of generation g's
+	// release. Two slots suffice because a straggler of generation g must
+	// return from EnterBarrier(g) — and read its slot — before it can enter
+	// barrier g+1, so slot g%2 is never overwritten (by g+2) while a reader
+	// still needs it.
+	states [2]BarrierState
 
 	kv map[string]int64
 }
@@ -78,7 +83,7 @@ func (c *Coordinator) EnterBarrier(node int) BarrierState {
 			c.cond.Wait()
 		}
 	}
-	return c.states[myGen]
+	return c.states[myGen%2]
 }
 
 // allArrivedLocked reports whether every alive node has arrived.
@@ -94,16 +99,17 @@ func (c *Coordinator) allArrivedLocked() bool {
 	return true
 }
 
-// releaseLocked publishes the barrier state and wakes waiters.
+// releaseLocked publishes the barrier state and wakes waiters. On the
+// common no-failure round nothing here allocates: the failed slice stays
+// nil, the ring slot is overwritten in place, and clear() keeps the
+// arrived map's storage.
 func (c *Coordinator) releaseLocked() {
 	failed := append([]int(nil), c.pendingFail...)
 	sort.Ints(failed)
-	c.states = append(c.states, BarrierState{Generation: c.generation, Failed: failed})
+	c.states[c.generation%2] = BarrierState{Generation: c.generation, Failed: failed}
 	c.pendingFail = nil
 	c.generation++
-	for n := range c.arrived {
-		delete(c.arrived, n)
-	}
+	clear(c.arrived)
 	c.cond.Broadcast()
 }
 

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"imitator/internal/datasets"
+)
+
+// TestSteadyStateSuperstepAllocFree is the tentpole regression gate: once
+// the pool, stagers and routing tables are warm, a full superstep
+// (compute + sync + receive + barrier + commit) performs zero heap
+// allocations at WorkersPerNode=1. Any new per-round make/append-to-nil on
+// the hot path shows up here as a non-zero count.
+func TestSteadyStateSuperstepAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	for _, mode := range []Mode{EdgeCutMode, VertexCutMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			g := datasets.Tiny(400, 2400, 4242)
+			cfg := DefaultConfig(mode, 4)
+			cfg.MaxIter = 1 // stepped manually below
+			cl, err := NewCluster[float64, float64](cfg, g, fakePR{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.stopWorkers()
+			iter := 0
+			step := func() {
+				if err := cl.superstep(iter); err != nil {
+					t.Fatal(err)
+				}
+				cl.barrier()
+				cl.commit(iter)
+				iter++
+			}
+			// Warm the pool, stagers, mailboxes and routing tables.
+			for i := 0; i < 3; i++ {
+				step()
+			}
+			if avg := testing.AllocsPerRun(5, step); avg != 0 {
+				t.Errorf("%v steady-state superstep allocates %.1f times per iteration, want 0", mode, avg)
+			}
+		})
+	}
+}
+
+// TestCodecAllocBudgets pins the hot wire-codec paths to zero allocations
+// when appending into a buffer with capacity.
+func TestCodecAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	fc := Float64Codec{}
+	buf := make([]byte, 0, 64)
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = fc.Append(buf[:0], 3.14159)
+	}); avg != 0 {
+		t.Errorf("Float64Codec.Append allocates %.1f/op, want 0", avg)
+	}
+	enc := fc.Append(nil, 2.71828)
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, _, err := fc.Read(enc); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Float64Codec.Read allocates %.1f/op, want 0", avg)
+	}
+
+	table := &replicaTable{
+		nodes:    []int16{1, 2, 3},
+		pos:      []int32{10, 20, 30},
+		ftOnly:   []bool{false, false, true},
+		mirrorOf: []int16{2},
+	}
+	rec := make([]byte, 0, 256)
+	if avg := testing.AllocsPerRun(100, func() {
+		rec = encodeRecoveryRecord(rec[:0], fc, roleMaster, 7, 42,
+			flagMaster, -1, 3, 7, 5, 2, 3.14, true, 9, table, nil)
+	}); avg != 0 {
+		t.Errorf("encodeRecoveryRecord allocates %.1f/op into a warm buffer, want 0", avg)
+	}
+}

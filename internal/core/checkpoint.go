@@ -46,7 +46,7 @@ func (c *Cluster[V, A]) writeCheckpointAt(epoch int, charge bool) {
 	// snapshot bytes match the sequential encoder's for any worker count.
 	nodeCosts := make([]float64, c.cfg.NumNodes)
 	c.eachAlive(func(nd *node[V, A]) {
-		buf := putU32(nil, uint32(epoch))
+		buf := putU32(c.pool.Get(), uint32(epoch))
 		countAt := len(buf)
 		buf = putU32(buf, 0) // patched below
 		chunks, count := c.chunkEncode(len(nd.entries), func(b []byte, lo, hi int) ([]byte, int) {
@@ -70,14 +70,18 @@ func (c *Cluster[V, A]) writeCheckpointAt(epoch int, charge bool) {
 		})
 		for _, cb := range chunks {
 			buf = append(buf, cb...)
+			c.pool.Put(cb)
 		}
 		binary.LittleEndian.PutUint32(buf[countAt:countAt+4], uint32(count))
+		// The DFS copies data on Write, so the encode buffer is recyclable
+		// as soon as the write returns.
 		cost := c.dfsWriteCost(nd, ckptPath(epoch, nd.id), buf)
 		if c.cfg.Checkpoint.InMemory {
 			// Memory-backed HDFS: bandwidth is the network, not disk, and
 			// the paper notes triple replication still crosses machines.
 			cost = c.cfg.Cost.NetTransfer(int64(len(buf)) * int64(c.cfg.Cost.DFSReplication-1))
 		}
+		c.pool.Put(buf)
 		nodeCosts[nd.id] = cost
 	})
 	var span costmodel.Span
@@ -293,8 +297,7 @@ func (c *Cluster[V, A]) rebuildPristineNode(id int) *node[V, A] {
 	for i := range nd.entries {
 		nd.index[nd.entries[i].id] = int32(i)
 	}
-	nd.sendBuf = make([][]byte, c.cfg.NumNodes)
-	nd.noticeBuf = make([][]byte, c.cfg.NumNodes)
+	c.initNodeScratch(nd)
 	return nd
 }
 
@@ -352,6 +355,7 @@ func (c *Cluster[V, A]) fullResync() {
 				}
 			}
 		})
+		c.recycleMsgs(msgs)
 	})
 }
 

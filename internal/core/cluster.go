@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"imitator/internal/bufpool"
 	"imitator/internal/coord"
 	"imitator/internal/costmodel"
 	"imitator/internal/dfs"
@@ -17,6 +18,22 @@ import (
 // ErrUnrecoverable reports a failure that exceeded the configured fault
 // tolerance (more simultaneous failures than K, or no standby left).
 var ErrUnrecoverable = errors.New("core: unrecoverable failure")
+
+// nodeBodies holds a node's pre-bound chunked phase bodies. They are built
+// once per node (initNodeScratch): a closure literal passed to chunked
+// escapes — the multi-worker path hands the body to goroutines — so literals
+// at the superstep call sites would heap-allocate every phase.
+type nodeBodies struct {
+	commit    func(st *stager, lo, hi int)
+	ecCompute func(st *stager, lo, hi int)
+	syncStage func(st *stager, lo, hi int)
+	ecRecv    func(st *stager, lo, hi int)
+	vcR1Stage func(st *stager, lo, hi int)
+	vcR1Reset func(st *stager, lo, hi int)
+	vcGather  func(st *stager, lo, hi int)
+	vcApply   func(st *stager, lo, hi int)
+	vcRecv    func(st *stager, lo, hi int)
+}
 
 // node is one simulated machine's runtime state.
 type node[V, A any] struct {
@@ -36,6 +53,30 @@ type node[V, A any] struct {
 	noticeBuf [][]byte
 	// scratch: per-superstep compute cost in simulated seconds.
 	phaseCost float64
+
+	// pool is the cluster's shared wire-buffer pool (for lazy staging).
+	pool *bufpool.Pool
+	// stagers are the retained per-worker staging areas (width
+	// Config.WorkersPerNode); bounds is chunked's reusable chunk list.
+	stagers []*stager
+	bounds  [][2]int
+	// bodies are the pre-bound chunked phase bodies.
+	bodies nodeBodies
+	// barrierState receives this node's EnterBarrier result each phase.
+	barrierState coord.BarrierState
+	// recvMsgs passes the current round's messages into pre-bound bodies.
+	recvMsgs []netsim.Message
+
+	// route is the precomputed flat sync-routing table (master -> replica
+	// destinations in entry order); routeDirty forces a rebuild before the
+	// next phase that consults it (recovery reshapes the tables).
+	route      syncRoute
+	routeDirty bool
+
+	// localPart/mergedPart are the vertex-cut gather scratch, retained
+	// across supersteps and cleared in the phase prologue.
+	localPart  []gatherPartial[A]
+	mergedPart []gatherPartial[A]
 }
 
 func (n *node[V, A]) pos(id graph.VertexID) (int32, bool) {
@@ -48,6 +89,12 @@ func (n *node[V, A]) entry(id graph.VertexID) *vertexEntry[V] {
 		return &n.entries[p]
 	}
 	return nil
+}
+
+// failKey identifies one scheduled failure-injection point.
+type failKey struct {
+	iter  int
+	phase FailPhase
 }
 
 // Cluster is a running job: the simulated machines, interconnect, DFS,
@@ -65,6 +112,42 @@ type Cluster[V, A any] struct {
 	coord *coord.Coordinator
 	met   *metrics.Cluster
 	clock costmodel.Clock
+
+	// pool recycles wire buffers (send, notice, checkpoint encode) across
+	// rounds; see internal/bufpool.
+	pool *bufpool.Pool
+
+	// aliveList caches the alive nodes; aliveDirty is set whenever
+	// membership changes (failure injection, rebirth, checkpoint rebuild).
+	aliveList  []*node[V, A]
+	aliveDirty bool
+
+	// Persistent phase workers: runPhase hands alive nodes to NumNodes
+	// long-lived goroutines through work, so steady-state phases spawn no
+	// goroutines and allocate no closures.
+	work    chan *node[V, A]
+	phaseFn func(*node[V, A])
+	phaseWG sync.WaitGroup
+
+	// Pre-bound phase functions (built once by bindPhases) and the
+	// per-phase parameters they read.
+	fnBarrier     func(*node[V, A])
+	fnFlushSend   func(*node[V, A])
+	fnFlushNotice func(*node[V, A])
+	fnCommit      func(*node[V, A])
+	fnRollback    func(*node[V, A])
+	fnECCompute   func(*node[V, A])
+	fnSyncStage   func(*node[V, A])
+	fnECRecv      func(*node[V, A])
+	fnVCR1Stage   func(*node[V, A])
+	fnVCR1Recv    func(*node[V, A])
+	fnVCGather    func(*node[V, A])
+	fnVCMerge     func(*node[V, A])
+	fnVCRecv      func(*node[V, A])
+	fnVCNotice    func(*node[V, A])
+	flushKind     netsim.Kind
+	curIter       int
+	always        bool
 
 	// masterLoc mirrors the coordination service's master directory: the
 	// node currently hosting each vertex's master (updated by Migration).
@@ -133,68 +216,213 @@ func NewCluster[V, A any](cfg Config, g *graph.Graph, prog Program[V, A]) (*Clus
 		return nil, err
 	}
 	c := &Cluster[V, A]{
-		cfg:   cfg,
-		g:     g,
-		prog:  prog,
-		vc:    prog.ValueCodec(),
-		ac:    prog.AccCodec(),
-		net:   net,
-		dfs:   d,
-		coord: co,
-		met:   metrics.NewCluster(cfg.NumNodes),
+		cfg:    cfg,
+		g:      g,
+		prog:   prog,
+		vc:     prog.ValueCodec(),
+		ac:     prog.AccCodec(),
+		net:    net,
+		dfs:    d,
+		coord:  co,
+		met:    metrics.NewCluster(cfg.NumNodes),
+		pool:   bufpool.New(),
+		always: prog.AlwaysActive(),
 		selfishOptOn: cfg.FT.Enabled && cfg.FT.SelfishOpt &&
 			prog.CanRecomputeSelfish() && prog.AlwaysActive(),
 	}
+	c.bindPhases()
 	if err := c.load(); err != nil {
+		c.stopWorkers()
 		return nil, err
 	}
+	// Park the phase workers until Run; a cluster that is built but never
+	// run must not leak goroutines.
+	c.stopWorkers()
 	return c, nil
 }
 
-// aliveNodes returns the running nodes.
-func (c *Cluster[V, A]) aliveNodes() []*node[V, A] {
-	out := make([]*node[V, A], 0, len(c.nodes))
-	for _, n := range c.nodes {
-		if n != nil && n.alive {
-			out = append(out, n)
+// bindPhases builds the cluster-level pre-bound phase functions once.
+func (c *Cluster[V, A]) bindPhases() {
+	c.fnBarrier = func(nd *node[V, A]) {
+		nd.barrierState = c.coord.EnterBarrier(nd.id)
+	}
+	c.fnFlushSend = func(nd *node[V, A]) {
+		for dst, buf := range nd.sendBuf {
+			if len(buf) == 0 {
+				continue
+			}
+			if c.net.Failed(dst) {
+				// Send would silently drop it; reclaim the buffer instead.
+				c.pool.Put(buf)
+			} else {
+				c.net.Send(nd.id, dst, c.flushKind, buf)
+			}
+			nd.sendBuf[dst] = nil
 		}
 	}
-	return out
+	c.fnFlushNotice = func(nd *node[V, A]) {
+		for dst, buf := range nd.noticeBuf {
+			if len(buf) == 0 {
+				continue
+			}
+			if c.net.Failed(dst) {
+				c.pool.Put(buf)
+			} else {
+				c.net.Send(nd.id, dst, netsim.KindActivation, buf)
+			}
+			nd.noticeBuf[dst] = nil
+		}
+	}
+	c.fnCommit = func(nd *node[V, A]) {
+		c.chunked(nd, len(nd.entries), nd.bodies.commit)
+	}
+	c.fnRollback = func(nd *node[V, A]) {
+		for i := range nd.entries {
+			nd.entries[i].clearPending()
+		}
+		c.net.Drop(nd.id)
+		for dst, buf := range nd.sendBuf {
+			if cap(buf) > 0 {
+				c.pool.Put(buf)
+			}
+			nd.sendBuf[dst] = nil
+		}
+		for dst, buf := range nd.noticeBuf {
+			if cap(buf) > 0 {
+				c.pool.Put(buf)
+			}
+			nd.noticeBuf[dst] = nil
+		}
+	}
+	c.bindEdgeCutPhases()
+	c.bindVertexCutPhases()
 }
 
-// eachAlive runs fn concurrently for every alive node and waits.
-func (c *Cluster[V, A]) eachAlive(fn func(n *node[V, A])) {
-	var wg sync.WaitGroup
-	for _, n := range c.aliveNodes() {
-		n := n
-		wg.Add(1)
+// initNodeScratch wires a freshly constructed node into the cluster's
+// buffer, stager and routing machinery. Every node-creation site (load,
+// rebirth, checkpoint rebuild) must call it.
+func (c *Cluster[V, A]) initNodeScratch(nd *node[V, A]) {
+	width := c.cfg.NumNodes
+	nd.pool = c.pool
+	nd.sendBuf = make([][]byte, width)
+	nd.noticeBuf = make([][]byte, width)
+	nd.stagers = make([]*stager, c.cfg.WorkersPerNode)
+	for i := range nd.stagers {
+		nd.stagers[i] = &stager{
+			pool:   c.pool,
+			send:   make([][]byte, width),
+			notice: make([][]byte, width),
+		}
+	}
+	nd.routeDirty = true
+	c.bindNodeBodies(nd)
+	c.aliveDirty = true
+}
+
+// bindNodeBodies builds nd's pre-bound chunked bodies.
+func (c *Cluster[V, A]) bindNodeBodies(nd *node[V, A]) {
+	nd.bodies.commit = func(_ *stager, lo, hi int) {
+		iter := int32(c.curIter)
+		always := c.always
+		for i := lo; i < hi; i++ {
+			e := &nd.entries[i]
+			if e.hasPending {
+				e.value = e.pendingValue
+				e.lastActivate = e.pendingScatter
+				e.lastActivateIter = e.pendingScatterI
+				e.hasPending = false
+				e.lastTouchedIter = iter
+			}
+			if e.isMaster() {
+				newActive := e.pendingActive || always
+				if newActive != e.active {
+					e.lastTouchedIter = iter
+				}
+				e.active = newActive
+			}
+			e.pendingActive = false
+			e.pendingScatter = false
+		}
+	}
+	c.bindEdgeCutBodies(nd)
+	c.bindVertexCutBodies(nd)
+}
+
+// ensureWorkers lazily spawns the persistent phase workers. NumNodes of
+// them, because barrier phases need every alive node blocked in
+// EnterBarrier concurrently.
+func (c *Cluster[V, A]) ensureWorkers() {
+	if c.work != nil {
+		return
+	}
+	// Workers range over a captured local, never the c.work field: a worker
+	// that received no work before stopWorkers nils the field would otherwise
+	// race with that write (and could block forever on a nil channel).
+	work := make(chan *node[V, A], c.cfg.NumNodes)
+	c.work = work
+	for i := 0; i < c.cfg.NumNodes; i++ {
 		go func() {
-			defer wg.Done()
-			fn(n)
+			for nd := range work {
+				c.phaseFn(nd)
+				c.phaseWG.Done()
+			}
 		}()
 	}
-	wg.Wait()
+}
+
+// stopWorkers shuts the phase workers down; runPhase restarts them on
+// demand.
+func (c *Cluster[V, A]) stopWorkers() {
+	if c.work != nil {
+		close(c.work)
+		c.work = nil
+	}
+}
+
+// runPhase runs fn once per alive node on the persistent workers and waits.
+// phaseFn is written while all workers are parked (the previous phase's
+// Wait returned), and the channel sends publish it.
+func (c *Cluster[V, A]) runPhase(fn func(n *node[V, A])) {
+	c.ensureWorkers()
+	alive := c.aliveNodes()
+	c.phaseFn = fn
+	c.phaseWG.Add(len(alive))
+	for _, n := range alive {
+		c.work <- n
+	}
+	c.phaseWG.Wait()
+}
+
+// aliveNodes returns the running nodes (cached; membership changes set
+// aliveDirty).
+func (c *Cluster[V, A]) aliveNodes() []*node[V, A] {
+	if c.aliveDirty {
+		c.aliveList = c.aliveList[:0]
+		for _, n := range c.nodes {
+			if n != nil && n.alive {
+				c.aliveList = append(c.aliveList, n)
+			}
+		}
+		c.aliveDirty = false
+	}
+	return c.aliveList
+}
+
+// eachAlive runs fn concurrently for every alive node and waits. Cold paths
+// pass closure literals; hot paths pass the pre-bound fn* fields.
+func (c *Cluster[V, A]) eachAlive(fn func(n *node[V, A])) {
+	c.runPhase(fn)
 }
 
 // barrier has every alive node enter the coordination barrier and returns
 // the (shared) barrier state.
 func (c *Cluster[V, A]) barrier() coord.BarrierState {
+	c.runPhase(c.fnBarrier)
 	alive := c.aliveNodes()
-	states := make([]coord.BarrierState, len(alive))
-	var wg sync.WaitGroup
-	for i, n := range alive {
-		i, n := i, n
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			states[i] = c.coord.EnterBarrier(n.id)
-		}()
-	}
-	wg.Wait()
-	if len(states) == 0 {
+	if len(alive) == 0 {
 		return coord.BarrierState{}
 	}
-	return states[0]
+	return alive[0].barrierState
 }
 
 // injectFailures kills the given nodes (fail-stop): they stop running,
@@ -208,53 +436,28 @@ func (c *Cluster[V, A]) injectFailures(nodes []int) {
 			c.coord.MarkFailed(id)
 		}
 	}
+	c.aliveDirty = true
 	c.clock.Advance(c.cfg.Cost.DetectionTime())
 }
 
-// flushSend transmits every node's pending per-destination buffers with the
-// given kind, then completes the messaging round and advances the clock by
-// the slowest node's communication cost.
+// flushSendRound transmits every node's pending per-destination buffers with
+// the given kind, then completes the messaging round and advances the clock
+// by the slowest node's communication cost. Buffer ownership transfers to
+// the network; the receive side returns payloads to the pool after decode.
 func (c *Cluster[V, A]) flushSendRound(kind netsim.Kind) float64 {
-	c.eachAlive(func(n *node[V, A]) {
-		for dst, buf := range n.sendBuf {
-			if len(buf) > 0 {
-				c.net.Send(n.id, dst, kind, buf)
-				n.sendBuf[dst] = nil
-			}
-		}
-	})
-	costs, fabric := c.net.FinishRound()
-	var span costmodel.Span
-	span.Observe(fabric)
-	for _, cost := range costs {
-		span.Observe(cost)
-	}
-	c.clock.Advance(span.Max())
-	return span.Max()
-}
-
-// stage appends encoded bytes to n's buffer for destination dst, creating
-// buffers lazily.
-func (n *node[V, A]) stage(dst int, encode func(buf []byte) []byte) {
-	n.sendBuf[dst] = encode(n.sendBuf[dst])
-}
-
-// stageNotice appends to the out-of-round activation notice buffer.
-func (n *node[V, A]) stageNotice(dst int, encode func(buf []byte) []byte) {
-	n.noticeBuf[dst] = encode(n.noticeBuf[dst])
+	c.flushKind = kind
+	c.runPhase(c.fnFlushSend)
+	return c.finishRound()
 }
 
 // flushNoticeRound transmits the staged activation notices as their own
 // messaging round.
 func (c *Cluster[V, A]) flushNoticeRound() float64 {
-	c.eachAlive(func(n *node[V, A]) {
-		for dst, buf := range n.noticeBuf {
-			if len(buf) > 0 {
-				c.net.Send(n.id, dst, netsim.KindActivation, buf)
-				n.noticeBuf[dst] = nil
-			}
-		}
-	})
+	c.runPhase(c.fnFlushNotice)
+	return c.finishRound()
+}
+
+func (c *Cluster[V, A]) finishRound() float64 {
 	costs, fabric := c.net.FinishRound()
 	var span costmodel.Span
 	span.Observe(fabric)
@@ -265,85 +468,81 @@ func (c *Cluster[V, A]) flushNoticeRound() float64 {
 	return span.Max()
 }
 
-// resetSendBufs sizes each node's send buffers to the cluster width.
-func (c *Cluster[V, A]) resetSendBufs() {
-	for _, n := range c.nodes {
-		if n != nil {
-			n.sendBuf = make([][]byte, c.cfg.NumNodes)
-			n.noticeBuf = make([][]byte, c.cfg.NumNodes)
+// recycleMsgs returns a received round's payloads to the buffer pool.
+// Delivery hands payload ownership to the receiver, and every decode path
+// copies what it keeps, so the buffers are dead once decoded.
+func (c *Cluster[V, A]) recycleMsgs(msgs []netsim.Message) {
+	for i := range msgs {
+		if cap(msgs[i].Payload) > 0 {
+			c.pool.Put(msgs[i].Payload)
 		}
+		msgs[i].Payload = nil
 	}
+}
+
+// stage appends encoded bytes to n's buffer for destination dst, seeding
+// empty slots from the pool.
+func (n *node[V, A]) stage(dst int, encode func(buf []byte) []byte) {
+	buf := n.sendBuf[dst]
+	if buf == nil && n.pool != nil {
+		buf = n.pool.Get()
+	}
+	n.sendBuf[dst] = encode(buf)
+}
+
+// stageNotice appends to the out-of-round activation notice buffer.
+func (n *node[V, A]) stageNotice(dst int, encode func(buf []byte) []byte) {
+	buf := n.noticeBuf[dst]
+	if buf == nil && n.pool != nil {
+		buf = n.pool.Get()
+	}
+	n.noticeBuf[dst] = encode(buf)
 }
 
 // commit installs all staged state on every alive node: pending values,
 // scatter flags and the next superstep's active set (Algorithm 1 line 14).
 func (c *Cluster[V, A]) commit(iter int) {
-	always := c.prog.AlwaysActive()
-	c.eachAlive(func(n *node[V, A]) {
-		c.chunked(n, len(n.entries), func(_ *stager, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := &n.entries[i]
-				if e.hasPending {
-					e.value = e.pendingValue
-					e.lastActivate = e.pendingScatter
-					e.lastActivateIter = e.pendingScatterI
-					e.hasPending = false
-					e.lastTouchedIter = int32(iter)
-				}
-				if e.isMaster() {
-					newActive := e.pendingActive || always
-					if newActive != e.active {
-						e.lastTouchedIter = int32(iter)
-					}
-					e.active = newActive
-				}
-				e.pendingActive = false
-				e.pendingScatter = false
-			}
-		})
-	})
+	c.curIter = iter
+	c.runPhase(c.fnCommit)
 }
 
 // rollback discards staged state and undelivered messages on every alive
-// node (Algorithm 1 line 9: the iteration will re-execute).
+// node (Algorithm 1 line 9: the iteration will re-execute). Staged buffers
+// go back to the pool.
 func (c *Cluster[V, A]) rollback() {
-	c.eachAlive(func(n *node[V, A]) {
-		for i := range n.entries {
-			n.entries[i].clearPending()
-		}
-		c.net.Drop(n.id)
-		n.sendBuf = make([][]byte, c.cfg.NumNodes)
-		n.noticeBuf = make([][]byte, c.cfg.NumNodes)
-	})
+	c.runPhase(c.fnRollback)
 }
 
 // Run executes the job to MaxIter supersteps, injecting scheduled failures
 // and recovering per the configured strategy.
 func (c *Cluster[V, A]) Run() (*Result[V], error) {
 	defer c.net.Close()
-	failuresAt := func(iter int, phase FailPhase) []int {
-		var out []int
-		for _, f := range c.cfg.Failures {
-			if f.Iteration == iter && f.Phase == phase {
-				out = append(out, f.Nodes...)
-			}
-		}
-		return out
+	defer c.stopWorkers()
+	// The failure schedule is consumed by deleting fired keys, so an
+	// iteration re-executed after rollback does not re-inject.
+	schedule := make(map[failKey][]int, len(c.cfg.Failures))
+	for _, f := range c.cfg.Failures {
+		k := failKey{f.Iteration, f.Phase}
+		schedule[k] = append(schedule[k], f.Nodes...)
 	}
-	injected := map[string]bool{}
 	maybeInject := func(iter int, phase FailPhase) {
-		key := fmt.Sprintf("%d/%d", iter, phase)
-		if injected[key] {
+		k := failKey{iter, phase}
+		nodes, ok := schedule[k]
+		if !ok {
 			return
 		}
-		injected[key] = true
-		if nodes := failuresAt(iter, phase); len(nodes) > 0 {
+		delete(schedule, k)
+		if len(nodes) > 0 {
 			c.injectFailures(nodes)
 		}
+	}
+	if c.trace == nil {
+		c.trace = make([]TraceEvent, 0, c.cfg.MaxIter+4)
 	}
 
 	for c.iter < c.cfg.MaxIter {
 		iter := c.iter
+		c.curIter = iter
 		maybeInject(iter, FailBeforeBarrier)
 
 		start := c.clock.Now()

@@ -1,10 +1,14 @@
 package core
 
-import "testing"
+import (
+	"encoding/binary"
+	"testing"
+)
 
 func BenchmarkFloat64CodecAppend(b *testing.B) {
 	c := Float64Codec{}
 	buf := make([]byte, 0, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = c.Append(buf[:0], 3.14159)
@@ -14,6 +18,7 @@ func BenchmarkFloat64CodecAppend(b *testing.B) {
 func BenchmarkFloat64CodecRead(b *testing.B) {
 	c := Float64Codec{}
 	buf := c.Append(nil, 3.14159)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.Read(buf); err != nil {
@@ -29,6 +34,7 @@ func BenchmarkVecCodecRoundTrip(b *testing.B) {
 		v[i] = float64(i) * 0.5
 	}
 	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = c.Append(buf[:0], v)
@@ -46,6 +52,7 @@ func BenchmarkRecoveryRecordEncode(b *testing.B) {
 		mirrorOf: []int16{2},
 	}
 	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = encodeRecoveryRecord(buf[:0], Float64Codec{}, roleMaster, 7, 42,
@@ -62,12 +69,65 @@ func BenchmarkRecoveryRecordDecode(b *testing.B) {
 	}
 	buf := encodeRecoveryRecord(nil, Float64Codec{}, roleMaster, 7, 42,
 		flagMaster, -1, 3, 7, 5, 2, 3.14, true, 9, table, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := &reader{buf: buf}
 		rec := decodeRecoveryRecord(r, Float64Codec{})
 		if r.err != nil || rec.id != 42 {
 			b.Fatal("decode failed")
+		}
+	}
+}
+
+// The BenchmarkCodec* family covers the per-superstep wire formats (the CI
+// bench-smoke step runs exactly this prefix).
+
+// BenchmarkCodecSyncRecord encodes and decodes a batch of edge-cut sync
+// records (pos + flags + value) — the dominant steady-state byte stream.
+func BenchmarkCodecSyncRecord(b *testing.B) {
+	const recs = 64
+	c := Float64Codec{}
+	buf := make([]byte, 0, recs*13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for p := 0; p < recs; p++ {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+			buf = append(buf, byte(p&1))
+			buf = c.Append(buf, float64(p)*0.25)
+		}
+		rest := buf
+		for len(rest) > 0 {
+			_ = binary.LittleEndian.Uint32(rest)
+			_ = rest[4]
+			var err error
+			if _, rest, err = c.Read(rest[5:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCodecActivationNotice encodes and decodes a batch of 4-byte
+// activation notices (vertex-cut R1/R4 and replay traffic).
+func BenchmarkCodecActivationNotice(b *testing.B) {
+	const recs = 256
+	buf := make([]byte, 0, recs*4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for p := 0; p < recs; p++ {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+		}
+		var sum uint32
+		for rest := buf; len(rest) >= 4; rest = rest[4:] {
+			sum += binary.LittleEndian.Uint32(rest)
+		}
+		if sum == 1 {
+			b.Fatal("impossible")
 		}
 	}
 }

@@ -13,110 +13,139 @@ import (
 // the new value and scatter flag to its replicas in a single batched round.
 // Activation propagates locally on every node that holds the scattering
 // vertex (master or replica), so no extra messaging round is needed.
+//
+// All phases run through pre-bound functions and bodies (bindEdgeCutPhases,
+// bindEdgeCutBodies) so the steady-state loop allocates nothing.
 func (c *Cluster[V, A]) superstepEdgeCut(iter int) error {
+	c.curIter = iter
+
 	// Compute phase (Algorithm 1 line 5). Each chunk writes only the staged
 	// fields of its own masters; cross-chunk scatter activation goes through
 	// the stager's position list.
-	c.eachAlive(func(nd *node[V, A]) {
-		nd.phaseCost = c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
-			edges, applies := 0, 0
-			for i := lo; i < hi; i++ {
-				e := &nd.entries[i]
-				if !e.isMaster() || !e.active {
-					continue
-				}
-				var acc A
-				has := false
-				for k, src := range e.inNbr {
-					se := &nd.entries[src]
-					contrib := c.prog.Gather(
-						graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
-						se.value, se.info())
-					if has {
-						acc = c.prog.Merge(acc, contrib)
-					} else {
-						acc, has = contrib, true
-					}
-				}
-				edges += len(e.inNbr)
-				newV, scatter := c.prog.Apply(e.id, e.info(), e.value, acc, has, iter)
-				e.pendingValue = newV
-				e.hasPending = true
-				e.pendingScatter = scatter
-				e.pendingScatterI = int32(iter)
-				applies++
-				if scatter {
-					for _, w := range e.outNbr {
-						st.markPendingActive(w)
-					}
-				}
-			}
-			st.busy = float64(edges)*c.cfg.Cost.ComputePerEdge +
-				float64(applies)*c.cfg.Cost.ComputePerVertex
-		})
-	})
+	c.runPhase(c.fnECCompute)
 	c.advanceComputeSpan()
 
 	// Send phase (line 6): one sync record per (computed master, replica),
 	// encoded chunk-parallel and merged in chunk order.
-	c.eachAlive(func(nd *node[V, A]) {
-		c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := &nd.entries[i]
-				if !e.isMaster() || !e.hasPending {
-					continue
-				}
-				c.stageSyncRecords(st, e)
-			}
-		})
-	})
+	c.runPhase(c.fnSyncStage)
 	c.flushSendRound(netsim.KindSync)
 
 	// Receive phase: replicas stage the new value and propagate scatter
 	// activation to their local out-targets. Messages decode in parallel —
 	// every replica position is synced by exactly one master, so the staged
 	// writes are position-disjoint across messages.
-	c.eachAlive(func(nd *node[V, A]) {
-		msgs := c.net.Receive(nd.id)
-		c.chunked(nd, len(msgs), func(st *stager, lo, hi int) {
-			for _, m := range msgs[lo:hi] {
-				if m.Kind != netsim.KindSync {
-					continue
-				}
-				c.applySyncPayload(nd, st, m.Payload)
-			}
-		})
-	})
+	c.runPhase(c.fnECRecv)
 	return nil
 }
 
-// stageSyncRecords appends one sync record per replica of master e to the
-// worker's per-destination buffers, honoring the selfish-vertex optimization
-// and keeping the FT/normal message accounting the figures need.
-func (c *Cluster[V, A]) stageSyncRecords(st *stager, e *vertexEntry[V]) {
+// bindEdgeCutPhases builds the cluster-level edge-cut phase functions.
+// fnSyncStage doubles as the vertex-cut R3 encode phase.
+func (c *Cluster[V, A]) bindEdgeCutPhases() {
+	c.fnECCompute = func(nd *node[V, A]) {
+		nd.phaseCost = c.chunked(nd, len(nd.entries), nd.bodies.ecCompute)
+	}
+	c.fnSyncStage = func(nd *node[V, A]) {
+		c.routeReady(nd)
+		c.chunked(nd, len(nd.entries), nd.bodies.syncStage)
+	}
+	c.fnECRecv = func(nd *node[V, A]) {
+		nd.recvMsgs = c.net.Receive(nd.id)
+		c.chunked(nd, len(nd.recvMsgs), nd.bodies.ecRecv)
+		c.recycleMsgs(nd.recvMsgs)
+		nd.recvMsgs = nil
+	}
+}
+
+// bindEdgeCutBodies builds nd's pre-bound edge-cut chunked bodies.
+func (c *Cluster[V, A]) bindEdgeCutBodies(nd *node[V, A]) {
+	nd.bodies.ecCompute = func(st *stager, lo, hi int) {
+		iter := c.curIter
+		edges, applies := 0, 0
+		for i := lo; i < hi; i++ {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.active {
+				continue
+			}
+			var acc A
+			has := false
+			for k, src := range e.inNbr {
+				se := &nd.entries[src]
+				contrib := c.prog.Gather(
+					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+					se.value, se.info())
+				if has {
+					acc = c.prog.Merge(acc, contrib)
+				} else {
+					acc, has = contrib, true
+				}
+			}
+			edges += len(e.inNbr)
+			newV, scatter := c.prog.Apply(e.id, e.info(), e.value, acc, has, iter)
+			e.pendingValue = newV
+			e.hasPending = true
+			e.pendingScatter = scatter
+			e.pendingScatterI = int32(iter)
+			applies++
+			if scatter {
+				for _, w := range e.outNbr {
+					st.markPendingActive(w)
+				}
+			}
+		}
+		st.busy = float64(edges)*c.cfg.Cost.ComputePerEdge +
+			float64(applies)*c.cfg.Cost.ComputePerVertex
+	}
+	nd.bodies.syncStage = func(st *stager, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.hasPending {
+				continue
+			}
+			c.stageSyncRecords(st, nd, i)
+		}
+	}
+	nd.bodies.ecRecv = func(st *stager, lo, hi int) {
+		for _, m := range nd.recvMsgs[lo:hi] {
+			if m.Kind != netsim.KindSync {
+				continue
+			}
+			c.applySyncPayload(nd, st, m.Payload)
+		}
+	}
+}
+
+// stageSyncRecords appends one sync record per replica of master entry i to
+// the worker's per-destination buffers, honoring the selfish-vertex
+// optimization and keeping the FT/normal message accounting the figures
+// need. Destinations come from the node's precomputed routing table, which
+// preserves the entry-order/replica-order walk of the old slice-of-slices
+// form, so the byte streams are unchanged.
+func (c *Cluster[V, A]) stageSyncRecords(st *stager, nd *node[V, A], i int) {
 	// The mirror's "full state" needs no extra bytes during normal sync:
 	// the dynamic extension the paper describes (the activation/scatter
 	// state) is the scatter flag already in every record, stamped with the
 	// current superstep on receipt. The measurable FT overhead is the sync
 	// records sent to FT-only replicas, which exist purely for recovery.
+	e := &nd.entries[i]
 	skipFT := c.selfishOptOn && e.isSelfish()
-	for ri, rn := range e.replicaNodes {
-		ftOnly := e.replicaFTOnly[ri]
+	rt := &nd.route
+	for k := rt.start[i]; k < rt.start[i+1]; k++ {
+		ftOnly := rt.ftOnly[k]
 		if ftOnly && skipFT {
 			continue
 		}
-		pos := e.replicaPos[ri]
-		before := len(st.send[rn])
-		st.stage(int(rn), func(buf []byte) []byte {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(pos))
-			var flags byte
-			if e.pendingScatter {
-				flags |= 1
-			}
-			buf = append(buf, flags)
-			return c.vc.Append(buf, e.pendingValue)
-		})
-		size := int64(len(st.send[rn]) - before)
+		rn := int(rt.node[k])
+		buf := st.buf(rn)
+		before := len(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rt.pos[k]))
+		var flags byte
+		if e.pendingScatter {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = c.vc.Append(buf, e.pendingValue)
+		st.setBuf(rn, buf)
+		size := int64(len(buf) - before)
 		if ftOnly {
 			st.met.FTMsgs++
 			st.met.FTBytes += size

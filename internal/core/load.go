@@ -221,6 +221,7 @@ func (c *Cluster[V, A]) load() error {
 		for _, v := range perNodeReplicas[n] {
 			appendEntry(v, false)
 		}
+		c.initNodeScratch(nd)
 		c.nodes[n] = nd
 	}
 
@@ -317,7 +318,6 @@ func (c *Cluster[V, A]) load() error {
 
 	// 11. Memory accounting.
 	c.refreshMemoryMetrics()
-	c.resetSendBufs()
 	c.coord.Set("iter", 0)
 	for _, nd := range c.nodes {
 		c.coord.Set(fmt.Sprintf("arraylen/%d", nd.id), int64(len(nd.entries)))

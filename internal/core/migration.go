@@ -156,7 +156,8 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 	})
 	c.flushSendRound(netsim.KindRecovery)
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
+		msgs := c.net.Receive(nd.id)
+		for _, m := range msgs {
 			r := &reader{buf: m.Payload}
 			for r.remaining() > 0 && r.err == nil {
 				pos := r.i32()
@@ -170,6 +171,7 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 				e.masterPos = mp
 			}
 		}
+		c.recycleMsgs(msgs)
 	})
 	if state := c.barrier(); state.IsFail() {
 		return state.Failed, nil
@@ -310,11 +312,13 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 				}
 			}
 		})
+		c.recycleMsgs(msgs)
 	})
 	c.flushSendRound(netsim.KindRecovery)
 	createdPerNode := make([]int, c.cfg.NumNodes)
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
+		msgs := c.net.Receive(nd.id)
+		for _, m := range msgs {
 			r := &reader{buf: m.Payload}
 			for r.remaining() > 0 && r.err == nil {
 				recRec := decodeRecoveryRecord(r, c.vc)
@@ -346,6 +350,7 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 				nd.met.RecoveryBytes += 8
 			}
 		}
+		c.recycleMsgs(msgs)
 	})
 	for _, n := range createdPerNode {
 		rec.RecoveredVertices += n
@@ -353,7 +358,8 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 	c.flushNoticeRound()
 	registeredPerNode := make([][]masterKey, c.cfg.NumNodes)
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
+		msgs := c.net.Receive(nd.id)
+		for _, m := range msgs {
 			r := &reader{buf: m.Payload}
 			for r.remaining() > 0 && r.err == nil {
 				mp := r.i32()
@@ -368,6 +374,7 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 				registeredPerNode[nd.id] = append(registeredPerNode[nd.id], masterKey{int16(nd.id), mp})
 			}
 		}
+		c.recycleMsgs(msgs)
 	})
 	for _, keys := range registeredPerNode {
 		for _, k := range keys {
@@ -465,6 +472,10 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 	for _, nd := range c.aliveNodes() {
 		c.coord.Set(fmt.Sprintf("arraylen/%d", nd.id), int64(len(nd.entries)))
 	}
+	// Promotions, replica-table pruning, cooperative replica creation, and FT
+	// repair all reshape the replica tables (and entry counts) on survivors:
+	// every precomputed sync route is stale now.
+	c.markRoutesDirty()
 	c.refreshMemoryMetrics()
 	c.recoveries = append(c.recoveries, rec)
 	c.trace = append(c.trace, TraceEvent{Iter: iter, Kind: "recovery", Start: start, End: c.clock.Now()})
@@ -539,7 +550,8 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 	}
 	c.flushSendRound(netsim.KindRecovery)
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
+		msgs := c.net.Receive(nd.id)
+		for _, m := range msgs {
 			r := &reader{buf: m.Payload}
 			for r.remaining() > 0 && r.err == nil {
 				recRec := decodeRecoveryRecord(r, c.vc)
@@ -567,10 +579,12 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 				})
 			}
 		}
+		c.recycleMsgs(msgs)
 	})
 	c.flushNoticeRound()
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
+		msgs := c.net.Receive(nd.id)
+		for _, m := range msgs {
 			r := &reader{buf: m.Payload}
 			for r.remaining() > 0 && r.err == nil {
 				mp := r.i32()
@@ -584,6 +598,7 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 				e.replicaFTOnly = append(e.replicaFTOnly, true)
 			}
 		}
+		c.recycleMsgs(msgs)
 	})
 
 	// Pass 2: mirror re-selection for changed masters, then full-state
@@ -651,7 +666,8 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 	}
 	c.flushSendRound(netsim.KindRecovery)
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
+		msgs := c.net.Receive(nd.id)
+		for _, m := range msgs {
 			r := &reader{buf: m.Payload}
 			for r.remaining() > 0 && r.err == nil {
 				recRec := decodeRecoveryRecord(r, c.vc)
@@ -674,6 +690,7 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 				}
 			}
 		}
+		c.recycleMsgs(msgs)
 	})
 	return nil
 }

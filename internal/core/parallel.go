@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"imitator/internal/bufpool"
 	"imitator/internal/metrics"
 )
 
@@ -19,12 +20,18 @@ import (
 // the merged per-destination byte streams, metric sums and vertex values are
 // bit-for-bit identical for every worker count — which is what keeps the
 // recovery-equivalence invariant independent of P.
+//
+// Allocation discipline: stagers are owned by the node and reused across
+// phases, chunk bounds append into a node-owned scratch slice, and staging
+// buffers cycle through the cluster's buffer pool, so a warm steady-state
+// superstep performs no per-phase allocations.
 
-// chunkBounds splits [0, n) into at most p contiguous chunks whose sizes
-// differ by at most one. p is clamped to [1, n]; n == 0 yields no chunks.
-func chunkBounds(n, p int) [][2]int {
+// appendChunkBounds appends to dst at most p contiguous chunks covering
+// [0, n) whose sizes differ by at most one. p is clamped to [1, n]; n == 0
+// appends nothing.
+func appendChunkBounds(dst [][2]int, n, p int) [][2]int {
 	if n <= 0 {
-		return nil
+		return dst
 	}
 	if p < 1 {
 		p = 1
@@ -32,24 +39,33 @@ func chunkBounds(n, p int) [][2]int {
 	if p > n {
 		p = n
 	}
-	bounds := make([][2]int, p)
 	base, rem := n/p, n%p
 	lo := 0
-	for i := range bounds {
+	for i := 0; i < p; i++ {
 		hi := lo + base
 		if i < rem {
 			hi++
 		}
-		bounds[i] = [2]int{lo, hi}
+		dst = append(dst, [2]int{lo, hi})
 		lo = hi
 	}
-	return bounds
+	return dst
+}
+
+// chunkBounds splits [0, n) into at most p contiguous chunks whose sizes
+// differ by at most one (fresh-slice form, used by tests and cold paths).
+func chunkBounds(n, p int) [][2]int {
+	return appendChunkBounds(nil, n, p)
 }
 
 // stager is one worker's private staging area for a chunked phase. Workers
 // never touch the owning node's shared buffers; the pool merges stagers in
 // chunk order after the join, reproducing the sequential byte streams.
+// Stagers are retained on the node and reset by the merge, so steady-state
+// phases reuse their slices and buffers instead of reallocating them.
 type stager struct {
+	// pool re-seeds staging buffers after the merge steals them.
+	pool *bufpool.Pool
 	// send/notice mirror node.sendBuf/noticeBuf, one buffer per destination.
 	send   [][]byte
 	notice [][]byte
@@ -65,14 +81,32 @@ type stager struct {
 	busy float64
 }
 
+// buf returns the staging buffer for destination dst, seeding an empty slot
+// from the pool. Callers append records and store the result back with
+// setBuf (or use stage for the closure form).
+func (st *stager) buf(dst int) []byte {
+	b := st.send[dst]
+	if b == nil && st.pool != nil {
+		b = st.pool.Get()
+	}
+	return b
+}
+
+// setBuf stores an appended-to staging buffer back into its slot.
+func (st *stager) setBuf(dst int, b []byte) { st.send[dst] = b }
+
 // stage appends encoded bytes to the worker's buffer for destination dst.
 func (st *stager) stage(dst int, encode func(buf []byte) []byte) {
-	st.send[dst] = encode(st.send[dst])
+	st.send[dst] = encode(st.buf(dst))
 }
 
 // stageNotice appends to the worker's out-of-round activation notice buffer.
 func (st *stager) stageNotice(dst int, encode func(buf []byte) []byte) {
-	st.notice[dst] = encode(st.notice[dst])
+	b := st.notice[dst]
+	if b == nil && st.pool != nil {
+		b = st.pool.Get()
+	}
+	st.notice[dst] = encode(b)
 }
 
 // markPendingActive requests entries[pos].pendingActive = true after join.
@@ -85,6 +119,14 @@ func (st *stager) markActive(pos int32) {
 	st.active = append(st.active, pos)
 }
 
+// reset clears the per-phase accumulators, keeping slice capacity.
+func (st *stager) reset() {
+	st.met = metrics.Node{}
+	st.pendingActive = st.pendingActive[:0]
+	st.active = st.active[:0]
+	st.busy = 0
+}
+
 // chunked shards [0, n) across nd's worker pool and runs body on every
 // chunk, giving each worker a private stager. After all workers join it
 // merges the stagers in chunk order into nd's shared buffers, applies the
@@ -94,28 +136,28 @@ func (st *stager) markActive(pos int32) {
 // value is that simulated duration; callers that model time add it to
 // nd.phaseCost. Phases that stage bytes without accounting compute cost
 // leave busy at zero and get 0 back.
+//
+// Hot callers pass a pre-bound body (node.bodies) rather than a closure
+// literal: the multi-worker path hands body to goroutines, so the compiler
+// heap-allocates any literal passed here at every call site.
 func (c *Cluster[V, A]) chunked(nd *node[V, A], n int, body func(st *stager, lo, hi int)) float64 {
-	bounds := chunkBounds(n, c.cfg.WorkersPerNode)
+	nd.bounds = appendChunkBounds(nd.bounds[:0], n, c.cfg.WorkersPerNode)
+	bounds := nd.bounds
 	if len(bounds) == 0 {
 		return 0
 	}
-	width := len(nd.sendBuf)
-	sts := make([]*stager, len(bounds))
+	sts := nd.stagers[:len(bounds)]
 	if len(bounds) == 1 {
 		// Inline fast path: one chunk runs on the calling goroutine.
-		st := &stager{send: make([][]byte, width), notice: make([][]byte, width)}
-		body(st, bounds[0][0], bounds[0][1])
-		sts[0] = st
+		body(sts[0], bounds[0][0], bounds[0][1])
 	} else {
 		var wg sync.WaitGroup
 		for w, b := range bounds {
-			st := &stager{send: make([][]byte, width), notice: make([][]byte, width)}
-			sts[w] = st
 			wg.Add(1)
 			go func(st *stager, lo, hi int) {
 				defer wg.Done()
 				body(st, lo, hi)
-			}(st, b[0], b[1])
+			}(sts[w], b[0], b[1])
 		}
 		wg.Wait()
 	}
@@ -127,20 +169,30 @@ func (c *Cluster[V, A]) chunked(nd *node[V, A], n int, body func(st *stager, lo,
 				continue
 			}
 			if len(nd.sendBuf[dst]) == 0 {
+				if cap(nd.sendBuf[dst]) > 0 {
+					c.pool.Put(nd.sendBuf[dst])
+				}
 				nd.sendBuf[dst] = buf // steal: no copy at W=1
 			} else {
 				nd.sendBuf[dst] = append(nd.sendBuf[dst], buf...)
+				c.pool.Put(buf)
 			}
+			st.send[dst] = nil
 		}
 		for dst, buf := range st.notice {
 			if len(buf) == 0 {
 				continue
 			}
 			if len(nd.noticeBuf[dst]) == 0 {
+				if cap(nd.noticeBuf[dst]) > 0 {
+					c.pool.Put(nd.noticeBuf[dst])
+				}
 				nd.noticeBuf[dst] = buf
 			} else {
 				nd.noticeBuf[dst] = append(nd.noticeBuf[dst], buf...)
+				c.pool.Put(buf)
 			}
+			st.notice[dst] = nil
 		}
 		nd.met.Add(&st.met)
 		for _, pos := range st.pendingActive {
@@ -156,6 +208,7 @@ func (c *Cluster[V, A]) chunked(nd *node[V, A], n int, body func(st *stager, lo,
 		if st.busy > 0 {
 			c.met.Workers[nd.id].Observe(w, st.busy)
 		}
+		st.reset()
 	}
 	if total == 0 {
 		return 0
@@ -167,9 +220,10 @@ func (c *Cluster[V, A]) chunked(nd *node[V, A], n int, body func(st *stager, lo,
 }
 
 // chunkEncode shards [0, n) across the pool for flat-stream encoding: each
-// worker appends its chunk's records to a private buffer and reports how
-// many it wrote. Buffers come back in chunk order, so their concatenation
-// equals the sequential encoding; the caller stitches them after any header.
+// worker appends its chunk's records to a pool-seeded buffer and reports
+// how many it wrote. Buffers come back in chunk order, so their
+// concatenation equals the sequential encoding; the caller stitches them
+// after any header and returns them to the pool when done.
 func (c *Cluster[V, A]) chunkEncode(n int, body func(buf []byte, lo, hi int) ([]byte, int)) ([][]byte, int) {
 	bounds := chunkBounds(n, c.cfg.WorkersPerNode)
 	if len(bounds) == 0 {
@@ -177,15 +231,18 @@ func (c *Cluster[V, A]) chunkEncode(n int, body func(buf []byte, lo, hi int) ([]
 	}
 	bufs := make([][]byte, len(bounds))
 	counts := make([]int, len(bounds))
+	for w := range bufs {
+		bufs[w] = c.pool.Get()
+	}
 	if len(bounds) == 1 {
-		bufs[0], counts[0] = body(nil, bounds[0][0], bounds[0][1])
+		bufs[0], counts[0] = body(bufs[0], bounds[0][0], bounds[0][1])
 	} else {
 		var wg sync.WaitGroup
 		for w, b := range bounds {
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				bufs[w], counts[w] = body(nil, lo, hi)
+				bufs[w], counts[w] = body(bufs[w], lo, hi)
 			}(w, b[0], b[1])
 		}
 		wg.Wait()

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"imitator/internal/bufpool"
 	"imitator/internal/metrics"
 )
 
@@ -55,10 +56,11 @@ func TestChunkBoundsProperty(t *testing.T) {
 // yields exactly the bytes (and metric sums) the sequential loop produces.
 func TestChunkedReductionProperty(t *testing.T) {
 	const numDst = 4
-	c := &Cluster[int32, int32]{met: metrics.NewCluster(1)}
+	const maxWorkers = 8
+	c := &Cluster[int32, int32]{met: metrics.NewCluster(1), pool: bufpool.New()}
 	prop := func(payload []byte, p8 uint8) bool {
 		n := len(payload)
-		c.cfg.WorkersPerNode = int(p8)%8 + 1
+		c.cfg.WorkersPerNode = int(p8)%maxWorkers + 1
 
 		// Sequential reference: entry i emits one record to dst i%numDst.
 		want := make([][]byte, numDst)
@@ -70,9 +72,18 @@ func TestChunkedReductionProperty(t *testing.T) {
 		}
 
 		nd := &node[int32, int32]{
-			id:      0,
-			met:     &c.met.Nodes[0],
-			sendBuf: make([][]byte, numDst),
+			id:        0,
+			met:       &c.met.Nodes[0],
+			sendBuf:   make([][]byte, numDst),
+			noticeBuf: make([][]byte, numDst),
+			stagers:   make([]*stager, maxWorkers),
+		}
+		for w := range nd.stagers {
+			nd.stagers[w] = &stager{
+				pool:   c.pool,
+				send:   make([][]byte, numDst),
+				notice: make([][]byte, numDst),
+			}
 		}
 		before := nd.met.SyncMsgs
 		c.chunked(nd, n, func(st *stager, lo, hi int) {

@@ -42,8 +42,7 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 		for i := range nd.entries {
 			nd.entries[i].masterNode = noNode // "not yet placed" sentinel
 		}
-		nd.sendBuf = make([][]byte, c.cfg.NumNodes)
-		nd.noticeBuf = make([][]byte, c.cfg.NumNodes)
+		c.initNodeScratch(nd)
 		c.nodes[f] = nd
 		c.net.SetFailed(f, false)
 		c.coord.Join(f)
@@ -198,6 +197,9 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 		nd.localEdges = edges
 		rec.RecoveredEdges += edges
 		reconSpan.Observe(placeCost + float64(edges)*c.cfg.Cost.ComputePerEdge)
+	}
+	for _, msgs := range received {
+		c.recycleMsgs(msgs)
 	}
 	c.clock.Advance(reconSpan.Max())
 	if state := c.barrier(); state.IsFail() {

@@ -73,7 +73,8 @@ func (c *Cluster[V, A]) replayActivation(iter int, isTarget func(masterNode int1
 	})
 	c.flushNoticeRound()
 	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
+		msgs := c.net.Receive(nd.id)
+		for _, m := range msgs {
 			buf := m.Payload
 			for len(buf) >= 4 {
 				pos := binary.LittleEndian.Uint32(buf)
@@ -81,5 +82,6 @@ func (c *Cluster[V, A]) replayActivation(iter int, isTarget func(masterNode int1
 				buf = buf[4:]
 			}
 		}
+		c.recycleMsgs(msgs)
 	})
 }

@@ -76,6 +76,10 @@ type Result[V any] struct {
 	MaxMemory   int64 // largest per-node footprint, bytes
 	TotalMemory int64
 
+	// Buffers is the wire-buffer pool traffic for the whole run: a reuse
+	// fraction near 1 means the steady-state loop ran allocation-free.
+	Buffers metrics.Buffers
+
 	// Workers holds per-node, per-worker busy seconds when WorkersPerNode
 	// > 1 (empty entries otherwise): the intra-node load-balance picture.
 	Workers []metrics.WorkerTimes
@@ -107,6 +111,9 @@ func (c *Cluster[V, A]) result() *Result[V] {
 		}
 	}
 	c.refreshMemoryMetrics()
+	ps := c.pool.Stats()
+	c.met.Buffers = metrics.Buffers{Gets: ps.Gets, Misses: ps.Misses, Puts: ps.Puts}
+	res.Buffers = c.met.Buffers
 	res.Metrics = c.met.Total()
 	res.PerNode = append([]metrics.Node(nil), c.met.Nodes...)
 	res.Workers = append([]metrics.WorkerTimes(nil), c.met.Workers...)

@@ -13,6 +13,17 @@ type gatherPartial[A any] struct {
 	has bool
 }
 
+// ensurePartials returns p resized to n cleared elements, reusing its
+// backing array when capacity allows.
+func ensurePartials[A any](p []gatherPartial[A], n int) []gatherPartial[A] {
+	if cap(p) < n {
+		return make([]gatherPartial[A], n)
+	}
+	p = p[:n]
+	clear(p)
+	return p
+}
+
 // superstepVertexCut runs one PowerLyra-style GAS superstep:
 //
 //	R1  activation broadcast: masters tell replica hosts which vertices
@@ -24,131 +35,76 @@ type gatherPartial[A any] struct {
 //	    which stage them and mark local out-targets;
 //	R4  activation notices: nodes forward scatter activations to the
 //	    masters of the activated vertices.
+//
+// All phases run through pre-bound functions and bodies so the steady-state
+// loop allocates nothing; the gather scratch (localPart/mergedPart) is
+// retained on the node and cleared per superstep.
 func (c *Cluster[V, A]) superstepVertexCut(iter int) error {
-	always := c.prog.AlwaysActive()
+	c.curIter = iter
 
 	// R1: activation broadcast.
-	if !always {
-		c.eachAlive(func(nd *node[V, A]) {
-			c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					e := &nd.entries[i]
-					if !e.isMaster() || !e.active {
-						continue
-					}
-					for ri, rn := range e.replicaNodes {
-						if e.replicaFTOnly[ri] {
-							continue // FT replicas hold no edges: nothing to gather
-						}
-						pos := e.replicaPos[ri]
-						st.stage(int(rn), func(buf []byte) []byte {
-							return binary.LittleEndian.AppendUint32(buf, uint32(pos))
-						})
-						st.met.ActivationMsgs++
-						st.met.ActivationBytes += 4
-					}
-				}
-			})
-		})
+	if !c.always {
+		c.runPhase(c.fnVCR1Stage)
 		c.flushSendRound(netsim.KindActivation)
-		c.eachAlive(func(nd *node[V, A]) {
-			c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					if e := &nd.entries[i]; !e.isMaster() {
-						e.active = false
-					}
-				}
-			})
-			for _, m := range c.net.Receive(nd.id) {
-				buf := m.Payload
-				for len(buf) >= 4 {
-					pos := binary.LittleEndian.Uint32(buf)
-					nd.entries[pos].active = true
-					buf = buf[4:]
-				}
-			}
-		})
+		c.runPhase(c.fnVCR1Recv)
 	}
 
 	// R2 gather: local partials; replicas ship them to masters.
-	partials := make([][]gatherPartial[A], len(c.nodes))
-	c.eachAlive(func(nd *node[V, A]) {
-		local := make([]gatherPartial[A], len(nd.entries))
-		nd.phaseCost = c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
-			edges := 0
-			for i := lo; i < hi; i++ {
-				e := &nd.entries[i]
-				if !e.active || len(e.inNbr) == 0 {
-					continue
-				}
-				var acc A
-				has := false
-				for k, src := range e.inNbr {
-					se := &nd.entries[src]
-					contrib := c.prog.Gather(
-						graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
-						se.value, se.info())
-					if has {
-						acc = c.prog.Merge(acc, contrib)
-					} else {
-						acc, has = contrib, true
-					}
-				}
-				edges += len(e.inNbr)
-				if !has {
-					continue
-				}
-				if e.isMaster() {
-					local[i] = gatherPartial[A]{acc: acc, has: true}
-				} else {
-					mn := int(e.masterNode)
-					mpos := e.masterPos
-					before := len(st.send[mn])
-					st.stage(mn, func(buf []byte) []byte {
-						buf = binary.LittleEndian.AppendUint32(buf, uint32(mpos))
-						return c.ac.Append(buf, acc)
-					})
-					st.met.GatherMsgs++
-					st.met.GatherBytes += int64(len(st.send[mn]) - before)
-				}
-			}
-			st.busy = float64(edges) * c.cfg.Cost.ComputePerEdge
-		})
-		partials[nd.id] = local
-	})
+	c.runPhase(c.fnVCGather)
 	c.advanceComputeSpan()
 	c.flushSendRound(netsim.KindGather)
 
-	// Merge + apply on masters. Contributions merge in ascending sender-id
-	// order, with the master's own local partial taking its node's slot, so
-	// floating-point folds are deterministic.
-	c.eachAlive(func(nd *node[V, A]) {
-		local := partials[nd.id]
-		merged := make([]gatherPartial[A], len(nd.entries))
-		mergeAt := func(pos int32, acc A) {
-			m := &merged[pos]
-			if m.has {
-				m.acc = c.prog.Merge(m.acc, acc)
-			} else {
-				m.acc, m.has = acc, true
+	// Merge + apply on masters.
+	c.runPhase(c.fnVCMerge)
+	c.advanceComputeSpan()
+
+	// R3 sync: masters broadcast new values + scatter bits. Encode is
+	// chunk-parallel; decode parallelizes over messages (replica positions
+	// are disjoint across senders).
+	c.runPhase(c.fnSyncStage)
+	c.flushSendRound(netsim.KindSync)
+	c.runPhase(c.fnVCRecv)
+
+	// R4 activation notices to the masters of activated vertices.
+	c.flushNoticeRound()
+	c.runPhase(c.fnVCNotice)
+	return nil
+}
+
+// bindVertexCutPhases builds the cluster-level vertex-cut phase functions.
+func (c *Cluster[V, A]) bindVertexCutPhases() {
+	c.fnVCR1Stage = func(nd *node[V, A]) {
+		c.routeReady(nd)
+		c.chunked(nd, len(nd.entries), nd.bodies.vcR1Stage)
+	}
+	c.fnVCR1Recv = func(nd *node[V, A]) {
+		c.chunked(nd, len(nd.entries), nd.bodies.vcR1Reset)
+		msgs := c.net.Receive(nd.id)
+		for _, m := range msgs {
+			buf := m.Payload
+			for len(buf) >= 4 {
+				pos := binary.LittleEndian.Uint32(buf)
+				nd.entries[pos].active = true
+				buf = buf[4:]
 			}
 		}
+		c.recycleMsgs(msgs)
+	}
+	c.fnVCGather = func(nd *node[V, A]) {
+		nd.localPart = ensurePartials(nd.localPart, len(nd.entries))
+		nd.phaseCost = c.chunked(nd, len(nd.entries), nd.bodies.vcGather)
+	}
+	c.fnVCMerge = func(nd *node[V, A]) {
+		// Contributions merge in ascending sender-id order, with the
+		// master's own local partial taking its node's slot, so
+		// floating-point folds are deterministic.
+		nd.mergedPart = ensurePartials(nd.mergedPart, len(nd.entries))
 		msgs := c.net.Receive(nd.id)
 		localMerged := false
-		takeLocal := func() {
-			if localMerged {
-				return
-			}
-			localMerged = true
-			for i := range local {
-				if local[i].has {
-					mergeAt(int32(i), local[i].acc)
-				}
-			}
-		}
 		for _, m := range msgs {
-			if m.From > nd.id {
-				takeLocal()
+			if !localMerged && m.From > nd.id {
+				localMerged = true
+				c.vcMergeLocal(nd)
 			}
 			buf := m.Payload
 			for len(buf) > 0 {
@@ -161,66 +117,27 @@ func (c *Cluster[V, A]) superstepVertexCut(iter int) error {
 				if err != nil {
 					break
 				}
-				mergeAt(pos, acc)
+				c.vcMergeAt(nd, pos, acc)
 			}
 		}
-		takeLocal()
+		if !localMerged {
+			c.vcMergeLocal(nd)
+		}
+		c.recycleMsgs(msgs)
 
 		// Apply runs chunk-parallel over the serially merged partials: each
 		// chunk writes only its own masters' staged state.
-		nd.phaseCost = c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
-			applies := 0
-			for i := lo; i < hi; i++ {
-				e := &nd.entries[i]
-				if !e.isMaster() || !e.active {
-					continue
-				}
-				newV, scatter := c.prog.Apply(e.id, e.info(), e.value, merged[i].acc, merged[i].has, iter)
-				e.pendingValue = newV
-				e.hasPending = true
-				e.pendingScatter = scatter
-				e.pendingScatterI = int32(iter)
-				applies++
-				if scatter {
-					c.scatterMark(nd, st, e)
-				}
-			}
-			st.busy = float64(applies) * c.cfg.Cost.ComputePerVertex
-		})
-	})
-	c.advanceComputeSpan()
-
-	// R3 sync: masters broadcast new values + scatter bits. Encode is
-	// chunk-parallel; decode parallelizes over messages (replica positions
-	// are disjoint across senders).
-	c.eachAlive(func(nd *node[V, A]) {
-		c.chunked(nd, len(nd.entries), func(st *stager, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := &nd.entries[i]
-				if !e.isMaster() || !e.hasPending {
-					continue
-				}
-				c.stageSyncRecords(st, e)
-			}
-		})
-	})
-	c.flushSendRound(netsim.KindSync)
-	c.eachAlive(func(nd *node[V, A]) {
+		nd.phaseCost = c.chunked(nd, len(nd.entries), nd.bodies.vcApply)
+	}
+	c.fnVCRecv = func(nd *node[V, A]) {
+		nd.recvMsgs = c.net.Receive(nd.id)
+		c.chunked(nd, len(nd.recvMsgs), nd.bodies.vcRecv)
+		c.recycleMsgs(nd.recvMsgs)
+		nd.recvMsgs = nil
+	}
+	c.fnVCNotice = func(nd *node[V, A]) {
 		msgs := c.net.Receive(nd.id)
-		c.chunked(nd, len(msgs), func(st *stager, lo, hi int) {
-			for _, m := range msgs[lo:hi] {
-				if m.Kind != netsim.KindSync {
-					continue
-				}
-				c.applySyncScatter(nd, st, m.Payload)
-			}
-		})
-	})
-
-	// R4 activation notices to the masters of activated vertices.
-	c.flushNoticeRound()
-	c.eachAlive(func(nd *node[V, A]) {
-		for _, m := range c.net.Receive(nd.id) {
+		for _, m := range msgs {
 			buf := m.Payload
 			for len(buf) >= 4 {
 				pos := binary.LittleEndian.Uint32(buf)
@@ -228,8 +145,123 @@ func (c *Cluster[V, A]) superstepVertexCut(iter int) error {
 				buf = buf[4:]
 			}
 		}
-	})
-	return nil
+		c.recycleMsgs(msgs)
+	}
+}
+
+// bindVertexCutBodies builds nd's pre-bound vertex-cut chunked bodies.
+func (c *Cluster[V, A]) bindVertexCutBodies(nd *node[V, A]) {
+	nd.bodies.vcR1Stage = func(st *stager, lo, hi int) {
+		rt := &nd.route
+		for i := lo; i < hi; i++ {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.active {
+				continue
+			}
+			for k := rt.start[i]; k < rt.start[i+1]; k++ {
+				if rt.ftOnly[k] {
+					continue // FT replicas hold no edges: nothing to gather
+				}
+				rn := int(rt.node[k])
+				st.setBuf(rn, binary.LittleEndian.AppendUint32(st.buf(rn), uint32(rt.pos[k])))
+				st.met.ActivationMsgs++
+				st.met.ActivationBytes += 4
+			}
+		}
+	}
+	nd.bodies.vcR1Reset = func(_ *stager, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if e := &nd.entries[i]; !e.isMaster() {
+				e.active = false
+			}
+		}
+	}
+	nd.bodies.vcGather = func(st *stager, lo, hi int) {
+		edges := 0
+		for i := lo; i < hi; i++ {
+			e := &nd.entries[i]
+			if !e.active || len(e.inNbr) == 0 {
+				continue
+			}
+			var acc A
+			has := false
+			for k, src := range e.inNbr {
+				se := &nd.entries[src]
+				contrib := c.prog.Gather(
+					graph.Edge{Src: se.id, Dst: e.id, Weight: e.inWt[k]},
+					se.value, se.info())
+				if has {
+					acc = c.prog.Merge(acc, contrib)
+				} else {
+					acc, has = contrib, true
+				}
+			}
+			edges += len(e.inNbr)
+			if !has {
+				continue
+			}
+			if e.isMaster() {
+				nd.localPart[i] = gatherPartial[A]{acc: acc, has: true}
+			} else {
+				mn := int(e.masterNode)
+				buf := st.buf(mn)
+				before := len(buf)
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(e.masterPos))
+				buf = c.ac.Append(buf, acc)
+				st.setBuf(mn, buf)
+				st.met.GatherMsgs++
+				st.met.GatherBytes += int64(len(buf) - before)
+			}
+		}
+		st.busy = float64(edges) * c.cfg.Cost.ComputePerEdge
+	}
+	nd.bodies.vcApply = func(st *stager, lo, hi int) {
+		iter := c.curIter
+		applies := 0
+		for i := lo; i < hi; i++ {
+			e := &nd.entries[i]
+			if !e.isMaster() || !e.active {
+				continue
+			}
+			newV, scatter := c.prog.Apply(e.id, e.info(), e.value, nd.mergedPart[i].acc, nd.mergedPart[i].has, iter)
+			e.pendingValue = newV
+			e.hasPending = true
+			e.pendingScatter = scatter
+			e.pendingScatterI = int32(iter)
+			applies++
+			if scatter {
+				c.scatterMark(nd, st, e)
+			}
+		}
+		st.busy = float64(applies) * c.cfg.Cost.ComputePerVertex
+	}
+	nd.bodies.vcRecv = func(st *stager, lo, hi int) {
+		for _, m := range nd.recvMsgs[lo:hi] {
+			if m.Kind != netsim.KindSync {
+				continue
+			}
+			c.applySyncScatter(nd, st, m.Payload)
+		}
+	}
+}
+
+// vcMergeAt folds one partial accumulator into the merge scratch.
+func (c *Cluster[V, A]) vcMergeAt(nd *node[V, A], pos int32, acc A) {
+	m := &nd.mergedPart[pos]
+	if m.has {
+		m.acc = c.prog.Merge(m.acc, acc)
+	} else {
+		m.acc, m.has = acc, true
+	}
+}
+
+// vcMergeLocal folds the node's own local partials into the merge scratch.
+func (c *Cluster[V, A]) vcMergeLocal(nd *node[V, A]) {
+	for i := range nd.localPart {
+		if nd.localPart[i].has {
+			c.vcMergeAt(nd, int32(i), nd.localPart[i].acc)
+		}
+	}
 }
 
 // applySyncScatter stages sync records and performs local scatter marking,
@@ -269,10 +301,11 @@ func (c *Cluster[V, A]) scatterMark(nd *node[V, A], st *stager, e *vertexEntry[V
 			continue
 		}
 		mn := int(we.masterNode)
-		mpos := we.masterPos
-		st.stageNotice(mn, func(buf []byte) []byte {
-			return binary.LittleEndian.AppendUint32(buf, uint32(mpos))
-		})
+		b := st.notice[mn]
+		if b == nil && st.pool != nil {
+			b = st.pool.Get()
+		}
+		st.notice[mn] = binary.LittleEndian.AppendUint32(b, uint32(we.masterPos))
 		st.met.ActivationMsgs++
 		st.met.ActivationBytes += 4
 	}

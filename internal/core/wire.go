@@ -209,6 +209,10 @@ func (t *replicaTable) encode(buf []byte) []byte {
 
 func decodeReplicaTable(r *reader) *replicaTable {
 	n := int(r.u16())
+	if n*7 > r.remaining() { // sanity bound: each replica row is 7 bytes
+		r.fail()
+		return &replicaTable{}
+	}
 	t := &replicaTable{
 		nodes:  make([]int16, n),
 		pos:    make([]int32, n),
@@ -220,6 +224,10 @@ func decodeReplicaTable(r *reader) *replicaTable {
 		t.ftOnly[i] = r.bool()
 	}
 	m := int(r.u16())
+	if m*2 > r.remaining() { // sanity bound: each mirror index is 2 bytes
+		r.fail()
+		return t
+	}
 	t.mirrorOf = make([]int16, m)
 	for i := 0; i < m; i++ {
 		t.mirrorOf[i] = r.i16()
@@ -247,7 +255,7 @@ func (e *rawEdges) encode(buf []byte) []byte {
 
 func decodeRawEdges(r *reader) *rawEdges {
 	n := int(r.u32())
-	if n > r.remaining() { // cheap sanity bound: each edge is >= 14 bytes
+	if n*14 > r.remaining() { // sanity bound: each edge is >= 14 bytes
 		r.fail()
 		return &rawEdges{}
 	}

@@ -134,12 +134,33 @@ func (t *WorkerTimes) Imbalance() float64 {
 	return t.Max() / mean
 }
 
+// Buffers reports wire-buffer pool traffic: how often the engine's send,
+// notice and checkpoint buffers were recycled instead of freshly allocated.
+// In a warm steady-state superstep loop Misses stays flat while Gets grows.
+type Buffers struct {
+	// Gets counts buffer requests; Misses the requests the pool could not
+	// serve (a fresh allocation happened); Puts the buffers recycled.
+	Gets   int64
+	Misses int64
+	Puts   int64
+}
+
+// ReuseFraction is the share of buffer requests served from the pool.
+func (b Buffers) ReuseFraction() float64 {
+	if b.Gets == 0 {
+		return 0
+	}
+	return float64(b.Gets-b.Misses) / float64(b.Gets)
+}
+
 // Cluster aggregates per-node metrics.
 type Cluster struct {
 	Nodes []Node
 	// Workers tracks per-node, per-worker busy time when the engine runs
 	// with an intra-node worker pool.
 	Workers []WorkerTimes
+	// Buffers is the cluster-wide wire-buffer pool traffic.
+	Buffers Buffers
 }
 
 // NewCluster returns metrics storage for numNodes nodes.

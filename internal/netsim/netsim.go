@@ -81,6 +81,11 @@ type Network struct {
 	// Cumulative per-node egress bytes, for Table 6.
 	totalOut []atomic.Int64
 
+	// aliveMask caches !failed[i]; rebuilt on SetFailed so the per-round
+	// paths stop allocating. costs is FinishRound's reusable result slice.
+	aliveMask []bool
+	costs     []float64
+
 	errMu    sync.Mutex
 	firstErr error
 }
@@ -96,7 +101,7 @@ func NewTCP(numNodes int, params costmodel.Params) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewWithBackend(numNodes, params, &tcpBackend{mesh: mesh})
+	return NewWithBackend(numNodes, params, &tcpBackend{mesh: mesh, out: make([][]Message, numNodes)})
 }
 
 // NewWithBackend creates a network over a custom delivery backend.
@@ -107,15 +112,21 @@ func NewWithBackend(numNodes int, params costmodel.Params, backend Backend) (*Ne
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Network{
-		numNodes: numNodes,
-		params:   params,
-		backend:  backend,
-		bytesOut: make([]atomic.Int64, numNodes),
-		bytesIn:  make([]atomic.Int64, numNodes),
-		failed:   make([]bool, numNodes),
-		totalOut: make([]atomic.Int64, numNodes),
-	}, nil
+	n := &Network{
+		numNodes:  numNodes,
+		params:    params,
+		backend:   backend,
+		bytesOut:  make([]atomic.Int64, numNodes),
+		bytesIn:   make([]atomic.Int64, numNodes),
+		failed:    make([]bool, numNodes),
+		totalOut:  make([]atomic.Int64, numNodes),
+		aliveMask: make([]bool, numNodes),
+		costs:     make([]float64, numNodes),
+	}
+	for i := range n.aliveMask {
+		n.aliveMask[i] = true
+	}
+	return n, nil
 }
 
 // NumNodes returns the network size.
@@ -130,6 +141,7 @@ func (n *Network) SetFailed(node int, failed bool) {
 		n.backend.Drain(node)
 	}
 	n.failed[node] = failed
+	n.aliveMask[node] = !failed
 }
 
 // Failed reports whether a node is marked failed.
@@ -170,29 +182,20 @@ func (n *Network) Send(from, to int, kind Kind, payload []byte) {
 // headerBytes models per-message framing overhead on the wire.
 const headerBytes = 16
 
-// alive returns the liveness mask.
-func (n *Network) alive() []bool {
-	mask := make([]bool, n.numNodes)
-	for i := range mask {
-		mask[i] = !n.failed[i]
-	}
-	return mask
-}
-
 // FinishRound closes the current messaging round and returns the simulated
 // communication seconds per node — max(egress, ingress)/bandwidth plus one
 // latency unit for nodes that communicated — and the aggregate fabric cost:
 // the round's total bytes over the cluster's bisection capacity. The round
 // duration is the larger of the slowest node and the fabric term, so even
 // well-spread extra traffic (like fault-tolerance sync records) costs time.
+// The returned costs slice is reused by the next FinishRound call.
 func (n *Network) FinishRound() (costs []float64, fabric float64) {
-	aliveMask := n.alive()
 	for from := 0; from < n.numNodes; from++ {
-		if aliveMask[from] {
-			n.recordErr(n.backend.EndRound(from, aliveMask))
+		if n.aliveMask[from] {
+			n.recordErr(n.backend.EndRound(from, n.aliveMask))
 		}
 	}
-	costs = make([]float64, n.numNodes)
+	costs = n.costs
 	active := 0
 	var total int64
 	for i := 0; i < n.numNodes; i++ {
@@ -203,6 +206,7 @@ func (n *Network) FinishRound() (costs []float64, fabric float64) {
 		if in > vol {
 			vol = in
 		}
+		costs[i] = 0
 		if vol > 0 {
 			costs[i] = n.params.NetTransfer(vol) + n.params.NetLatency
 			active++
@@ -218,9 +222,11 @@ func (n *Network) FinishRound() (costs []float64, fabric float64) {
 	return costs, fabric
 }
 
-// Receive drains node `to`'s round in deterministic sender order.
+// Receive drains node `to`'s round in deterministic sender order. The
+// returned slice is valid until the same node's next Receive; payload
+// ownership transfers to the caller (the engine recycles them).
 func (n *Network) Receive(to int) []Message {
-	msgs, err := n.backend.Collect(to, n.alive())
+	msgs, err := n.backend.Collect(to, n.aliveMask)
 	n.recordErr(err)
 	return msgs
 }
@@ -248,8 +254,11 @@ func (n *Network) TotalBytes() int64 {
 
 // memBackend delivers through per-(receiver, sender) mailboxes. Rounds
 // need no markers: the caller's barrier separates send and collect.
+// Mailboxes and the per-receiver Collect output truncate instead of
+// re-allocating, so steady-state rounds reuse their slice capacity.
 type memBackend struct {
 	boxes [][][]Message // boxes[to][from]
+	out   [][]Message   // per-receiver Collect scratch
 }
 
 func newMemBackend(numNodes int) *memBackend {
@@ -257,7 +266,7 @@ func newMemBackend(numNodes int) *memBackend {
 	for to := range boxes {
 		boxes[to] = make([][]Message, numNodes)
 	}
-	return &memBackend{boxes: boxes}
+	return &memBackend{boxes: boxes, out: make([][]Message, numNodes)}
 }
 
 // Send implements Backend. Only the goroutine driving `from` appends to
@@ -270,27 +279,29 @@ func (b *memBackend) Send(from, to int, kind Kind, payload []byte) error {
 // EndRound implements Backend (no-op: the barrier is the round boundary).
 func (b *memBackend) EndRound(int, []bool) error { return nil }
 
-// Collect implements Backend.
+// Collect implements Backend. The returned slice is scratch reused by the
+// same receiver's next Collect.
 func (b *memBackend) Collect(to int, _ []bool) ([]Message, error) {
-	var out []Message
+	out := b.out[to][:0]
 	for from := range b.boxes[to] {
 		out = append(out, b.boxes[to][from]...)
-		b.boxes[to][from] = nil
+		b.boxes[to][from] = b.boxes[to][from][:0]
 	}
+	b.out[to] = out
 	return out, nil
 }
 
 // Drain implements Backend.
 func (b *memBackend) Drain(to int) {
 	for from := range b.boxes[to] {
-		b.boxes[to][from] = nil
+		b.boxes[to][from] = b.boxes[to][from][:0]
 	}
 }
 
 // DrainFrom implements Backend.
 func (b *memBackend) DrainFrom(from int) {
 	for to := range b.boxes {
-		b.boxes[to][from] = nil
+		b.boxes[to][from] = b.boxes[to][from][:0]
 	}
 }
 
@@ -300,6 +311,7 @@ func (b *memBackend) Close() error { return nil }
 // tcpBackend adapts the loopback TCP mesh.
 type tcpBackend struct {
 	mesh *transport.Mesh
+	out  [][]Message // per-receiver Collect scratch
 }
 
 func (b *tcpBackend) Send(from, to int, kind Kind, payload []byte) error {
@@ -315,10 +327,11 @@ func (b *tcpBackend) Collect(to int, expectFrom []bool) ([]Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Message, len(raw))
-	for i, m := range raw {
-		out[i] = Message{From: m.From, Kind: Kind(m.Kind), Payload: m.Payload}
+	out := b.out[to][:0]
+	for _, m := range raw {
+		out = append(out, Message{From: m.From, Kind: Kind(m.Kind), Payload: m.Payload})
 	}
+	b.out[to] = out
 	return out, nil
 }
 

@@ -47,6 +47,13 @@ type Mesh struct {
 	conns     [][]net.Conn  // conns[from][to]; nil on the diagonal
 	queues    [][]chan item // queues[to][from]
 
+	// writeBufs[from] is the sender's reusable frame-assembly buffer; each
+	// `from` has exactly one sender goroutine (the Backend contract), so no
+	// locking is needed. collectOut[to] is the receiver's reusable Collect
+	// result, valid until that receiver's next Collect.
+	writeBufs  [][]byte
+	collectOut [][]Message
+
 	wg      sync.WaitGroup
 	closing chan struct{}
 	once    sync.Once
@@ -59,11 +66,13 @@ func NewMesh(n int) (*Mesh, error) {
 		return nil, fmt.Errorf("transport: need at least one node, got %d", n)
 	}
 	m := &Mesh{
-		n:         n,
-		listeners: make([]net.Listener, n),
-		conns:     make([][]net.Conn, n),
-		queues:    make([][]chan item, n),
-		closing:   make(chan struct{}),
+		n:          n,
+		listeners:  make([]net.Listener, n),
+		conns:      make([][]net.Conn, n),
+		queues:     make([][]chan item, n),
+		writeBufs:  make([][]byte, n),
+		collectOut: make([][]Message, n),
+		closing:    make(chan struct{}),
 	}
 	for to := 0; to < n; to++ {
 		m.queues[to] = make([]chan item, n)
@@ -202,14 +211,18 @@ func (m *Mesh) write(from, to int, kind byte, marker bool, payload []byte) error
 	if conn == nil {
 		return fmt.Errorf("transport: no connection %d->%d", from, to)
 	}
-	buf := make([]byte, headerLen+len(payload))
+	// Frames assemble in the sender's reusable buffer; conn.Write fully
+	// consumes it before returning, so reuse across writes is safe.
+	var hdr [headerLen]byte
+	buf := append(m.writeBufs[from][:0], hdr[:]...)
 	binary.LittleEndian.PutUint16(buf[0:], uint16(from))
 	buf[2] = kind
 	if marker {
 		buf[3] = 1
 	}
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
-	copy(buf[headerLen:], payload)
+	buf = append(buf, payload...)
+	m.writeBufs[from] = buf
 	if _, err := conn.Write(buf); err != nil {
 		return fmt.Errorf("transport: write %d->%d: %w", from, to, err)
 	}
@@ -218,9 +231,11 @@ func (m *Mesh) write(from, to int, kind byte, marker bool, payload []byte) error
 
 // Collect blocks until a round-end marker has arrived from every sender
 // enabled in expectFrom, returning the round's messages grouped by
-// ascending sender id.
+// ascending sender id. The returned slice is reused by the same receiver's
+// next Collect.
 func (m *Mesh) Collect(to int, expectFrom []bool) ([]Message, error) {
-	var out []Message
+	out := m.collectOut[to][:0]
+	defer func() { m.collectOut[to] = out }()
 	for from := 0; from < m.n; from++ {
 		if !expectFrom[from] {
 			continue
