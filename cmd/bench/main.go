@@ -29,11 +29,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		all     = fs.Bool("all", false, "run every experiment")
-		figure  = fs.String("figure", "", "figure id to regenerate (2a, 2b, 2c, 3, 7, 8, 9, 10, 11, 12, 13, 14, 15)")
-		table   = fs.String("table", "", "table id to regenerate (1, 2, 3, 5, 6, 7, young)")
-		nodes   = fs.Int("nodes", 8, "simulated cluster size")
-		iters   = fs.Int("iters", 10, "PageRank iterations")
+		all      = fs.Bool("all", false, "run every experiment")
+		figure   = fs.String("figure", "", "figure id to regenerate (2a, 2b, 2c, 3, 7, 8, 9, 10, 11, 12, 13, 14, 15)")
+		table    = fs.String("table", "", "table id to regenerate (1, 2, 3, 5, 6, 7, young)")
+		nodes    = fs.Int("nodes", 8, "simulated cluster size")
+		iters    = fs.Int("iters", 10, "PageRank iterations")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "intra-node worker-pool width (identical results, less wall clock)")
 		small    = fs.Bool("small", false, "shrink datasets and sweeps for a quick pass")
 		jsonPath = fs.String("json", "", "write a wall-clock + allocations report (e.g. BENCH_PR2.json) instead of tables")

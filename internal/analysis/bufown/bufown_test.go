@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"imitator/internal/analysis/analysistest"
+	"imitator/internal/analysis/bufown"
+)
+
+func TestBufown(t *testing.T) {
+	analysistest.Run(t, "testdata", bufown.New(), "bufowntest")
+}

@@ -1,0 +1,11 @@
+// Package netsim is a stub of the real simulated network: Send is an
+// ownership-transfer sink (the receiver recycles payloads).
+package netsim
+
+type Kind uint8
+
+type Network struct{ failed []bool }
+
+func (n *Network) Send(from, to int, kind Kind, payload []byte) {}
+
+func (n *Network) Failed(node int) bool { return n.failed[node] }

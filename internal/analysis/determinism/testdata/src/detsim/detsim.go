@@ -1,0 +1,117 @@
+// Package detsim exercises the determinism analyzer: it is configured as a
+// simulation package in determinism_test.go.
+package detsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads are forbidden in simulation packages.
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func tickers() {
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	<-time.After(time.Second)       // want `time\.After reads the wall clock`
+}
+
+func annotatedClock() time.Time {
+	return time.Now() //imitator:nondet-ok wall-clock boundary for the live CLI
+}
+
+func methodOnTime(t time.Time) time.Duration {
+	return t.Sub(t) // methods on a value are fine; only the clock read is flagged
+}
+
+// Global math/rand shares hidden state; seeded generators are fine.
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn uses the global generator`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// Map iteration: commutative aggregation passes, order leakage is flagged.
+
+func countActive(m map[int]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func sumInto(m map[int]float64, out map[int]float64) {
+	total := 0.0
+	for k, v := range m {
+		total += v
+		out[k] = v * 2
+		delete(m, k)
+	}
+	_ = total
+}
+
+func allArrived(alive, arrived map[int]bool) bool {
+	for n, a := range alive {
+		if a && !arrived[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func appendLeaksOrder(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want `map iteration order is random`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedAfterward(m map[int]bool) []int {
+	var out []int
+	//imitator:nondet-ok keys are sorted before use below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func lastWriterWins(m map[int]int) int {
+	var last int
+	for _, v := range m { // want `map iteration order is random`
+		last = v
+	}
+	return last
+}
+
+func nonConstantReturn(m map[int]int) int {
+	for _, v := range m { // want `map iteration order is random`
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+func rangeOverSlice(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

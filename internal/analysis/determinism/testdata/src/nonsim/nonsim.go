@@ -1,0 +1,21 @@
+// Package nonsim is outside the configured simulation set: wall clocks and
+// global rand are allowed here (cmd/, examples/ and tooling live off the
+// simulated timeline).
+package nonsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFine() time.Time { return time.Now() }
+
+func globalRandIsFine() int { return rand.Intn(10) }
+
+func mapOrderIsFine(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

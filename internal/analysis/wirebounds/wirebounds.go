@@ -1,0 +1,361 @@
+// Package wirebounds flags decoder allocations sized by attacker-controlled
+// wire input. In any decode-shaped function (name matching decode/read/
+// parse/unmarshal), a length that derives from decoded bytes — encoding/
+// binary reads or the repo's sticky-reader u16/u32/u64 methods — is
+// "tainted"; passing a tainted length to make(), or looping to a tainted
+// bound around append, is reported unless a dominating sanity check bounds
+// it first:
+//
+//	n := int(r.u32())
+//	if n*14 > r.remaining() { // ← this is the dominating bound
+//		r.fail()
+//		return &rawEdges{}
+//	}
+//	e.src = make([]graph.VertexID, n) // ok
+//
+// Without the bound, a 4-byte frame header can demand a multi-gigabyte
+// allocation before any payload byte is read (the sticky reader does not
+// stop a count-driven loop either: after truncation it yields zeros while
+// the loop keeps appending). A comparison of the tainted value inside an
+// if whose body diverges (return/break/continue/panic), clamping through
+// min(), or reassignment from an untainted expression all clear the taint.
+//
+// Exceptions carry //imitator:wirebounds-ok <reason>.
+package wirebounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"imitator/internal/analysis"
+)
+
+// decoderName matches functions whose input is wire- or file-shaped.
+var decoderName = regexp.MustCompile(`(?i)(decode|read|parse|unmarshal)`)
+
+// New returns the wirebounds analyzer.
+func New() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name:      "wirebounds",
+		Directive: "wirebounds",
+		Doc:       "require a dominating sanity bound before allocating with lengths decoded from wire input",
+	}
+	a.Run = run
+	return a
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !decoderName.MatchString(fd.Name.Name) {
+				continue
+			}
+			w := &walker{pass: pass, tainted: map[*types.Var]bool{}}
+			w.walkStmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	tainted map[*types.Var]bool
+}
+
+// walkStmts interprets statements in order. Branch bodies share the state:
+// taint acquired anywhere persists; a bound established in a branch also
+// persists (deliberately permissive — this is a vet heuristic, and the
+// dominating-bound idiom in this codebase is straight-line).
+func (w *walker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *walker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.checkExprs(s.Rhs)
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					t := w.taintedExpr(s.Rhs[i])
+					if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+						t = t || w.taintedExpr(lhs) // op-assign keeps existing taint
+					}
+					w.setTaint(id, t)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.checkExprs(vs.Values)
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							w.setTaint(name, w.taintedExpr(vs.Values[i]))
+						}
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(&ast.ExprStmt{X: s.Cond}) // surfaces makes inside the cond
+		w.walkStmts(s.Body.List)
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+		// A diverging body guarded by a comparison of the tainted value is
+		// the dominating sanity bound.
+		if diverges(s.Body) {
+			w.clearCompared(s.Cond)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil && w.comparesTainted(s.Cond) && containsAppend(s.Body) {
+			w.pass.Reportf(s.Pos(),
+				"loop bound derives from decoded input and the body appends; bound the count against the remaining payload first, or annotate //imitator:wirebounds-ok <reason>")
+		}
+		w.walkStmts(s.Body.List)
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		if w.taintedExpr(s.X) && containsAppend(s.Body) {
+			w.pass.Reportf(s.Pos(),
+				"loop bound derives from decoded input and the body appends; bound the count against the remaining payload first, or annotate //imitator:wirebounds-ok <reason>")
+		}
+		w.walkStmts(s.Body.List)
+	case *ast.ExprStmt:
+		w.checkExpr(s.X)
+	case *ast.ReturnStmt:
+		w.checkExprs(s.Results)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Calls inside carry no allocation sites of interest here.
+	}
+}
+
+// checkExprs / checkExpr scan for make() with a tainted size.
+func (w *walker) checkExprs(exprs []ast.Expr) {
+	for _, e := range exprs {
+		w.checkExpr(e)
+	}
+}
+
+func (w *walker) checkExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		for _, size := range call.Args[1:] {
+			if w.taintedExpr(size) {
+				w.pass.Reportf(call.Pos(),
+					"make sized by a length decoded from wire input with no dominating bound check; compare it against the remaining payload (see decodeRawEdges) or annotate //imitator:wirebounds-ok <reason>")
+				break
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) setTaint(id *ast.Ident, tainted bool) {
+	if id.Name == "_" {
+		return
+	}
+	obj := w.objectOf(id)
+	if obj == nil {
+		return
+	}
+	if tainted {
+		w.tainted[obj] = true
+	} else {
+		delete(w.tainted, obj)
+	}
+}
+
+// taintedExpr reports whether e's value derives from decoded wire bytes.
+func (w *walker) taintedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.objectOf(e)
+		return obj != nil && w.tainted[obj]
+	case *ast.BinaryExpr:
+		return w.taintedExpr(e.X) || w.taintedExpr(e.Y)
+	case *ast.UnaryExpr:
+		return w.taintedExpr(e.X)
+	case *ast.CallExpr:
+		return w.taintedCall(e)
+	}
+	return false
+}
+
+// taintedCall classifies calls: taint sources, conversions (propagate),
+// and the min() clamp (clears taint).
+func (w *walker) taintedCall(call *ast.CallExpr) bool {
+	// Conversion like int(x): propagate the operand's taint.
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return w.taintedExpr(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "min": // clamped: someone chose a ceiling
+				return false
+			case "max", "len", "cap":
+				return false
+			}
+			return false
+		}
+	}
+	return w.isTaintSource(call)
+}
+
+// wireReadNames are taint-source callee names: encoding/binary reads and
+// the sticky-reader methods. u8/bool are excluded — a byte-sized count
+// cannot demand a harmful allocation.
+var wireReadNames = map[string]bool{
+	"Uint16": true, "Uint32": true, "Uint64": true,
+	"Varint": true, "Uvarint": true, "ReadVarint": true, "ReadUvarint": true,
+	"u16": true, "u32": true, "u64": true, "i16": true, "i32": true, "i64": true,
+	"varint": true, "uvarint": true,
+}
+
+func (w *walker) isTaintSource(call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return wireReadNames[name]
+}
+
+// clearCompared untaints every tainted identifier that participates in a
+// comparison inside cond (the diverging-if bound pattern).
+func (w *walker) clearCompared(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(be.Op) {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := w.objectOf(id); obj != nil {
+						delete(w.tainted, obj)
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// comparesTainted reports whether cond compares a tainted value.
+func (w *walker) comparesTainted(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && isComparison(be.Op) {
+			if w.taintedExpr(be.X) || w.taintedExpr(be.Y) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ, token.EQL:
+		return true
+	}
+	return false
+}
+
+// diverges reports whether a block leaves normal control flow.
+func diverges(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// containsAppend reports whether a block grows a slice with append.
+func containsAppend(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *walker) objectOf(id *ast.Ident) *types.Var {
+	if obj, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return obj
+	}
+	if obj, ok := w.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}

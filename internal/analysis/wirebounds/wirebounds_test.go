@@ -1,0 +1,12 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"imitator/internal/analysis/analysistest"
+	"imitator/internal/analysis/wirebounds"
+)
+
+func TestWirebounds(t *testing.T) {
+	analysistest.Run(t, "testdata", wirebounds.New(), "wdecode")
+}

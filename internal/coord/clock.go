@@ -1,0 +1,114 @@
+// Clock injection for the heartbeat failure detector. The monitor itself is
+// clock-agnostic: the live CLI runs it on WallClock, while tests (and any
+// future simulated-failure-detection mode) drive a FakeClock by hand, so
+// failure-detection behavior is a pure function of delivered ticks instead
+// of host scheduling. This is the wall-clock boundary the determinism
+// analyzer enforces for the rest of the package.
+
+package coord
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the heartbeat monitor: reading the current
+// instant and producing periodic ticks.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// NewTicker returns a channel delivering ticks every d, and a stop
+	// function releasing the ticker's resources.
+	NewTicker(d time.Duration) (<-chan time.Time, func())
+}
+
+// WallClock is the host's real-time clock, for live (non-simulated) runs.
+// It is the one sanctioned wall-clock read in the simulation packages.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time {
+	return time.Now() //imitator:nondet-ok WallClock is the declared wall-clock boundary for live heartbeat mode
+}
+
+// NewTicker implements Clock.
+func (WallClock) NewTicker(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d) //imitator:nondet-ok WallClock is the declared wall-clock boundary for live heartbeat mode
+	return t.C, t.Stop
+}
+
+// FakeClock is a manually advanced clock for deterministic tests: time
+// moves only when Advance is called, and due ticks are delivered before
+// Advance returns.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*fakeTicker
+}
+
+type fakeTicker struct {
+	ch      chan time.Time
+	period  time.Duration
+	next    time.Time
+	stopped bool
+}
+
+// NewFakeClock returns a FakeClock reading start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// NewTicker implements Clock.
+func (c *FakeClock) NewTicker(d time.Duration) (<-chan time.Time, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTicker{
+		// Buffered so Advance never blocks on a receiver that is between
+		// selects; like time.Ticker, an unconsumed tick is dropped rather
+		// than queued.
+		ch:     make(chan time.Time, 1),
+		period: d,
+		next:   c.now.Add(d),
+	}
+	c.tickers = append(c.tickers, t)
+	return t.ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		t.stopped = true
+	}
+}
+
+// Advance moves the clock forward by d, delivering every tick that comes
+// due (at the tick's own timestamp, like a real ticker).
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	for _, t := range c.tickers {
+		for !t.stopped && !t.next.After(c.now) {
+			select {
+			case t.ch <- t.next:
+			default:
+				// Receiver hasn't drained the previous tick: coalesce by
+				// replacing it with this newer one, so a slow receiver
+				// always observes the latest due tick.
+				select {
+				case <-t.ch:
+				default:
+				}
+				select {
+				case t.ch <- t.next:
+				default:
+				}
+			}
+			t.next = t.next.Add(t.period)
+		}
+	}
+}

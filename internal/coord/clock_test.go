@@ -1,0 +1,80 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockNowAdvances(t *testing.T) {
+	start := time.Unix(100, 0)
+	clk := NewFakeClock(start)
+	if got := clk.Now(); !got.Equal(start) {
+		t.Fatalf("Now = %v, want %v", got, start)
+	}
+	clk.Advance(3 * time.Second)
+	if got := clk.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Now after Advance = %v", got)
+	}
+}
+
+func TestFakeClockTickerDeliversDueTicks(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	tick, stop := clk.NewTicker(10 * time.Millisecond)
+	defer stop()
+
+	clk.Advance(5 * time.Millisecond)
+	select {
+	case ts := <-tick:
+		t.Fatalf("tick %v before period elapsed", ts)
+	default:
+	}
+
+	clk.Advance(5 * time.Millisecond)
+	select {
+	case ts := <-tick:
+		if want := time.Unix(0, 0).Add(10 * time.Millisecond); !ts.Equal(want) {
+			t.Fatalf("tick at %v, want %v", ts, want)
+		}
+	default:
+		t.Fatal("no tick after period elapsed")
+	}
+}
+
+func TestFakeClockTickerCoalesces(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	tick, stop := clk.NewTicker(time.Millisecond)
+	defer stop()
+	// Five periods elapse with no receiver: like time.Ticker, unconsumed
+	// ticks are dropped, not queued.
+	clk.Advance(5 * time.Millisecond)
+	<-tick
+	select {
+	case ts := <-tick:
+		t.Fatalf("queued tick %v, want coalescing", ts)
+	default:
+	}
+}
+
+func TestFakeClockTickerStop(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	tick, stop := clk.NewTicker(time.Millisecond)
+	stop()
+	clk.Advance(10 * time.Millisecond)
+	select {
+	case ts := <-tick:
+		t.Fatalf("tick %v after Stop", ts)
+	default:
+	}
+}
+
+func TestWallClockImplements(t *testing.T) {
+	var c Clock = WallClock{}
+	if c.Now().IsZero() {
+		t.Fatal("WallClock.Now returned zero time")
+	}
+	tick, stop := c.NewTicker(time.Hour)
+	if tick == nil {
+		t.Fatal("WallClock.NewTicker returned nil channel")
+	}
+	stop()
+}

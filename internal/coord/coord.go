@@ -150,7 +150,7 @@ func (c *Coordinator) AliveNodes() []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []int
-	for n, a := range c.alive {
+	for n, a := range c.alive { //imitator:nondet-ok collected set is sorted before use
 		if a {
 			out = append(out, n)
 		}
@@ -176,11 +176,12 @@ func (c *Coordinator) Get(key string) (int64, bool) {
 }
 
 // HeartbeatMonitor detects crashed nodes from missed heartbeats, as the
-// paper's central master does with a conservative 500 ms interval. It runs
-// on real wall-clock time and is used by the live CLI mode; the
-// deterministic benchmark driver injects failures directly and charges the
-// detection delay from the cost model instead.
+// paper's central master does with a conservative 500 ms interval. Time
+// comes from an injected Clock: WallClock in the live CLI mode, FakeClock
+// in tests; the deterministic benchmark driver injects failures directly
+// and charges the detection delay from the cost model instead.
 type HeartbeatMonitor struct {
+	clock    Clock
 	interval time.Duration
 	misses   int
 	onFail   func(node int)
@@ -193,14 +194,20 @@ type HeartbeatMonitor struct {
 	done chan struct{}
 }
 
-// NewHeartbeatMonitor creates a monitor declaring a node failed after
-// `misses` consecutive missed intervals. onFail runs once per failure on
-// the monitor goroutine.
+// NewHeartbeatMonitor creates a wall-clock monitor declaring a node failed
+// after `misses` consecutive missed intervals. onFail runs once per failure
+// on the monitor goroutine.
 func NewHeartbeatMonitor(interval time.Duration, misses int, onFail func(node int)) (*HeartbeatMonitor, error) {
+	return NewHeartbeatMonitorWithClock(WallClock{}, interval, misses, onFail)
+}
+
+// NewHeartbeatMonitorWithClock creates a monitor on an explicit clock.
+func NewHeartbeatMonitorWithClock(clock Clock, interval time.Duration, misses int, onFail func(node int)) (*HeartbeatMonitor, error) {
 	if interval <= 0 || misses < 1 {
 		return nil, fmt.Errorf("coord: bad heartbeat config interval=%v misses=%d", interval, misses)
 	}
 	return &HeartbeatMonitor{
+		clock:    clock,
 		interval: interval,
 		misses:   misses,
 		onFail:   onFail,
@@ -215,7 +222,7 @@ func NewHeartbeatMonitor(interval time.Duration, misses int, onFail func(node in
 func (m *HeartbeatMonitor) Track(node int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.lastBeat[node] = time.Now()
+	m.lastBeat[node] = m.clock.Now()
 	delete(m.failed, node)
 }
 
@@ -225,21 +232,23 @@ func (m *HeartbeatMonitor) Beat(node int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.lastBeat[node]; ok && !m.failed[node] {
-		m.lastBeat[node] = time.Now()
+		m.lastBeat[node] = m.clock.Now()
 	}
 }
 
 // Start launches the monitor goroutine. Stop must be called to shut it down.
 func (m *HeartbeatMonitor) Start() {
+	// Register the ticker before returning so callers advancing a FakeClock
+	// right after Start cannot race the goroutine's startup.
+	tick, stopTicker := m.clock.NewTicker(m.interval)
 	go func() {
 		defer close(m.done)
-		ticker := time.NewTicker(m.interval)
-		defer ticker.Stop()
+		defer stopTicker()
 		for {
 			select {
 			case <-m.stop:
 				return
-			case now := <-ticker.C:
+			case now := <-tick:
 				m.sweep(now)
 			}
 		}
@@ -250,7 +259,7 @@ func (m *HeartbeatMonitor) sweep(now time.Time) {
 	deadline := time.Duration(m.misses) * m.interval
 	var newlyFailed []int
 	m.mu.Lock()
-	for node, last := range m.lastBeat {
+	for node, last := range m.lastBeat { //imitator:nondet-ok newlyFailed is sorted before onFail callbacks
 		if !m.failed[node] && now.Sub(last) >= deadline {
 			m.failed[node] = true
 			newlyFailed = append(newlyFailed, node)

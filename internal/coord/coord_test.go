@@ -173,12 +173,10 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestHeartbeatDetectsCrash(t *testing.T) {
-	var mu sync.Mutex
-	var failures []int
-	m, err := NewHeartbeatMonitor(5*time.Millisecond, 3, func(n int) {
-		mu.Lock()
-		failures = append(failures, n)
-		mu.Unlock()
+	clk := NewFakeClock(time.Unix(0, 0))
+	failures := make(chan int, 8)
+	m, err := NewHeartbeatMonitorWithClock(clk, 10*time.Millisecond, 3, func(n int) {
+		failures <- n
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -188,58 +186,61 @@ func TestHeartbeatDetectsCrash(t *testing.T) {
 	m.Start()
 	defer m.Stop()
 
-	// Node 0 keeps beating; node 1 goes silent.
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		tick := time.NewTicker(2 * time.Millisecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				m.Beat(0)
-			}
-		}
-	}()
-
-	deadline := time.After(2 * time.Second)
-	for {
-		mu.Lock()
-		done := len(failures) > 0
-		mu.Unlock()
-		if done {
-			break
-		}
-		select {
-		case <-deadline:
-			t.Fatal("no failure detected")
-		case <-time.After(time.Millisecond):
-		}
+	// Node 0 keeps beating after every tick; node 1 goes silent. Node 0's
+	// last beat is therefore never more than two intervals stale when a
+	// sweep runs, while node 1 crosses the three-miss deadline at t=30ms.
+	for i := 0; i < 3; i++ {
+		clk.Advance(10 * time.Millisecond)
+		m.Beat(0)
 	}
-	close(stop)
-	wg.Wait()
-	mu.Lock()
-	defer mu.Unlock()
-	for _, f := range failures {
-		if f != 1 {
-			t.Errorf("detected failure of node %d, want only node 1", f)
+	select {
+	case n := <-failures:
+		if n != 1 {
+			t.Fatalf("detected failure of node %d, want node 1", n)
 		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no failure detected")
+	}
+	select {
+	case n := <-failures:
+		t.Errorf("unexpected extra failure of node %d", n)
+	default:
 	}
 }
 
 func TestHeartbeatFailsOnce(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
 	var count int32
-	m, _ := NewHeartbeatMonitor(2*time.Millisecond, 2, func(int) { atomic.AddInt32(&count, 1) })
+	m, _ := NewHeartbeatMonitorWithClock(clk, 10*time.Millisecond, 2, func(int) { atomic.AddInt32(&count, 1) })
 	m.Track(0)
-	m.Start()
-	time.Sleep(50 * time.Millisecond)
-	m.Stop()
+	// Drive sweeps synchronously: once failed, a node must never be
+	// re-reported no matter how many further sweeps observe it.
+	clk.Advance(20 * time.Millisecond)
+	m.sweep(clk.Now())
+	clk.Advance(20 * time.Millisecond)
+	m.sweep(clk.Now())
+	m.sweep(clk.Now())
 	if c := atomic.LoadInt32(&count); c != 1 {
 		t.Errorf("onFail ran %d times, want 1", c)
+	}
+}
+
+func TestHeartbeatBeatResetsDeadline(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	var count int32
+	m, _ := NewHeartbeatMonitorWithClock(clk, 10*time.Millisecond, 2, func(int) { atomic.AddInt32(&count, 1) })
+	m.Track(0)
+	clk.Advance(15 * time.Millisecond)
+	m.Beat(0)
+	clk.Advance(15 * time.Millisecond)
+	m.sweep(clk.Now()) // 15ms since last beat: under the 20ms deadline
+	if c := atomic.LoadInt32(&count); c != 0 {
+		t.Errorf("onFail ran %d times before deadline, want 0", c)
+	}
+	clk.Advance(5 * time.Millisecond)
+	m.sweep(clk.Now()) // 20ms since last beat: failed
+	if c := atomic.LoadInt32(&count); c != 1 {
+		t.Errorf("onFail ran %d times after deadline, want 1", c)
 	}
 }
 

@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"imitator/internal/graph"
 )
 
 // FuzzSyncPayloadDecode hardens the sync-record decoder against arbitrary
@@ -18,6 +20,65 @@ func FuzzSyncPayloadDecode(f *testing.F) {
 		for r.remaining() > 0 && r.err == nil {
 			rec := decodeRecoveryRecord(r, Float64Codec{})
 			_ = rec
+		}
+	})
+}
+
+// FuzzRawEdgesDecode hardens the raw in-edge-list decoder against arbitrary
+// bytes: it must never panic or allocate beyond the payload's sanity bound,
+// and a successful decode must keep the parallel slices in lockstep and
+// survive an encode/decode round trip.
+func FuzzRawEdgesDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 1, 2, 3})
+	f.Add((&rawEdges{
+		src:       []graph.VertexID{7, 9},
+		wt:        []float64{0.5, 2},
+		srcMaster: []int16{1, -1},
+	}).encode(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &reader{buf: data}
+		e := decodeRawEdges(r)
+		if len(e.src) != len(e.wt) || len(e.src) != len(e.srcMaster) {
+			t.Fatalf("parallel slices diverged: %d/%d/%d", len(e.src), len(e.wt), len(e.srcMaster))
+		}
+		if r.err != nil {
+			return
+		}
+		rt := decodeRawEdges(&reader{buf: e.encode(nil)})
+		if len(rt.src) != len(e.src) {
+			t.Fatalf("round trip length %d, want %d", len(rt.src), len(e.src))
+		}
+		for i := range e.src {
+			if rt.src[i] != e.src[i] || rt.srcMaster[i] != e.srcMaster[i] {
+				t.Fatalf("round trip entry %d mismatch", i)
+			}
+		}
+	})
+}
+
+// FuzzReplicaTableDecode feeds raw bytes (not just round trips) to the
+// replica-table decoder: no panics, parallel slices in lockstep, and both
+// length prefixes honored only up to their sanity bounds.
+func FuzzReplicaTableDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 9})
+	f.Add([]byte{1, 0, 2, 0, 5, 0, 0, 0, 1, 1, 0, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &reader{buf: data}
+		tab := decodeReplicaTable(r)
+		if len(tab.nodes) != len(tab.pos) || len(tab.nodes) != len(tab.ftOnly) {
+			t.Fatalf("parallel slices diverged: %d/%d/%d", len(tab.nodes), len(tab.pos), len(tab.ftOnly))
+		}
+		if r.err != nil {
+			return
+		}
+		rt := decodeReplicaTable(&reader{buf: tab.encode(nil)})
+		if len(rt.nodes) != len(tab.nodes) || len(rt.mirrorOf) != len(tab.mirrorOf) {
+			t.Fatalf("round trip lengths %d/%d, want %d/%d",
+				len(rt.nodes), len(rt.mirrorOf), len(tab.nodes), len(tab.mirrorOf))
 		}
 	})
 }

@@ -138,7 +138,7 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 	// --- Phase 2: move notices. Promoted masters tell their surviving
 	// replicas where the master now lives.
 	c.eachAlive(func(nd *node[V, A]) {
-		for pos := range promoted[int16(nd.id)] {
+		for _, pos := range sortedPositions(promoted[int16(nd.id)]) {
 			e := &nd.entries[pos]
 			for ri, host := range e.replicaNodes {
 				rpos := e.replicaPos[ri]
@@ -267,7 +267,7 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 	// register (three rounds).
 	c.eachAlive(func(nd *node[V, A]) {
 		ids := make([]graph.VertexID, 0, len(needs[nd.id]))
-		for id := range needs[nd.id] {
+		for id := range needs[nd.id] { //imitator:nondet-ok collected set is sorted before use
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
@@ -415,14 +415,20 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 					buf = putF64(buf, me.wt)
 					bufs[t] = buf
 				}
-				for t, buf := range bufs {
+				targets := make([]int, 0, len(bufs))
+				for t := range bufs { //imitator:nondet-ok collected set is sorted before use
+					targets = append(targets, t)
+				}
+				sort.Ints(targets)
+				for _, t := range targets {
+					buf := bufs[t]
 					cost := c.dfs.Append(nd.id, edgeCkptPath(nd.id, t), buf)
 					nd.met.DFSWriteBytes += int64(len(buf))
 					reconSpan.Observe(cost)
 				}
 			}
 		} else {
-			for pos := range promoted[int16(nd.id)] {
+			for _, pos := range sortedPositions(promoted[int16(nd.id)]) {
 				e := &nd.entries[pos]
 				e.inNbr = make([]int32, len(e.mInSrc))
 				e.inWt = e.mInWt
@@ -495,7 +501,7 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 		load[nd.id] = len(nd.entries)
 	}
 	keys := make([]masterKey, 0, len(tableChanged))
-	for k := range tableChanged {
+	for k := range tableChanged { //imitator:nondet-ok collected set is sorted before use
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(a, b int) bool {
@@ -775,4 +781,16 @@ func (c *Cluster[V, A]) recomputeSelfishAt(isTarget func(mn int16, mp int32) boo
 			}
 		})
 	}
+}
+
+// sortedPositions flattens a promoted-position set into ascending order, so
+// every loop that stages wire bytes or links adjacency for promoted masters
+// walks them deterministically.
+func sortedPositions(set map[int32]bool) []int32 {
+	out := make([]int32, 0, len(set))
+	for pos := range set { //imitator:nondet-ok collected set is sorted before use
+		out = append(out, pos)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"imitator/internal/costmodel"
 	"imitator/internal/graph"
@@ -170,9 +171,18 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 					ErrUnrecoverable, f, i)
 			}
 		}
-		// Edge-cut: resolve raw in-edge lists into local positions.
+		// Edge-cut: resolve raw in-edge lists into local positions, in
+		// ascending position order: a source shared by several recovered
+		// masters collects outNbr entries in iteration order, and scatter
+		// replays outNbr order onto the wire.
 		edges := 0
-		for pos, re := range raw {
+		rawPos := make([]int32, 0, len(raw))
+		for pos := range raw { //imitator:nondet-ok collected set is sorted before use
+			rawPos = append(rawPos, pos)
+		}
+		sort.Slice(rawPos, func(a, b int) bool { return rawPos[a] < rawPos[b] })
+		for _, pos := range rawPos {
+			re := raw[pos]
 			e := &nd.entries[pos]
 			e.inNbr = make([]int32, len(re.src))
 			e.inWt = re.wt

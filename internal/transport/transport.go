@@ -28,6 +28,13 @@ type Message struct {
 // frame header: from u16 | kind u8 | marker u8 | len u32
 const headerLen = 8
 
+// maxFrameSize bounds a frame's payload length. A wire-decoded length must
+// never size an allocation unchecked: a corrupt or hostile peer could
+// otherwise make the receiver allocate up to 4 GiB from a single header.
+// 256 MiB comfortably exceeds any scatter batch the engine produces while
+// keeping a bad length from taking the process down.
+const maxFrameSize = 256 << 20
+
 // queueDepth bounds buffered items per (receiver, sender) pair. The BSP
 // engine sends one batched frame plus one marker per pair per round, so a
 // small buffer suffices; TCP flow control covers pathological cases.
@@ -156,6 +163,11 @@ func (m *Mesh) readLoop(to int, conn net.Conn) {
 			marker: hdr[3] != 0,
 		}
 		size := binary.LittleEndian.Uint32(hdr[4:])
+		if size > maxFrameSize {
+			// A length this large can only be corruption; drop the
+			// connection rather than trust the header.
+			return
+		}
 		if size > 0 {
 			it.payload = make([]byte, size)
 			if _, err := io.ReadFull(conn, it.payload); err != nil {
@@ -210,6 +222,9 @@ func (m *Mesh) write(from, to int, kind byte, marker bool, payload []byte) error
 	conn := m.conns[from][to]
 	if conn == nil {
 		return fmt.Errorf("transport: no connection %d->%d", from, to)
+	}
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("transport: payload %d exceeds frame limit %d", len(payload), maxFrameSize)
 	}
 	// Frames assemble in the sender's reusable buffer; conn.Write fully
 	// consumes it before returning, so reuse across writes is safe.
