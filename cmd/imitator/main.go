@@ -8,6 +8,7 @@
 //	imitator -dataset wiki -algo pagerank -recovery migration -fail-iter 5 -fail-nodes 2,3
 //	imitator -dataset roadca -algo sssp -mode vertexcut -partitioner hybrid
 //	imitator -dataset ljournal -algo pagerank -recovery checkpoint -ckpt-interval 2 -fail-iter 5 -fail-nodes 1
+//	imitator -dataset wiki -algo pagerank -recovery migration -chaos 'crash@3b=1|crashrec@migration:repair=4|slow@2=0>3x8'
 package main
 
 import (
@@ -44,6 +45,7 @@ func run(args []string) error {
 		ckptIvl     = fs.Int("ckpt-interval", 1, "checkpoint interval in iterations")
 		failIter    = fs.Int("fail-iter", -1, "iteration at which to crash nodes (-1 = no failure)")
 		failNodes   = fs.String("fail-nodes", "1", "comma-separated node ids to crash")
+		chaosSched  = fs.String("chaos", "", "failure schedule: crash@<iter><b|a>=<nodes>, crashrec[@label]=<nodes>, slow@<iter>=<from>><to>x<factor>, delay@<iter>=<seconds>, joined by '|'")
 		input       = fs.String("input", "", "edge-list file to load instead of -dataset (src dst [weight] per line)")
 		tcp         = fs.Bool("tcp", false, "run the protocol over a loopback TCP mesh instead of in-memory delivery")
 		timeline    = fs.Bool("timeline", false, "render the execution timeline")
@@ -112,7 +114,14 @@ func run(args []string) error {
 			}
 			crash = append(crash, n)
 		}
-		opts = append(opts, imitator.WithFailure(*failIter, imitator.FailBeforeBarrier, crash...))
+		opts = append(opts, imitator.WithFailures(imitator.Crash(*failIter, imitator.FailBeforeBarrier, crash...)))
+	}
+	if *chaosSched != "" {
+		sched, err := imitator.ParseFailureSchedule(*chaosSched)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, imitator.WithFailures(sched...))
 	}
 	cfg := imitator.New(opts...)
 

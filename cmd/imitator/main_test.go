@@ -41,6 +41,17 @@ func TestCheckpointJob(t *testing.T) {
 	}
 }
 
+func TestChaosFlag(t *testing.T) {
+	err := run([]string{
+		"-dataset", "dblp", "-algo", "pagerank", "-nodes", "6", "-iters", "6",
+		"-k", "2", "-recovery", "migration",
+		"-chaos", "crash@2b=1|crashrec@migration:repair=4|slow@1=0>3x4|delay@3=0.1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-mode", "diagonal"},
@@ -49,6 +60,8 @@ func TestBadFlags(t *testing.T) {
 		{"-dataset", "nope", "-iters", "1"},
 		{"-fail-iter", "1", "-fail-nodes", "x"},
 		{"-algo", "sort", "-iters", "1"},
+		{"-chaos", "crash@2=1"},
+		{"-chaos", "boom@2b=1", "-iters", "1"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

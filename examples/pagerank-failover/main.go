@@ -39,9 +39,9 @@ func main() {
 	for _, c := range configs {
 		cfg := c.cfg
 		if c.fail {
-			cfg.Failures = []imitator.FailureSpec{{
-				Iteration: failIter, Phase: imitator.FailAfterBarrier, Nodes: []int{1},
-			}}
+			cfg.Chaos = imitator.FailureSchedule{
+				imitator.Crash(failIter, imitator.FailAfterBarrier, 1),
+			}
 		}
 		res := run(g, cfg)
 		recovery := 0.0

@@ -31,6 +31,7 @@ import (
 // message bytes or traces. cmd/ and examples/ run on wall clocks and are
 // deliberately out of scope.
 var DefaultSimPackages = []string{
+	"imitator/internal/chaos",
 	"imitator/internal/core",
 	"imitator/internal/netsim",
 	"imitator/internal/transport",

@@ -17,6 +17,7 @@ func TestDefaultScope(t *testing.T) {
 	// simulated time, bytes and traces; a rename that silently drops one
 	// out of scope should fail loudly.
 	want := map[string]bool{
+		"imitator/internal/chaos":     true,
 		"imitator/internal/core":      true,
 		"imitator/internal/netsim":    true,
 		"imitator/internal/transport": true,

@@ -1,0 +1,390 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"imitator/internal/algorithms"
+	"imitator/internal/core"
+	"imitator/internal/datasets"
+	"imitator/internal/graph"
+	"imitator/internal/rng"
+)
+
+// Campaign is a seeded randomized fault-injection run: Rounds rounds, each
+// drawing a fault schedule from the round's own generator and checking
+// that the recovered run converges to the fault-free result. Every round
+// is a pure function of (Seed, round, mode), so a failure reproduces from
+// its repro string alone.
+//
+// The zero value is not runnable; unset dimensions take the defaults
+// below (a 6-node cluster on a 700-vertex synthetic graph, both
+// partitioning modes, K=2).
+type Campaign struct {
+	Seed   uint64
+	Rounds int
+
+	Nodes    int         // cluster size (default 6)
+	Iters    int         // supersteps per run (default 8)
+	Vertices int         // synthetic graph size (default 700)
+	Edges    int         // synthetic graph edges (default 4200)
+	K        int         // replication factor (default 2)
+	Modes    []core.Mode // partitioning modes (default both)
+}
+
+// Round scenarios, cycled by round number so every campaign of >= 3
+// rounds exercises all three.
+const (
+	scenarioMultiCrash     = iota // one or two crash events, up to K nodes at once
+	scenarioDuringRecovery        // a second failure while a recovery pass runs
+	scenarioExhaustion            // empty standby pool forces Rebirth->Migration
+	numScenarios
+)
+
+// Report summarizes a finished campaign.
+type Report struct {
+	Rounds int // rounds requested
+	Runs   int // individual cluster runs (rounds x modes)
+	// DuringRecovery and Exhaustion count runs that exercised a
+	// mid-recovery failure restart and a standby-exhaustion fallback.
+	DuringRecovery int
+	Exhaustion     int
+	Failures       []RoundFailure
+}
+
+// RoundFailure is one failed round with a deterministic repro line.
+type RoundFailure struct {
+	Round int
+	Mode  string
+	Repro string
+	Err   string
+}
+
+// Failed reports whether any round failed.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// normalized fills defaulted dimensions.
+func (c Campaign) normalized() Campaign {
+	if c.Rounds <= 0 {
+		c.Rounds = 50
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 6
+	}
+	if c.Iters <= 0 {
+		c.Iters = 8
+	}
+	if c.Vertices <= 0 {
+		c.Vertices = 700
+	}
+	if c.Edges <= 0 {
+		c.Edges = 6 * c.Vertices
+	}
+	if c.K <= 0 {
+		c.K = 2
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []core.Mode{core.EdgeCutMode, core.VertexCutMode}
+	}
+	return c
+}
+
+// baseConfig is the fault-free job shared by a mode's rounds; per-round
+// schedules only add Chaos events and recovery settings on top.
+func (c Campaign) baseConfig(mode core.Mode) core.Config {
+	cfg := core.DefaultConfig(mode, c.Nodes)
+	cfg.MaxIter = c.Iters
+	cfg.FT = core.FTConfig{Enabled: true, K: c.K, SelfishOpt: true}
+	cfg.MaxRebirths = 8
+	return cfg
+}
+
+// Run executes the campaign and reports every failed round. The error is
+// non-nil only for setup problems (an unrunnable base configuration);
+// failed rounds are data, not errors.
+func (c Campaign) Run() (*Report, error) {
+	c = c.normalized()
+	rep := &Report{Rounds: c.Rounds}
+	g := datasets.Tiny(c.Vertices, c.Edges, rng.Hash64(c.Seed))
+	// Fault-free baselines, one per mode: recovery settings and chaos
+	// schedules must not change converged values, so one baseline serves
+	// every round of the mode.
+	baselines := make([][]float64, len(c.Modes))
+	for i, mode := range c.Modes {
+		cfg := c.baseConfig(mode)
+		cfg.Recovery = core.RecoverRebirth
+		res, err := runPageRank(cfg, g)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: fault-free baseline (%v): %w", mode, err)
+		}
+		baselines[i] = res.Values
+	}
+	for round := 0; round < c.Rounds; round++ {
+		for i, mode := range c.Modes {
+			rep.Runs++
+			out := c.runRound(round, mode, g, baselines[i])
+			rep.DuringRecovery += out.duringRecovery
+			rep.Exhaustion += out.exhaustion
+			if out.err != nil {
+				rep.Failures = append(rep.Failures, RoundFailure{
+					Round: round, Mode: mode.String(),
+					Repro: out.repro, Err: out.err.Error(),
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// roundOutcome is one (round, mode) run's verdict.
+type roundOutcome struct {
+	repro          string
+	err            error
+	duringRecovery int
+	exhaustion     int
+}
+
+// runRound generates round's schedule from its seed and runs it against
+// the baseline. g and baseline must come from the same campaign
+// dimensions (Replay re-derives both).
+func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []float64) roundOutcome {
+	r := rng.New(c.Seed ^ rng.Hash2(uint64(round), uint64(mode)+1))
+	scenario := round % numScenarios
+	cfg := c.baseConfig(mode)
+
+	victims := r.Perm(c.Nodes)
+	crashIter := 1 + r.Intn(c.Iters-2)
+	var sched Schedule
+	migrationInvolved := false
+	switch scenario {
+	case scenarioMultiCrash:
+		cfg.Recovery = pickRecovery(r)
+		n := 1 + r.Intn(c.K)
+		sched = append(sched, core.ChaosEvent{
+			Kind: core.ChaosCrash, Iteration: crashIter,
+			Phase: pickPhase(r), Nodes: sortedInts(victims[:n]),
+		})
+		// Sometimes a second, sequential crash after the first recovery
+		// completed (FT repair restored K by then).
+		if r.Intn(2) == 0 && crashIter+1 < c.Iters-1 {
+			iter2 := crashIter + 1 + r.Intn(c.Iters-1-crashIter-1)
+			sched = append(sched, core.ChaosEvent{
+				Kind: core.ChaosCrash, Iteration: iter2,
+				Phase: pickPhase(r), Nodes: victims[n : n+1],
+			})
+		}
+		migrationInvolved = cfg.Recovery == core.RecoverMigration
+	case scenarioDuringRecovery:
+		cfg.Recovery = pickRecovery(r)
+		labels := rebirthLabels
+		if cfg.Recovery == core.RecoverMigration {
+			labels = migrationLabels
+		}
+		sched = append(sched,
+			core.ChaosEvent{
+				Kind: core.ChaosCrash, Iteration: crashIter,
+				Phase: pickPhase(r), Nodes: victims[:1],
+			},
+			core.ChaosEvent{
+				Kind:   core.ChaosCrashDuringRecovery,
+				During: labels[r.Intn(len(labels))], Nodes: victims[1:2],
+			},
+		)
+		migrationInvolved = cfg.Recovery == core.RecoverMigration
+	case scenarioExhaustion:
+		cfg.Recovery = core.RecoverRebirth
+		cfg.MaxRebirths = 0
+		cfg.RebirthFallback = true
+		n := 1 + r.Intn(c.K)
+		sched = append(sched, core.ChaosEvent{
+			Kind: core.ChaosCrash, Iteration: crashIter,
+			Phase: pickPhase(r), Nodes: sortedInts(victims[:n]),
+		})
+		migrationInvolved = true // fallback completes as a migration
+	}
+	// Degradation riders: they may reshape timing, never values.
+	if r.Intn(2) == 0 {
+		sched = append(sched, core.ChaosEvent{
+			Kind: core.ChaosSlowLink, Iteration: 1 + r.Intn(c.Iters-2),
+			From: victims[c.Nodes-2], To: victims[c.Nodes-1],
+			Factor: float64(int(2) << r.Intn(3)),
+		})
+	}
+	if r.Intn(3) == 0 {
+		sched = append(sched, core.ChaosEvent{
+			Kind: core.ChaosDelayBurst, Iteration: 1 + r.Intn(c.Iters-2),
+			Seconds: 0.05 * float64(1+r.Intn(5)),
+		})
+	}
+	cfg.Chaos = sched
+
+	out := roundOutcome{
+		repro: fmt.Sprintf("chaos seed=%d round=%d mode=%s sched=%s",
+			c.Seed, round, mode, FormatEvents(sched)),
+	}
+	res, err := runPageRank(cfg, g)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	// Vertex-cut migrations merge gather partials in a recovered order;
+	// everything else must be bit-identical to the fault-free run.
+	tol := 0.0
+	if mode == core.VertexCutMode && migrationInvolved {
+		tol = 1e-9
+	}
+	if err := valuesMatch(res.Values, baseline, tol); err != nil {
+		out.err = err
+		return out
+	}
+	if len(res.Recoveries) == 0 {
+		out.err = fmt.Errorf("no recovery reported")
+		return out
+	}
+	switch scenario {
+	case scenarioDuringRecovery:
+		last := res.Recoveries[len(res.Recoveries)-1]
+		if len(last.Failed) < 2 {
+			out.err = fmt.Errorf("restarted recovery covered %v, want both victims", last.Failed)
+			return out
+		}
+		out.duringRecovery = 1
+	case scenarioExhaustion:
+		first := res.Recoveries[0]
+		if first.Kind != "migration" || !first.Fallback {
+			out.err = fmt.Errorf("recovery was %s (fallback=%v), want migration fallback",
+				first.Kind, first.Fallback)
+			return out
+		}
+		out.exhaustion = 1
+	}
+	return out
+}
+
+// Replay re-runs the single round identified by a repro line emitted in a
+// RoundFailure, against this campaign's dimensions, and returns that
+// round's error (nil if it now passes). Only seed, round and mode are read
+// from the line — the schedule regenerates deterministically from them.
+func (c Campaign) Replay(repro string) error {
+	c = c.normalized()
+	var (
+		haveSeed, haveRound, haveMode bool
+		round                         int
+		mode                          core.Mode
+	)
+	for _, tok := range strings.Fields(repro) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("%w: bad repro seed %q", core.ErrInvalidSchedule, val)
+			}
+			c.Seed = s
+			haveSeed = true
+		case "round":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("%w: bad repro round %q", core.ErrInvalidSchedule, val)
+			}
+			round = n
+			haveRound = true
+		case "mode":
+			switch val {
+			case core.EdgeCutMode.String():
+				mode = core.EdgeCutMode
+			case core.VertexCutMode.String():
+				mode = core.VertexCutMode
+			default:
+				return fmt.Errorf("%w: bad repro mode %q", core.ErrInvalidSchedule, val)
+			}
+			haveMode = true
+		}
+	}
+	if !haveSeed || !haveRound || !haveMode {
+		return fmt.Errorf("%w: repro needs seed=, round= and mode=", core.ErrInvalidSchedule)
+	}
+	g := datasets.Tiny(c.Vertices, c.Edges, rng.Hash64(c.Seed))
+	cfg := c.baseConfig(mode)
+	cfg.Recovery = core.RecoverRebirth
+	base, err := runPageRank(cfg, g)
+	if err != nil {
+		return err
+	}
+	return c.runRound(round, mode, g, base.Values).err
+}
+
+// During-recovery phase labels the generator draws from; every label is
+// covered by internal/core's TestChaosCrashDuringRecovery table.
+var (
+	rebirthLabels   = []string{"rebirth:join", "rebirth:reload", "rebirth:reconstruct"}
+	migrationLabels = []string{
+		"migration:promote", "migration:moved", "migration:edges",
+		"migration:replicas", "migration:repair",
+	}
+)
+
+// coreGraph aliases the graph type to keep signatures short here.
+type coreGraph = graph.Graph
+
+// runPageRank runs one PageRank job.
+func runPageRank(cfg core.Config, g *coreGraph) (*core.Result[float64], error) {
+	cl, err := core.NewCluster[float64, float64](cfg, g, algorithms.NewPageRank(g.NumVertices()))
+	if err != nil {
+		return nil, err
+	}
+	return cl.Run()
+}
+
+// pickRecovery draws an FT recovery strategy.
+func pickRecovery(r *rng.Source) core.RecoveryKind {
+	if r.Intn(2) == 0 {
+		return core.RecoverRebirth
+	}
+	return core.RecoverMigration
+}
+
+// pickPhase draws a crash phase.
+func pickPhase(r *rng.Source) core.FailPhase {
+	if r.Intn(2) == 0 {
+		return core.FailBeforeBarrier
+	}
+	return core.FailAfterBarrier
+}
+
+// sortedInts returns a sorted copy (crash node lists read nicer ordered).
+func sortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// valuesMatch compares a recovered run's values to the fault-free
+// baseline: exact when tol is zero, else relative with criterion
+// |got-want| <= tol*(1+|want|).
+func valuesMatch(got, want []float64, tol float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("value count %d != baseline %d", len(got), len(want))
+	}
+	for v := range want {
+		if tol == 0 {
+			if got[v] != want[v] && !(math.IsNaN(got[v]) && math.IsNaN(want[v])) {
+				return fmt.Errorf("vertex %d: %v != baseline %v (exact)", v, got[v], want[v])
+			}
+			continue
+		}
+		if math.Abs(got[v]-want[v]) > tol*(1+math.Abs(want[v])) {
+			return fmt.Errorf("vertex %d: %v != baseline %v (tol %g)", v, got[v], want[v], tol)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package chaos is the deterministic fault-schedule engine: it renders
+// typed chaos schedules (core.ChaosEvent) to and from a compact one-line
+// grammar, and runs seeded multi-failure campaigns whose every run is a
+// pure function of (seed, round, mode) — a failing round prints a repro
+// string that replays it exactly.
+//
+// Schedule grammar (events joined by '|'):
+//
+//	crash@<iter><b|a>=<n1,n2,...>        fail-stop nodes at an iteration
+//	                                     boundary (b: before barrier,
+//	                                     a: after barrier)
+//	crashrec=<n1,...>                    fail-stop nodes when the first
+//	                                     recovery phase is reached
+//	crashrec@<label>=<n1,...>            ... when the recovery pass reaches
+//	                                     the phase label (prefix match,
+//	                                     e.g. migration:repair)
+//	slow@<iter>=<from>><to>x<factor>     multiply one link's transfer cost
+//	delay@<iter>=<seconds>               add seconds to each message round
+//
+// Example: "crash@3b=1|crashrec@migration:repair=4|slow@2=0>3x8".
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"imitator/internal/core"
+)
+
+// Schedule is an ordered list of chaos events; its String form round-trips
+// through Parse.
+type Schedule []core.ChaosEvent
+
+// String renders the schedule in the package grammar.
+func (s Schedule) String() string { return FormatEvents(s) }
+
+// FormatEvents renders events in the package grammar.
+func FormatEvents(events []core.ChaosEvent) string {
+	var parts []string
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.ChaosCrash:
+			ph := "b"
+			if ev.Phase == core.FailAfterBarrier {
+				ph = "a"
+			}
+			parts = append(parts, fmt.Sprintf("crash@%d%s=%s", ev.Iteration, ph, joinNodes(ev.Nodes)))
+		case core.ChaosCrashDuringRecovery:
+			if ev.During == "" {
+				parts = append(parts, fmt.Sprintf("crashrec=%s", joinNodes(ev.Nodes)))
+			} else {
+				parts = append(parts, fmt.Sprintf("crashrec@%s=%s", ev.During, joinNodes(ev.Nodes)))
+			}
+		case core.ChaosSlowLink:
+			parts = append(parts, fmt.Sprintf("slow@%d=%d>%dx%s",
+				ev.Iteration, ev.From, ev.To, formatFloat(ev.Factor)))
+		case core.ChaosDelayBurst:
+			parts = append(parts, fmt.Sprintf("delay@%d=%s",
+				ev.Iteration, formatFloat(ev.Seconds)))
+		default:
+			parts = append(parts, fmt.Sprintf("?%d", int(ev.Kind)))
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// ParseEvents parses a schedule in the package grammar. Errors wrap
+// core.ErrInvalidSchedule; event-level semantic checks (iteration and node
+// ranges against a concrete job) happen later in Config.Validate.
+func ParseEvents(s string) ([]core.ChaosEvent, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var events []core.ChaosEvent
+	for _, tok := range strings.Split(s, "|") {
+		ev, err := parseEvent(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// parseEvent parses one grammar token.
+func parseEvent(tok string) (core.ChaosEvent, error) {
+	var ev core.ChaosEvent
+	head, val, ok := strings.Cut(tok, "=")
+	if !ok {
+		return ev, parseErr(tok, "missing '='")
+	}
+	name, arg, _ := strings.Cut(head, "@")
+	switch name {
+	case "crash":
+		ph := core.FailBeforeBarrier
+		switch {
+		case strings.HasSuffix(arg, "b"):
+			arg = strings.TrimSuffix(arg, "b")
+		case strings.HasSuffix(arg, "a"):
+			ph = core.FailAfterBarrier
+			arg = strings.TrimSuffix(arg, "a")
+		default:
+			return ev, parseErr(tok, "crash needs a phase suffix 'b' or 'a'")
+		}
+		iter, err := strconv.Atoi(arg)
+		if err != nil {
+			return ev, parseErr(tok, "bad iteration")
+		}
+		nodes, err := splitNodes(val)
+		if err != nil {
+			return ev, parseErr(tok, err.Error())
+		}
+		return core.ChaosEvent{Kind: core.ChaosCrash, Iteration: iter, Phase: ph, Nodes: nodes}, nil
+	case "crashrec":
+		nodes, err := splitNodes(val)
+		if err != nil {
+			return ev, parseErr(tok, err.Error())
+		}
+		return core.ChaosEvent{Kind: core.ChaosCrashDuringRecovery, During: arg, Nodes: nodes}, nil
+	case "slow":
+		iter, err := strconv.Atoi(arg)
+		if err != nil {
+			return ev, parseErr(tok, "bad iteration")
+		}
+		link, factorStr, ok := strings.Cut(val, "x")
+		if !ok {
+			return ev, parseErr(tok, "slow needs '<from>><to>x<factor>'")
+		}
+		fromStr, toStr, ok := strings.Cut(link, ">")
+		if !ok {
+			return ev, parseErr(tok, "slow needs '<from>><to>'")
+		}
+		from, err1 := strconv.Atoi(fromStr)
+		to, err2 := strconv.Atoi(toStr)
+		factor, err3 := strconv.ParseFloat(factorStr, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return ev, parseErr(tok, "bad slow-link endpoints or factor")
+		}
+		return core.ChaosEvent{Kind: core.ChaosSlowLink, Iteration: iter, From: from, To: to, Factor: factor}, nil
+	case "delay":
+		iter, err := strconv.Atoi(arg)
+		if err != nil {
+			return ev, parseErr(tok, "bad iteration")
+		}
+		secs, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return ev, parseErr(tok, "bad delay seconds")
+		}
+		return core.ChaosEvent{Kind: core.ChaosDelayBurst, Iteration: iter, Seconds: secs}, nil
+	default:
+		return ev, parseErr(tok, "unknown event kind")
+	}
+}
+
+// parseErr wraps a grammar complaint in the typed schedule sentinel.
+func parseErr(tok, why string) error {
+	return fmt.Errorf("%w: %q: %s", core.ErrInvalidSchedule, tok, why)
+}
+
+// joinNodes renders a node list as "1,4".
+func joinNodes(nodes []int) string {
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// splitNodes parses "1,4" into a node list.
+func splitNodes(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty node list")
+	}
+	var nodes []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad node %q", p)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+// formatFloat renders a float without trailing zeros ("8", "0.25").
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"errors"
+	"flag"
+	"testing"
+
+	"imitator/internal/core"
+)
+
+var (
+	campaignSeed   = flag.Uint64("seed", 1, "chaos campaign seed")
+	campaignRounds = flag.Int("rounds", 50, "chaos campaign rounds per mode")
+)
+
+// TestScheduleRoundTrip: every event kind formats to the grammar and
+// parses back to the same typed schedule.
+func TestScheduleRoundTrip(t *testing.T) {
+	sched := Schedule{
+		{Kind: core.ChaosCrash, Iteration: 3, Phase: core.FailBeforeBarrier, Nodes: []int{1, 4}},
+		{Kind: core.ChaosCrash, Iteration: 5, Phase: core.FailAfterBarrier, Nodes: []int{0}},
+		{Kind: core.ChaosCrashDuringRecovery, Nodes: []int{2}},
+		{Kind: core.ChaosCrashDuringRecovery, During: "migration:repair", Nodes: []int{3, 5}},
+		{Kind: core.ChaosSlowLink, Iteration: 2, From: 0, To: 3, Factor: 8},
+		{Kind: core.ChaosDelayBurst, Iteration: 4, Seconds: 0.25},
+	}
+	text := sched.String()
+	want := "crash@3b=1,4|crash@5a=0|crashrec=2|crashrec@migration:repair=3,5|slow@2=0>3x8|delay@4=0.25"
+	if text != want {
+		t.Fatalf("format = %q, want %q", text, want)
+	}
+	back, err := ParseEvents(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Schedule(back).String() != text {
+		t.Fatalf("round trip lost events: %q", Schedule(back).String())
+	}
+	if len(back) != len(sched) {
+		t.Fatalf("parsed %d events, want %d", len(back), len(sched))
+	}
+	for i := range sched {
+		if back[i].Kind != sched[i].Kind || back[i].Iteration != sched[i].Iteration ||
+			back[i].During != sched[i].During || back[i].Factor != sched[i].Factor ||
+			back[i].Seconds != sched[i].Seconds {
+			t.Fatalf("event %d: parsed %+v, want %+v", i, back[i], sched[i])
+		}
+	}
+}
+
+// TestParseErrors: malformed schedules report the typed sentinel.
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"boom@3=1",          // unknown kind
+		"crash@3=1",         // missing phase suffix
+		"crash@xb=1",        // bad iteration
+		"crash@3b=",         // empty node list
+		"crash@3b=1;2",      // bad node separator
+		"slow@1=0x4",        // missing '>' link
+		"slow@1=0>2",        // missing factor
+		"delay@1=fast",      // bad seconds
+		"crash@3b",          // missing '='
+		"crashrec@label=a,", // bad node
+	} {
+		if _, err := ParseEvents(bad); !errors.Is(err, core.ErrInvalidSchedule) {
+			t.Fatalf("%q: err = %v, want ErrInvalidSchedule", bad, err)
+		}
+	}
+}
+
+// TestParseEmpty: an empty schedule is valid and empty.
+func TestParseEmpty(t *testing.T) {
+	if evs, err := ParseEvents("  "); err != nil || len(evs) != 0 {
+		t.Fatalf("ParseEvents(blank) = %v, %v", evs, err)
+	}
+}
+
+// TestCampaign runs the seeded multi-failure campaign in both modes and
+// requires every round to converge to the fault-free values, with at least
+// one mid-recovery restart and one standby-exhaustion fallback observed.
+// Tune with -seed and -rounds.
+func TestCampaign(t *testing.T) {
+	camp := Campaign{Seed: *campaignSeed, Rounds: *campaignRounds}
+	rep, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("round %d (%s): %s\n  repro: %s", f.Round, f.Mode, f.Err, f.Repro)
+	}
+	if rep.Failed() {
+		t.FailNow()
+	}
+	if rep.DuringRecovery < 1 {
+		t.Fatalf("campaign exercised no mid-recovery failure (runs=%d)", rep.Runs)
+	}
+	if rep.Exhaustion < 1 {
+		t.Fatalf("campaign exercised no standby exhaustion (runs=%d)", rep.Runs)
+	}
+	t.Logf("campaign: %d runs, %d during-recovery, %d exhaustion, 0 failures",
+		rep.Runs, rep.DuringRecovery, rep.Exhaustion)
+}
+
+// TestReplay: a repro line replays a specific round deterministically.
+func TestReplay(t *testing.T) {
+	camp := Campaign{Seed: *campaignSeed}
+	if err := camp.Replay("chaos seed=1 round=4 mode=vertex-cut sched=whatever"); err != nil {
+		t.Fatalf("replay of a passing round failed: %v", err)
+	}
+	if err := camp.Replay("chaos seed=1"); !errors.Is(err, core.ErrInvalidSchedule) {
+		t.Fatalf("partial repro: err = %v, want ErrInvalidSchedule", err)
+	}
+	if err := camp.Replay("chaos seed=1 round=0 mode=ring"); !errors.Is(err, core.ErrInvalidSchedule) {
+		t.Fatalf("bad mode: err = %v, want ErrInvalidSchedule", err)
+	}
+}

@@ -256,10 +256,31 @@ func (m *HeartbeatMonitor) Start() {
 }
 
 func (m *HeartbeatMonitor) sweep(now time.Time) {
+	newlyFailed := m.expire(now)
+	if m.onFail != nil {
+		for _, n := range newlyFailed {
+			m.onFail(n)
+		}
+	}
+}
+
+// Poll synchronously sweeps for missed heartbeats at `now` and returns the
+// newly failed nodes in ascending order, without invoking the onFail
+// callback. It lets a deterministic driver — the simulated cluster's chaos
+// engine — run failure detection on simulated time instead of the ticker
+// goroutine: silence the victims, advance the injected FakeClock past the
+// detection deadline, Beat the survivors, then Poll.
+func (m *HeartbeatMonitor) Poll(now time.Time) []int {
+	return m.expire(now)
+}
+
+// expire marks every tracked node whose last beat is older than the
+// detection deadline as failed, returning them sorted.
+func (m *HeartbeatMonitor) expire(now time.Time) []int {
 	deadline := time.Duration(m.misses) * m.interval
 	var newlyFailed []int
 	m.mu.Lock()
-	for node, last := range m.lastBeat { //imitator:nondet-ok newlyFailed is sorted before onFail callbacks
+	for node, last := range m.lastBeat { //imitator:nondet-ok newlyFailed is sorted before use
 		if !m.failed[node] && now.Sub(last) >= deadline {
 			m.failed[node] = true
 			newlyFailed = append(newlyFailed, node)
@@ -267,11 +288,7 @@ func (m *HeartbeatMonitor) sweep(now time.Time) {
 	}
 	m.mu.Unlock()
 	sort.Ints(newlyFailed)
-	if m.onFail != nil {
-		for _, n := range newlyFailed {
-			m.onFail(n)
-		}
-	}
+	return newlyFailed
 }
 
 // Stop terminates the monitor goroutine and waits for it to exit.

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"imitator/internal/coord"
+)
+
+// chaosRuntime is the engine side of a Config.Chaos schedule. It exists
+// only when a schedule is set: every hook in the steady-state loop is
+// gated on a nil check, so fault-free runs pay nothing.
+//
+// Crash events are not applied synchronously the way the legacy
+// Config.Failures path marks nodes failed at the coordinator: the victims
+// merely stop heartbeating, and a coord.HeartbeatMonitor driven by the
+// simulated clock (a FakeClock mapped onto sim-seconds) detects and
+// announces them. Detection therefore goes through the same machinery a
+// live cluster would use, at the same DetectionTime() cost the legacy path
+// charges, so both paths produce identical results.
+type chaosRuntime struct {
+	// crashes is consumed by deleting fired keys, like the legacy failure
+	// schedule: an iteration re-executed after rollback does not re-crash.
+	crashes map[failKey][]int
+	// recCrashes fire when a recovery pass reaches a matching phase label.
+	recCrashes []recoveryCrash
+	// slow/delays hold degradation events keyed by trigger iteration.
+	slow   map[int][]ChaosEvent
+	delays map[int]float64
+
+	// mon/fc are the heartbeat failure detector and its simulated clock,
+	// created lazily by the first crash. monAt is the sim-second already
+	// applied to fc.
+	mon   *coord.HeartbeatMonitor
+	fc    *coord.FakeClock
+	monAt float64
+}
+
+// recoveryCrash is one pending ChaosCrashDuringRecovery event.
+type recoveryCrash struct {
+	during string // phase-label prefix; "" matches the first phase
+	nodes  []int
+	fired  bool
+}
+
+// newChaosRuntime indexes a validated schedule for the run loop.
+func newChaosRuntime(events []ChaosEvent) *chaosRuntime {
+	ch := &chaosRuntime{
+		crashes: make(map[failKey][]int),
+		slow:    make(map[int][]ChaosEvent),
+		delays:  make(map[int]float64),
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case ChaosCrash:
+			k := failKey{ev.Iteration, ev.Phase}
+			ch.crashes[k] = append(ch.crashes[k], ev.Nodes...)
+		case ChaosCrashDuringRecovery:
+			ch.recCrashes = append(ch.recCrashes, recoveryCrash{
+				during: ev.During,
+				nodes:  append([]int(nil), ev.Nodes...),
+			})
+		case ChaosSlowLink:
+			ch.slow[ev.Iteration] = append(ch.slow[ev.Iteration], ev)
+		case ChaosDelayBurst:
+			ch.delays[ev.Iteration] += ev.Seconds
+		}
+	}
+	return ch
+}
+
+// chaosIterStart applies the chaos events due at the top of an iteration:
+// link degradations and delay bursts first (so they shape the iteration's
+// rounds, including any recovery rounds the iteration triggers), then
+// before-barrier crashes. Degradations persist; a delay burst covers one
+// execution attempt of its iteration.
+func (c *Cluster[V, A]) chaosIterStart(iter int) {
+	if c.chaos == nil {
+		return
+	}
+	if evs, ok := c.chaos.slow[iter]; ok {
+		delete(c.chaos.slow, iter)
+		for _, ev := range evs {
+			c.net.DegradeLink(ev.From, ev.To, ev.Factor)
+		}
+	}
+	if d, ok := c.chaos.delays[iter]; ok {
+		delete(c.chaos.delays, iter)
+		c.net.SetRoundDelay(d)
+	} else {
+		c.net.SetRoundDelay(0)
+	}
+	c.chaosCrashAt(iter, FailBeforeBarrier)
+}
+
+// chaosCrashAt fires the crash events scheduled for (iter, phase), once.
+func (c *Cluster[V, A]) chaosCrashAt(iter int, phase FailPhase) {
+	if c.chaos == nil {
+		return
+	}
+	k := failKey{iter, phase}
+	nodes, ok := c.chaos.crashes[k]
+	if !ok {
+		return
+	}
+	delete(c.chaos.crashes, k)
+	c.crashViaHeartbeat(nodes)
+}
+
+// chaosRecoveryPhase fires pending crash-during-recovery events whose
+// label prefix matches the recovery phase just reached.
+func (c *Cluster[V, A]) chaosRecoveryPhase(phase string) {
+	for i := range c.chaos.recCrashes {
+		rc := &c.chaos.recCrashes[i]
+		if rc.fired || !strings.HasPrefix(phase, rc.during) {
+			continue
+		}
+		rc.fired = true
+		c.crashViaHeartbeat(rc.nodes)
+	}
+}
+
+// crashViaHeartbeat fail-stops the given nodes and lets the heartbeat
+// monitor detect them: the victims go silent, the simulated clock advances
+// by the detection window, the survivors' beats land at the advanced
+// instant, and Poll flags exactly the silent nodes, which are then
+// announced to the coordinator (surfacing in the next barrier state).
+func (c *Cluster[V, A]) crashViaHeartbeat(nodes []int) {
+	c.ensureDetector()
+	crashed := false
+	for _, id := range nodes {
+		if n := c.nodes[id]; n != nil && n.alive {
+			n.alive = false
+			c.net.SetFailed(id, true)
+			crashed = true
+		}
+	}
+	if !crashed {
+		return
+	}
+	c.aliveDirty = true
+	c.clock.Advance(c.cfg.Cost.DetectionTime())
+	c.syncDetector()
+	// The float sim-second -> Duration conversion truncates, so the fake
+	// clock can land a nanosecond short of the detection deadline and the
+	// monitor would never expire the victims. Overshoot it slightly: the
+	// fake clock drives only the monitor, never the simulated timeline, and
+	// survivors beat below at the same overshot instant.
+	c.chaos.fc.Advance(time.Millisecond)
+	for _, nd := range c.aliveNodes() {
+		c.chaos.mon.Beat(nd.id)
+	}
+	for _, id := range c.chaos.mon.Poll(c.chaos.fc.Now()) {
+		c.coord.MarkFailed(id)
+	}
+}
+
+// ensureDetector lazily builds the heartbeat monitor on a FakeClock pinned
+// to the simulated timeline, tracking every currently alive node.
+func (c *Cluster[V, A]) ensureDetector() {
+	ch := c.chaos
+	if ch.mon != nil {
+		return
+	}
+	ch.fc = coord.NewFakeClock(time.Unix(0, 0))
+	ch.monAt = 0
+	c.syncDetector()
+	interval := time.Duration(c.cfg.Cost.HeartbeatInterval * float64(time.Second))
+	mon, err := coord.NewHeartbeatMonitorWithClock(ch.fc, interval, c.cfg.Cost.DetectMissedBeats, nil)
+	if err != nil {
+		// Cost params are validated with the config; this cannot fire.
+		panic(err)
+	}
+	ch.mon = mon
+	for _, nd := range c.aliveNodes() {
+		mon.Track(nd.id)
+	}
+}
+
+// syncDetector advances the monitor's FakeClock to the current sim-second.
+func (c *Cluster[V, A]) syncDetector() {
+	ch := c.chaos
+	if d := c.clock.Now() - ch.monAt; d > 0 {
+		ch.fc.Advance(time.Duration(d * float64(time.Second)))
+		ch.monAt = c.clock.Now()
+	}
+}
+
+// chaosTrack registers a node that (re)joined the membership — a rebirth or
+// checkpoint newbie — with the failure detector, so a later chaos crash of
+// the revived slot is detected like any other.
+func (c *Cluster[V, A]) chaosTrack(id int) {
+	if c.chaos == nil || c.chaos.mon == nil {
+		return
+	}
+	c.syncDetector()
+	c.chaos.mon.Track(id)
+}

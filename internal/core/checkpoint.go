@@ -166,7 +166,7 @@ func (c *Cluster[V, A]) restoreFromSnapshot(nd *node[V, A], epoch int) (float64,
 // whole cluster replays the lost iterations (§2.2, Fig 2c).
 func (c *Cluster[V, A]) recoverCheckpoint(failed []int) ([]int, error) {
 	if c.rebirthsUsed+len(failed) > c.cfg.MaxRebirths {
-		return nil, fmt.Errorf("%w: %d standby nodes exhausted", ErrUnrecoverable, c.cfg.MaxRebirths)
+		return nil, fmt.Errorf("%w: %d standby nodes exhausted", ErrNoStandby, c.cfg.MaxRebirths)
 	}
 	failedSet := make(map[int]bool, len(failed))
 	for _, f := range failed {
@@ -174,12 +174,13 @@ func (c *Cluster[V, A]) recoverCheckpoint(failed []int) ([]int, error) {
 	}
 	iterAtFailure := c.iter
 	epoch := c.ckptEpoch
-	rec := RecoveryStats{
+	rec := RecoveryReport{
 		Kind:      "checkpoint",
 		Iteration: epoch,
 		Failed:    append([]int(nil), failed...),
 	}
 	start := c.clock.Now()
+	msgs0, bytes0 := c.met.RecoveryTraffic()
 
 	// Newbies take over the failed slots, rebuilding immutable topology
 	// from the pristine loader state (the metadata snapshot's content).
@@ -197,6 +198,7 @@ func (c *Cluster[V, A]) recoverCheckpoint(failed []int) ([]int, error) {
 		c.nodes[f] = nd
 		c.net.SetFailed(f, false)
 		c.coord.Join(f)
+		c.chaosTrack(f)
 		c.rebirthsUsed++
 		rec.RecoveredVertices += len(nd.entries)
 		rec.RecoveredEdges += nd.localEdges
@@ -270,6 +272,8 @@ func (c *Cluster[V, A]) recoverCheckpoint(failed []int) ([]int, error) {
 	rec.ReplayIters = iterAtFailure - epoch
 	c.iter = epoch
 	c.coord.Set("iter", int64(epoch))
+	msgs1, bytes1 := c.met.RecoveryTraffic()
+	rec.Msgs, rec.Bytes = msgs1-msgs0, bytes1-bytes0
 	c.recoveries = append(c.recoveries, rec)
 	c.watchReplay(len(c.recoveries)-1, iterAtFailure)
 	c.refreshMemoryMetrics()

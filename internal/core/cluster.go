@@ -15,10 +15,6 @@ import (
 	"imitator/internal/partition"
 )
 
-// ErrUnrecoverable reports a failure that exceeded the configured fault
-// tolerance (more simultaneous failures than K, or no standby left).
-var ErrUnrecoverable = errors.New("core: unrecoverable failure")
-
 // nodeBodies holds a node's pre-bound chunked phase bodies. They are built
 // once per node (initNodeScratch): a closure literal passed to chunked
 // escapes — the multi-worker path hands the body to goroutines — so literals
@@ -169,6 +165,15 @@ type Cluster[V, A any] struct {
 	ckptEpoch    int          // iteration captured by the last completed checkpoint
 	ckptHistory  []ckptRecord // snapshot chain (epoch, full/incremental)
 
+	// Migration-restart bookkeeping (§5.3.2): when a second failure aborts a
+	// migration pass mid-flight, the next attempt must finish what the
+	// interrupted one started. migPromoted carries promotions whose edges, FT
+	// repair or activation replay may still be pending; migFilesDone lists
+	// edge-ckpt files whose edges are already attached on a survivor. Both
+	// are cleared when a migration pass completes.
+	migPromoted  map[masterKey]bool
+	migFilesDone map[string]bool
+
 	// selfishOptOn is the effective §4.4 switch (configured AND supported
 	// by the program).
 	selfishOptOn bool
@@ -181,7 +186,11 @@ type Cluster[V, A any] struct {
 	ckptSeconds          float64
 	ckptCount            int
 	trace                []TraceEvent
-	recoveries           []RecoveryStats
+	recoveries           []RecoveryReport
+
+	// chaos drives a Config.Chaos schedule; nil when no schedule is set, so
+	// fault-free runs never touch it (bit-identical timing either way).
+	chaos *chaosRuntime
 
 	// testHook, when set, runs between recovery phases (failure-injection
 	// tests for §5.3.2).
@@ -536,6 +545,9 @@ func (c *Cluster[V, A]) Run() (*Result[V], error) {
 			c.injectFailures(nodes)
 		}
 	}
+	if len(c.cfg.Chaos) > 0 && c.chaos == nil {
+		c.chaos = newChaosRuntime(c.cfg.Chaos)
+	}
 	if c.trace == nil {
 		c.trace = make([]TraceEvent, 0, c.cfg.MaxIter+4)
 	}
@@ -544,6 +556,7 @@ func (c *Cluster[V, A]) Run() (*Result[V], error) {
 		iter := c.iter
 		c.curIter = iter
 		maybeInject(iter, FailBeforeBarrier)
+		c.chaosIterStart(iter)
 
 		start := c.clock.Now()
 		if err := c.superstep(iter); err != nil {
@@ -575,6 +588,7 @@ func (c *Cluster[V, A]) Run() (*Result[V], error) {
 		}
 
 		maybeInject(iter, FailAfterBarrier)
+		c.chaosCrashAt(iter, FailAfterBarrier)
 		state = c.barrier()
 		if state.IsFail() {
 			if err := c.recover(state.Failed, c.iter); err != nil {
@@ -603,7 +617,7 @@ func (c *Cluster[V, A]) recover(failed []int, iter int) error {
 	pending := append([]int(nil), failed...)
 	for attempt := 0; ; attempt++ {
 		if attempt > 2*c.cfg.NumNodes {
-			return fmt.Errorf("%w: recovery restarted too many times", ErrUnrecoverable)
+			return fmt.Errorf("%w: recovery restarted too many times", ErrTooManyFailures)
 		}
 		var more []int
 		var err error
@@ -612,6 +626,14 @@ func (c *Cluster[V, A]) recover(failed []int, iter int) error {
 			more, err = c.recoverCheckpoint(pending)
 		case RecoverRebirth:
 			more, err = c.recoverRebirth(pending, iter)
+			if err != nil && c.cfg.RebirthFallback && errors.Is(err, ErrNoStandby) {
+				// Standby pool is dry: migrate the lost slots onto the
+				// survivors instead of failing the job (§5.2 as fallback).
+				more, err = c.recoverMigration(pending, iter)
+				if err == nil && len(more) == 0 && len(c.recoveries) > 0 {
+					c.recoveries[len(c.recoveries)-1].Fallback = true
+				}
+			}
 		case RecoverMigration:
 			more, err = c.recoverMigration(pending, iter)
 		default:
@@ -637,8 +659,12 @@ func (c *Cluster[V, A]) recover(failed []int, iter int) error {
 	}
 }
 
-// hook runs the test hook if installed.
+// hook runs at recovery phase boundaries: chaos crash-during-recovery
+// events fire first, then the test hook if installed.
 func (c *Cluster[V, A]) hook(phase string) {
+	if c.chaos != nil {
+		c.chaosRecoveryPhase(phase)
+	}
 	if c.testHook != nil {
 		c.testHook(phase)
 	}

@@ -162,10 +162,65 @@ const (
 )
 
 // FailureSpec schedules fail-stop crashes.
+//
+// Deprecated: new code should express failures as ChaosEvent values in
+// Config.Chaos (see pkg/imitator's WithFailures builders). FailureSpec
+// remains as the synchronous-injection path the benchmarks pin down.
 type FailureSpec struct {
 	Iteration int
 	Phase     FailPhase
 	Nodes     []int
+}
+
+// ChaosKind enumerates the typed events of a chaos schedule.
+type ChaosKind int
+
+// Chaos event kinds.
+const (
+	// ChaosCrash fail-stops Nodes at Iteration/Phase. Unlike the legacy
+	// FailureSpec path, detection runs through the coord heartbeat monitor
+	// on the simulated clock; the timing (DetectionTime) and results are
+	// identical.
+	ChaosCrash ChaosKind = iota + 1
+	// ChaosCrashDuringRecovery fail-stops Nodes when a recovery pass
+	// reaches the phase whose label starts with During ("" = the first
+	// phase of whatever recovery runs). Fires at most once.
+	ChaosCrashDuringRecovery
+	// ChaosSlowLink multiplies the From->To link's transfer cost by Factor
+	// from Iteration onwards (netsim degradation).
+	ChaosSlowLink
+	// ChaosDelayBurst adds Seconds to every messaging round of one
+	// execution attempt of Iteration.
+	ChaosDelayBurst
+)
+
+// String implements fmt.Stringer.
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosCrash:
+		return "crash"
+	case ChaosCrashDuringRecovery:
+		return "crash-during-recovery"
+	case ChaosSlowLink:
+		return "slow-link"
+	case ChaosDelayBurst:
+		return "delay-burst"
+	default:
+		return fmt.Sprintf("chaos(%d)", int(k))
+	}
+}
+
+// ChaosEvent is one typed entry of a chaos schedule (Config.Chaos). Only
+// the fields relevant to Kind are read; see the ChaosKind constants.
+type ChaosEvent struct {
+	Kind      ChaosKind
+	Iteration int       // ChaosCrash, ChaosSlowLink, ChaosDelayBurst
+	Phase     FailPhase // ChaosCrash
+	Nodes     []int     // ChaosCrash, ChaosCrashDuringRecovery
+	During    string    // ChaosCrashDuringRecovery: phase-label prefix
+	From, To  int       // ChaosSlowLink endpoints
+	Factor    float64   // ChaosSlowLink multiplier (>= 1)
+	Seconds   float64   // ChaosDelayBurst extra round seconds
 }
 
 // TransportKind selects how messages travel between the simulated nodes.
@@ -200,6 +255,11 @@ type Config struct {
 	MaxIter int
 	// MaxRebirths bounds the standby pool for Rebirth/Checkpoint recovery.
 	MaxRebirths int
+	// RebirthFallback lets a Rebirth recovery that exhausts the standby
+	// pool fall back to Migration (scattering the lost slots over the
+	// survivors) instead of failing the job with ErrNoStandby. Requires
+	// FT.Enabled.
+	RebirthFallback bool
 	// WorkersPerNode is the width of each node's intra-node worker pool.
 	// Compute phases (gather/apply, sync encode, recovery reconstruction,
 	// checkpoint encode) shard the node's vertex array into this many
@@ -208,8 +268,15 @@ type Config struct {
 	// width. Must be >= 1; DefaultConfig sets 1 (the paper's serial engine).
 	WorkersPerNode int
 
-	Cost     costmodel.Params
+	Cost costmodel.Params
+	// Failures is the legacy synchronous crash schedule.
+	//
+	// Deprecated: prefer Chaos.
 	Failures []FailureSpec
+	// Chaos is the typed fault schedule the run loop evaluates: crashes
+	// (delivered via heartbeat detection), crashes during recovery, and
+	// netsim degradation events. Empty schedules cost nothing.
+	Chaos []ChaosEvent
 }
 
 // Validate checks the configuration for contradictions.
@@ -265,8 +332,8 @@ func (c *Config) Validate() error {
 	}
 	switch c.Recovery {
 	case RecoverNone:
-		if len(c.Failures) > 0 {
-			return fmt.Errorf("core: failures scheduled but recovery disabled")
+		if len(c.Failures) > 0 || c.chaosHasCrash() {
+			return fmt.Errorf("%w: failures scheduled but recovery disabled", ErrInvalidSchedule)
 		}
 	case RecoverCheckpoint:
 		if !c.Checkpoint.Enabled {
@@ -279,26 +346,89 @@ func (c *Config) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown recovery kind %v", c.Recovery)
 	}
+	if c.RebirthFallback && !c.FT.Enabled {
+		return fmt.Errorf("core: RebirthFallback needs FT.Enabled (migration promotes mirrors)")
+	}
 	for _, f := range c.Failures {
 		if f.Iteration < 0 || f.Iteration >= c.MaxIter {
-			return fmt.Errorf("core: failure iteration %d outside [0, %d)", f.Iteration, c.MaxIter)
+			return fmt.Errorf("%w: failure iteration %d outside [0, %d)", ErrInvalidSchedule, f.Iteration, c.MaxIter)
 		}
 		if f.Phase != FailBeforeBarrier && f.Phase != FailAfterBarrier {
-			return fmt.Errorf("core: failure needs a phase")
+			return fmt.Errorf("%w: failure needs a phase", ErrInvalidSchedule)
 		}
-		if len(f.Nodes) == 0 {
-			return fmt.Errorf("core: failure with no nodes")
+		if err := c.validateNodes(f.Nodes); err != nil {
+			return err
 		}
-		for _, n := range f.Nodes {
-			if n < 0 || n >= c.NumNodes {
-				return fmt.Errorf("core: failure node %d outside cluster", n)
-			}
+	}
+	for _, ev := range c.Chaos {
+		if err := c.validateChaosEvent(ev); err != nil {
+			return err
 		}
 	}
 	if err := c.Cost.Validate(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// chaosHasCrash reports whether the chaos schedule contains crash events.
+func (c *Config) chaosHasCrash() bool {
+	for _, ev := range c.Chaos {
+		if ev.Kind == ChaosCrash || ev.Kind == ChaosCrashDuringRecovery {
+			return true
+		}
+	}
+	return false
+}
+
+// validateNodes checks a crash event's target list.
+func (c *Config) validateNodes(nodes []int) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("%w: failure with no nodes", ErrInvalidSchedule)
+	}
+	for _, n := range nodes {
+		if n < 0 || n >= c.NumNodes {
+			return fmt.Errorf("%w: failure node %d outside cluster", ErrInvalidSchedule, n)
+		}
+	}
+	return nil
+}
+
+// validateChaosEvent checks one schedule entry against the job config.
+func (c *Config) validateChaosEvent(ev ChaosEvent) error {
+	switch ev.Kind {
+	case ChaosCrash:
+		if ev.Iteration < 0 || ev.Iteration >= c.MaxIter {
+			return fmt.Errorf("%w: crash iteration %d outside [0, %d)", ErrInvalidSchedule, ev.Iteration, c.MaxIter)
+		}
+		if ev.Phase != FailBeforeBarrier && ev.Phase != FailAfterBarrier {
+			return fmt.Errorf("%w: crash needs a phase", ErrInvalidSchedule)
+		}
+		return c.validateNodes(ev.Nodes)
+	case ChaosCrashDuringRecovery:
+		return c.validateNodes(ev.Nodes)
+	case ChaosSlowLink:
+		if ev.Iteration < 0 || ev.Iteration >= c.MaxIter {
+			return fmt.Errorf("%w: slow-link iteration %d outside [0, %d)", ErrInvalidSchedule, ev.Iteration, c.MaxIter)
+		}
+		if ev.From < 0 || ev.From >= c.NumNodes || ev.To < 0 || ev.To >= c.NumNodes || ev.From == ev.To {
+			return fmt.Errorf("%w: slow-link endpoints %d->%d invalid", ErrInvalidSchedule, ev.From, ev.To)
+		}
+		if ev.Factor < 1 {
+			return fmt.Errorf("%w: slow-link factor %g below 1", ErrInvalidSchedule, ev.Factor)
+		}
+		return nil
+	case ChaosDelayBurst:
+		if ev.Iteration < 0 || ev.Iteration >= c.MaxIter {
+			return fmt.Errorf("%w: delay-burst iteration %d outside [0, %d)", ErrInvalidSchedule, ev.Iteration, c.MaxIter)
+		}
+		if ev.Seconds < 0 {
+			return fmt.Errorf("%w: delay-burst seconds %g negative", ErrInvalidSchedule, ev.Seconds)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown chaos kind %v", ErrInvalidSchedule, ev.Kind)
+	}
 }
 
 // DefaultConfig returns a ready-to-run configuration for the given mode.

@@ -20,8 +20,9 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 	for _, f := range failed {
 		failedSet[f] = true
 	}
-	rec := RecoveryStats{Kind: "migration", Iteration: iter, Failed: append([]int(nil), failed...)}
+	rec := RecoveryReport{Kind: "migration", Iteration: iter, Failed: append([]int(nil), failed...)}
 	start := c.clock.Now()
+	msgs0, bytes0 := c.met.RecoveryTraffic()
 
 	// --- Phase 1: promotion (Reloading §5.2.1). Each surviving node scans
 	// its mirrors; the lowest surviving mirror of each lost master promotes
@@ -48,13 +49,27 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 		}
 		promoLists[nd.id] = list
 	})
-	// promoted[(node)][pos] marks newly promoted masters (replay targets).
+	// promoted[(node)][pos] marks the masters this pass must finish setting
+	// up (move notices, edge attach, FT repair, activation replay). It holds
+	// this attempt's promotions plus any from an interrupted earlier attempt
+	// of the same incident (c.migPromoted); newly tracks only the former,
+	// whose replica tables were just rebuilt against the current failed set.
+	if c.migPromoted == nil {
+		c.migPromoted = make(map[masterKey]bool)
+	}
+	// restart marks a re-attempt after a failure interrupted this incident's
+	// earlier migration pass; some invariants (mirror tables mirroring the
+	// master's, every replica known to its master) may then be broken and
+	// need the reconciliation round below.
+	restart := len(c.migPromoted) > 0
 	promoted := make(map[int16]map[int32]bool)
+	newly := make(map[masterKey]bool)
 	markPromoted := func(n int16, pos int32) {
 		if promoted[n] == nil {
 			promoted[n] = make(map[int32]bool)
 		}
 		promoted[n][pos] = true
+		c.migPromoted[masterKey{n, pos}] = true
 	}
 	// tableChanged tracks masters whose replica tables mutate during this
 	// recovery; their mirrors get refreshed full state at the end.
@@ -88,21 +103,32 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 			e.mReplicaN, e.mReplicaP, e.mReplicaFT, e.mMirrorOf = nil, nil, nil, nil
 			c.masterLoc[e.id] = int16(nd.id)
 			markPromoted(int16(nd.id), pos)
+			newly[masterKey{int16(nd.id), pos}] = true
 			tableChanged[masterKey{int16(nd.id), pos}] = true
 			rec.RecoveredVertices++
+		}
+	}
+	// Adopt surviving promotions from an interrupted earlier attempt: they
+	// are masters already (skipped by the scan above) but their remaining
+	// setup must re-run, and their tables must be re-checked against the
+	// enlarged failed set.
+	for k := range c.migPromoted { //imitator:nondet-ok merged into maps whose consumers sort
+		if nd := c.nodes[k.node]; nd != nil && nd.alive {
+			markPromoted(k.node, k.pos)
+			tableChanged[k] = true
 		}
 	}
 	// Unrecoverable check: every vertex must have a live master now.
 	for v, mn := range c.masterLoc {
 		if failedSet[int(mn)] {
-			return nil, fmt.Errorf("%w: vertex %d lost master and all mirrors", ErrUnrecoverable, v)
+			return nil, fmt.Errorf("%w: vertex %d lost master and all mirrors", ErrTooManyFailures, v)
 		}
 	}
 	// Surviving masters drop lost replicas from their tables.
 	for _, nd := range c.aliveNodes() {
 		for i := range nd.entries {
 			e := &nd.entries[i]
-			if !e.isMaster() || promoted[int16(nd.id)][int32(i)] {
+			if !e.isMaster() || newly[masterKey{int16(nd.id), int32(i)}] {
 				continue
 			}
 			changed := false
@@ -173,6 +199,110 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 		}
 		c.recycleMsgs(msgs)
 	})
+	// Reconciliation (restart attempts only). A replica whose master died
+	// mid-incident can be missing from the re-promoted master's adopted
+	// table: it registered with the old master after the mirror copies were
+	// last refreshed, so no move notice reaches it. Such orphans still point
+	// at a failed master here; they look up the promoted master through the
+	// membership map and register themselves, and the master replies with
+	// its position (deduplicating replicas it already knows). A first
+	// attempt has no orphans — mirror tables are authoritative — so the
+	// extra rounds are empty and cost nothing.
+	if restart {
+		c.eachAlive(func(nd *node[V, A]) {
+			for i := range nd.entries {
+				e := &nd.entries[i]
+				if e.isMaster() || !failedSet[int(e.masterNode)] {
+					continue
+				}
+				mn := int(c.masterLoc[e.id])
+				if mn == nd.id || failedSet[mn] {
+					continue
+				}
+				// Stale mirror state is dropped; the new master re-selects
+				// its mirrors during invariant repair.
+				e.flags &^= flagMirror
+				e.mReplicaN, e.mReplicaP, e.mReplicaFT, e.mMirrorOf = nil, nil, nil, nil
+				e.masterNode = int16(mn)
+				vid := e.id
+				rpos := int32(i)
+				ft := e.isFTOnly()
+				before := len(nd.sendBuf[mn])
+				nd.stage(mn, func(buf []byte) []byte {
+					buf = putU32(buf, uint32(vid))
+					buf = putI32(buf, rpos)
+					return putBool(buf, ft)
+				})
+				nd.met.RecoveryMsgs++
+				nd.met.RecoveryBytes += int64(len(nd.sendBuf[mn]) - before)
+			}
+		})
+		c.flushSendRound(netsim.KindRecovery)
+		adoptedPerNode := make([][]masterKey, c.cfg.NumNodes)
+		c.eachAlive(func(nd *node[V, A]) {
+			msgs := c.net.Receive(nd.id)
+			for _, m := range msgs {
+				r := &reader{buf: m.Payload}
+				for r.remaining() > 0 && r.err == nil {
+					vid := graph.VertexID(r.u32())
+					rpos := r.i32()
+					ft := r.bool()
+					if r.err != nil {
+						break
+					}
+					mp, ok := nd.pos(vid)
+					if !ok {
+						continue
+					}
+					e := &nd.entries[mp]
+					known := false
+					for idx, host := range e.replicaNodes {
+						if int(host) == m.From && e.replicaPos[idx] == rpos {
+							known = true
+							break
+						}
+					}
+					if !known {
+						e.replicaNodes = append(e.replicaNodes, int16(m.From))
+						e.replicaPos = append(e.replicaPos, rpos)
+						e.replicaFTOnly = append(e.replicaFTOnly, ft)
+						adoptedPerNode[nd.id] = append(adoptedPerNode[nd.id], masterKey{int16(nd.id), int32(mp)})
+					}
+					mpos := int32(mp)
+					nd.stageNotice(m.From, func(buf []byte) []byte {
+						buf = putI32(buf, rpos)
+						return putI32(buf, mpos)
+					})
+					nd.met.RecoveryMsgs++
+					nd.met.RecoveryBytes += 8
+				}
+			}
+			c.recycleMsgs(msgs)
+		})
+		for _, keys := range adoptedPerNode {
+			for _, k := range keys {
+				tableChanged[k] = true
+			}
+		}
+		c.flushNoticeRound()
+		c.eachAlive(func(nd *node[V, A]) {
+			msgs := c.net.Receive(nd.id)
+			for _, m := range msgs {
+				r := &reader{buf: m.Payload}
+				for r.remaining() > 0 && r.err == nil {
+					rpos := r.i32()
+					mpos := r.i32()
+					if r.err != nil {
+						break
+					}
+					e := &nd.entries[rpos]
+					e.masterNode = int16(m.From)
+					e.masterPos = mpos
+				}
+			}
+			c.recycleMsgs(msgs)
+		})
+	}
 	if state := c.barrier(); state.IsFail() {
 		return state.Failed, nil
 	}
@@ -187,9 +317,16 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 		wt       float64
 	}
 	migEdges := make([][]migEdge, c.cfg.NumNodes)
+	// readPaths[n] lists the edge-ckpt files node n read this attempt; they
+	// are marked done (c.migFilesDone) only once n attaches their edges, so
+	// a restart re-reads exactly the files whose reader died in between.
+	readPaths := make([][]string, c.cfg.NumNodes)
 	needs := make([]map[graph.VertexID]bool, c.cfg.NumNodes)
 	for n := range needs {
 		needs[n] = make(map[graph.VertexID]bool)
+	}
+	if c.migFilesDone == nil {
+		c.migFilesDone = make(map[string]bool)
 	}
 	if c.vcut != nil {
 		// Each survivor reads its own file of every failed node; files
@@ -199,6 +336,11 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 		var span costmodel.Span
 		for _, f := range failed {
 			for _, path := range c.dfs.List(fmt.Sprintf("edgeckpt/%d/", f)) {
+				if c.migFilesDone[path] {
+					// Attached by an interrupted earlier attempt; the edges
+					// live on a survivor (and in its own edge-ckpt files).
+					continue
+				}
 				var owner, target int
 				if _, err := fmt.Sscanf(path, "edgeckpt/%d/%d", &owner, &target); err != nil {
 					return nil, fmt.Errorf("core: bad edge-ckpt path %q: %w", path, err)
@@ -229,6 +371,7 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 				if r.err != nil {
 					return nil, r.err
 				}
+				readPaths[readerNode] = append(readPaths[readerNode], path)
 			}
 		}
 		c.clock.Advance(span.Max())
@@ -249,13 +392,14 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 	} else {
 		// Edge-cut: promoted masters carry their in-edge lists; sources
 		// missing locally need replicas (paper Fig 6's "Replica 6").
-		for n := range promoLists {
-			nd := c.nodes[n]
-			for _, pos := range promoLists[n] {
+		// (Promotions adopted from an interrupted attempt that already
+		// attached their edges have a nil mInSrc and contribute nothing.)
+		for _, nd := range c.aliveNodes() {
+			for _, pos := range sortedPositions(promoted[int16(nd.id)]) {
 				e := &nd.entries[pos]
 				for _, src := range e.mInSrc {
 					if _, ok := nd.pos(src); !ok {
-						needs[n][src] = true
+						needs[nd.id][src] = true
 					}
 				}
 			}
@@ -427,9 +571,17 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 					reconSpan.Observe(cost)
 				}
 			}
+			// Attached and re-persisted: a restart must not read these
+			// files again.
+			for _, p := range readPaths[nd.id] {
+				c.migFilesDone[p] = true
+			}
 		} else {
 			for _, pos := range sortedPositions(promoted[int16(nd.id)]) {
 				e := &nd.entries[pos]
+				if e.mInSrc == nil && e.inNbr != nil {
+					continue // attached by an interrupted earlier attempt
+				}
 				e.inNbr = make([]int32, len(e.mInSrc))
 				e.inWt = e.mInWt
 				for k, src := range e.mInSrc {
@@ -482,6 +634,10 @@ func (c *Cluster[V, A]) recoverMigration(failed []int, iter int) ([]int, error) 
 	// repair all reshape the replica tables (and entry counts) on survivors:
 	// every precomputed sync route is stale now.
 	c.markRoutesDirty()
+	// The pass completed: nothing is pending for a restart to pick up.
+	c.migPromoted, c.migFilesDone = nil, nil
+	msgs1, bytes1 := c.met.RecoveryTraffic()
+	rec.Msgs, rec.Bytes = msgs1-msgs0, bytes1-bytes0
 	c.refreshMemoryMetrics()
 	c.recoveries = append(c.recoveries, rec)
 	c.trace = append(c.trace, TraceEvent{Iter: iter, Kind: "recovery", Start: start, End: c.clock.Now()})
@@ -646,7 +802,11 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 		}
 		e.mirrorOf = mo
 	}
-	// Mirror full-state refresh.
+	// Mirror full-state refresh. Non-selected replicas of a refreshed
+	// master are demoted in the same sweep: an ex-mirror keeping its stale
+	// flag and table would vote in a later promotion scan against a
+	// different table than the fresh mirrors, and an inconsistent vote can
+	// elect two masters for one vertex (§5.3.2 restart after repair).
 	for _, k := range keys {
 		nd := c.nodes[k.node]
 		e := &nd.entries[k.pos]
@@ -658,7 +818,9 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 		if c.ec != nil {
 			edges = c.masterRawEdges(nd, e)
 		}
+		selected := make(map[int16]bool, len(e.mirrorOf))
 		for rank, idx := range e.mirrorOf {
+			selected[idx] = true
 			host := e.replicaNodes[idx]
 			rpos := e.replicaPos[idx]
 			before := len(nd.sendBuf[host])
@@ -668,6 +830,17 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 				e.value, e.lastActivate, e.lastActivateIter, table, edges)
 			nd.met.RecoveryMsgs++
 			nd.met.RecoveryBytes += int64(len(nd.sendBuf[host]) - before)
+		}
+		for idx, host := range e.replicaNodes {
+			if selected[int16(idx)] {
+				continue
+			}
+			rpos := e.replicaPos[idx]
+			nd.stageNotice(int(host), func(buf []byte) []byte {
+				return putI32(buf, rpos)
+			})
+			nd.met.RecoveryMsgs++
+			nd.met.RecoveryBytes += 4
 		}
 	}
 	c.flushSendRound(netsim.KindRecovery)
@@ -694,6 +867,23 @@ func (c *Cluster[V, A]) repairFTInvariants(tableChanged map[masterKey]bool) erro
 					e.mInWt = recRec.edges.wt
 					e.mInSrcMaster = recRec.edges.srcMaster
 				}
+			}
+		}
+		c.recycleMsgs(msgs)
+	})
+	c.flushNoticeRound()
+	c.eachAlive(func(nd *node[V, A]) {
+		msgs := c.net.Receive(nd.id)
+		for _, m := range msgs {
+			r := &reader{buf: m.Payload}
+			for r.remaining() > 0 && r.err == nil {
+				rpos := r.i32()
+				if r.err != nil {
+					break
+				}
+				e := &nd.entries[rpos]
+				e.flags &^= flagMirror
+				e.mReplicaN, e.mReplicaP, e.mReplicaFT, e.mMirrorOf = nil, nil, nil, nil
 			}
 		}
 		c.recycleMsgs(msgs)

@@ -17,14 +17,15 @@ import (
 // re-derived from committed scatter flags).
 func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 	if c.rebirthsUsed+len(failed) > c.cfg.MaxRebirths {
-		return nil, fmt.Errorf("%w: %d standby nodes exhausted", ErrUnrecoverable, c.cfg.MaxRebirths)
+		return nil, fmt.Errorf("%w: %d standby nodes exhausted", ErrNoStandby, c.cfg.MaxRebirths)
 	}
 	failedSet := make(map[int]bool, len(failed))
 	for _, f := range failed {
 		failedSet[f] = true
 	}
-	rec := RecoveryStats{Kind: "rebirth", Iteration: iter, Failed: append([]int(nil), failed...)}
+	rec := RecoveryReport{Kind: "rebirth", Iteration: iter, Failed: append([]int(nil), failed...)}
 	start := c.clock.Now()
+	msgs0, bytes0 := c.met.RecoveryTraffic()
 
 	// Newbies join the membership and size their vertex arrays from the
 	// coordination service's shared state.
@@ -47,6 +48,7 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 		c.nodes[f] = nd
 		c.net.SetFailed(f, false)
 		c.coord.Join(f)
+		c.chaosTrack(f)
 		c.rebirthsUsed++
 	}
 	c.hook("rebirth:join")
@@ -93,6 +95,9 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 		var span costmodel.Span
 		for _, f := range failed {
 			nd := c.nodes[f]
+			if !nd.alive {
+				continue // newbie killed again mid-recovery; restart handles it
+			}
 			var nodeCost float64
 			for _, path := range c.dfs.List(fmt.Sprintf("edgeckpt/%d/", f)) {
 				data, cost, err := c.dfs.Read(f, path)
@@ -125,6 +130,13 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 	var reconSpan costmodel.Span
 	for _, f := range failed {
 		nd := c.nodes[f]
+		if !nd.alive {
+			// Killed again while recovery was in flight (chaos or test
+			// hook): its round was dropped, so nothing can be placed. The
+			// barrier below announces the new failure and the recovery
+			// restarts with the union.
+			continue
+		}
 		raw := make(map[int32]*rawEdges)
 		// Decode serially (the streams are sequential), collecting records so
 		// placement can run on the worker pool.
@@ -168,7 +180,7 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 		for i := range nd.entries {
 			if nd.entries[i].masterNode == noNode {
 				return nil, fmt.Errorf("%w: node %d slot %d not recovered (lost beyond K?)",
-					ErrUnrecoverable, f, i)
+					ErrTooManyFailures, f, i)
 			}
 		}
 		// Edge-cut: resolve raw in-edge lists into local positions, in
@@ -229,6 +241,8 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 	}
 	rec.ReplaySeconds = c.clock.Now() - replayStart
 
+	msgs1, bytes1 := c.met.RecoveryTraffic()
+	rec.Msgs, rec.Bytes = msgs1-msgs0, bytes1-bytes0
 	c.refreshMemoryMetrics()
 	c.recoveries = append(c.recoveries, rec)
 	c.trace = append(c.trace, TraceEvent{Iter: iter, Kind: "recovery", Start: start, End: c.clock.Now()})

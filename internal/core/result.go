@@ -18,11 +18,17 @@ type TraceEvent struct {
 // Duration returns the event's span.
 func (e TraceEvent) Duration() float64 { return e.End - e.Start }
 
-// RecoveryStats breaks one recovery down the way Fig 2c / Fig 9 do.
-type RecoveryStats struct {
+// RecoveryReport breaks one recovery down the way Fig 2c / Fig 9 do:
+// what kind of recovery ran, what triggered it, how long each phase took
+// in simulated seconds, and how much state moved to repair the cluster.
+type RecoveryReport struct {
 	Kind      string // "checkpoint", "rebirth", "migration"
 	Iteration int    // superstep being (re-)executed after recovery
 	Failed    []int
+
+	// Fallback marks a Rebirth that ran out of standby nodes and completed
+	// as a Migration instead (Config.RebirthFallback).
+	Fallback bool
 
 	ReloadSeconds      float64
 	ReconstructSeconds float64
@@ -34,19 +40,33 @@ type RecoveryStats struct {
 
 	RecoveredVertices int
 	RecoveredEdges    int
+
+	// Msgs/Bytes count the recovery traffic the completed pass put on the
+	// simulated wire (internal/metrics recovery counters).
+	Msgs  int64
+	Bytes int64
 }
 
+// RecoveryStats is the pre-chaos name of RecoveryReport.
+//
+// Deprecated: use RecoveryReport.
+type RecoveryStats = RecoveryReport
+
 // TotalSeconds is the full recovery duration.
-func (r RecoveryStats) TotalSeconds() float64 {
+func (r RecoveryReport) TotalSeconds() float64 {
 	return r.ReloadSeconds + r.ReconstructSeconds + r.ReplaySeconds
 }
 
 // String implements fmt.Stringer.
-func (r RecoveryStats) String() string {
-	return fmt.Sprintf("%s@%d failed=%v total=%.3fs (reload %.3f, reconstruct %.3f, replay %.3f) vertices=%d edges=%d",
-		r.Kind, r.Iteration, r.Failed, r.TotalSeconds(),
+func (r RecoveryReport) String() string {
+	kind := r.Kind
+	if r.Fallback {
+		kind = "rebirth->" + kind
+	}
+	return fmt.Sprintf("%s@%d failed=%v total=%.3fs (reload %.3f, reconstruct %.3f, replay %.3f) vertices=%d edges=%d bytes=%d",
+		kind, r.Iteration, r.Failed, r.TotalSeconds(),
 		r.ReloadSeconds, r.ReconstructSeconds, r.ReplaySeconds,
-		r.RecoveredVertices, r.RecoveredEdges)
+		r.RecoveredVertices, r.RecoveredEdges, r.Bytes)
 }
 
 // Result is a finished job's output and accounting.
@@ -84,8 +104,10 @@ type Result[V any] struct {
 	// > 1 (empty entries otherwise): the intra-node load-balance picture.
 	Workers []metrics.WorkerTimes
 
-	Trace      []TraceEvent
-	Recoveries []RecoveryStats
+	Trace []TraceEvent
+	// Recoveries reports every completed recovery, in order; chaos
+	// assertions and cmd/bench read these instead of scraping logs.
+	Recoveries []RecoveryReport
 }
 
 // result assembles the Result from the cluster state after Run.
@@ -101,7 +123,7 @@ func (c *Cluster[V, A]) result() *Result[V] {
 		ExtraReplicasSelfish: c.extraReplicasSelfish,
 		TotalPresences:       c.totalPresences,
 		Trace:                append([]TraceEvent(nil), c.trace...),
-		Recoveries:           append([]RecoveryStats(nil), c.recoveries...),
+		Recoveries:           append([]RecoveryReport(nil), c.recoveries...),
 	}
 	for _, nd := range c.aliveNodes() {
 		for i := range nd.entries {

@@ -180,6 +180,17 @@ func (c *Cluster) Total() Node {
 	return t
 }
 
+// RecoveryTraffic returns the cluster-wide recovery message and byte
+// totals. The engine snapshots it around each recovery pass to attribute
+// per-recovery traffic in RecoveryReport.
+func (c *Cluster) RecoveryTraffic() (msgs, bytes int64) {
+	for i := range c.Nodes {
+		msgs += c.Nodes[i].RecoveryMsgs
+		bytes += c.Nodes[i].RecoveryBytes
+	}
+	return msgs, bytes
+}
+
 // MaxMemoryNode returns the largest per-node memory footprint.
 func (c *Cluster) MaxMemoryNode() int64 {
 	var best int64

@@ -86,6 +86,18 @@ type Network struct {
 	aliveMask []bool
 	costs     []float64
 
+	// Chaos degradation state, nil/zero unless a schedule installs it so the
+	// fault-free fast path does no extra work (and no extra float math).
+	// linkFactor multiplies the accounted cost of bytes on a directed link;
+	// the slowdown surfaces as penalty bytes folded into the endpoints'
+	// per-round volumes (never the fabric total — a slow link does not slow
+	// the shared switch). roundDelay adds flat seconds to the fabric term of
+	// rounds with traffic, modeling a delay burst.
+	linkFactor map[[2]int]float64
+	penaltyOut []atomic.Int64
+	penaltyIn  []atomic.Int64
+	roundDelay float64
+
 	errMu    sync.Mutex
 	firstErr error
 }
@@ -176,7 +188,45 @@ func (n *Network) Send(from, to int, kind Kind, payload []byte) {
 	n.bytesOut[from].Add(size)
 	n.bytesIn[to].Add(size)
 	n.totalOut[from].Add(size)
+	if n.linkFactor != nil {
+		if f, ok := n.linkFactor[[2]int{from, to}]; ok {
+			extra := int64(float64(size) * (f - 1))
+			n.penaltyOut[from].Add(extra)
+			n.penaltyIn[to].Add(extra)
+		}
+	}
 	n.recordErr(n.backend.Send(from, to, kind, payload))
+}
+
+// DegradeLink slows the directed link from->to: bytes sent across it count
+// factor times their size toward both endpoints' per-round volume (but not
+// toward the fabric total or the cumulative traffic metrics). factor <= 1
+// restores the link to full speed.
+func (n *Network) DegradeLink(from, to int, factor float64) {
+	if factor <= 1 {
+		if n.linkFactor != nil {
+			delete(n.linkFactor, [2]int{from, to})
+			if len(n.linkFactor) == 0 {
+				n.linkFactor = nil
+			}
+		}
+		return
+	}
+	if n.linkFactor == nil {
+		n.linkFactor = make(map[[2]int]float64)
+		n.penaltyOut = make([]atomic.Int64, n.numNodes)
+		n.penaltyIn = make([]atomic.Int64, n.numNodes)
+	}
+	n.linkFactor[[2]int{from, to}] = factor
+}
+
+// SetRoundDelay adds a flat simulated delay (seconds) to the fabric cost of
+// every subsequent round that carries traffic, until reset to 0.
+func (n *Network) SetRoundDelay(seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	n.roundDelay = seconds
 }
 
 // headerBytes models per-message framing overhead on the wire.
@@ -202,6 +252,13 @@ func (n *Network) FinishRound() (costs []float64, fabric float64) {
 		out := n.bytesOut[i].Swap(0)
 		in := n.bytesIn[i].Swap(0)
 		total += out
+		if n.penaltyOut != nil {
+			// Degraded-link penalty bytes inflate the endpoints' volumes
+			// (the slow link takes longer to drain) without touching the
+			// shared-fabric total.
+			out += n.penaltyOut[i].Swap(0)
+			in += n.penaltyIn[i].Swap(0)
+		}
 		vol := out
 		if in > vol {
 			vol = in
@@ -218,6 +275,9 @@ func (n *Network) FinishRound() (costs []float64, fabric float64) {
 		// 2x the per-node average; for balanced rounds it dominates the
 		// per-node maximum and total traffic prices the round.
 		fabric = n.params.NetTransfer(2*total)/float64(active) + n.params.NetLatency
+		if n.roundDelay > 0 {
+			fabric += n.roundDelay
+		}
 	}
 	return costs, fabric
 }

@@ -1,0 +1,117 @@
+package imitator
+
+import (
+	"errors"
+
+	"imitator/internal/chaos"
+	"imitator/internal/core"
+)
+
+// FailureEvent is one typed entry of a failure schedule. Build events with
+// Crash, CrashDuringRecovery, SlowLink and DelayBurst rather than filling
+// the struct directly.
+type FailureEvent = core.ChaosEvent
+
+// FailureSchedule is an ordered list of failure events; compose one with
+// the event builders and install it with WithFailures.
+type FailureSchedule = chaos.Schedule
+
+// Crash schedules a fail-stop of the given nodes at iteration iter in the
+// given phase. Detection runs through the simulated heartbeat monitor at
+// the configured detection cost.
+func Crash(iter int, phase FailPhase, nodes ...int) FailureEvent {
+	return core.ChaosEvent{Kind: core.ChaosCrash, Iteration: iter, Phase: phase, Nodes: nodes}
+}
+
+// CrashDuringRecovery schedules a fail-stop of the given nodes the moment
+// the first recovery pass of the run reaches its first phase — a failure
+// in the middle of handling an earlier failure (§5.3.2). Fires at most
+// once.
+func CrashDuringRecovery(nodes ...int) FailureEvent {
+	return core.ChaosEvent{Kind: core.ChaosCrashDuringRecovery, Nodes: nodes}
+}
+
+// CrashDuringRecoveryAt is CrashDuringRecovery pinned to a recovery phase
+// label prefix, e.g. "migration:repair" or "rebirth:reload" (or just
+// "migration:" for the first migration phase reached).
+func CrashDuringRecoveryAt(label string, nodes ...int) FailureEvent {
+	return core.ChaosEvent{Kind: core.ChaosCrashDuringRecovery, During: label, Nodes: nodes}
+}
+
+// SlowLink degrades the from->to link by factor (>= 1) from iteration iter
+// onwards: transfers over it cost factor times the modeled time. Values
+// are unaffected; only the simulated timeline changes.
+func SlowLink(iter, from, to int, factor float64) FailureEvent {
+	return core.ChaosEvent{Kind: core.ChaosSlowLink, Iteration: iter, From: from, To: to, Factor: factor}
+}
+
+// DelayBurst adds seconds of extra latency to every messaging round of one
+// execution attempt of iteration iter.
+func DelayBurst(iter int, seconds float64) FailureEvent {
+	return core.ChaosEvent{Kind: core.ChaosDelayBurst, Iteration: iter, Seconds: seconds}
+}
+
+// WithFailures installs a failure schedule composed from the event
+// builders:
+//
+//	imitator.WithFailures(
+//		imitator.Crash(3, imitator.FailBeforeBarrier, 1),
+//		imitator.CrashDuringRecoveryAt("migration:repair", 4),
+//		imitator.SlowLink(2, 0, 3, 8),
+//	)
+//
+// Repeated options append. Invalid schedules are reported by NewCluster /
+// Run with an error matching ErrInvalidSchedule.
+func WithFailures(events ...FailureEvent) Option {
+	return func(c *Config) { c.Chaos = append(c.Chaos, events...) }
+}
+
+// WithRebirthFallback lets a Rebirth recovery that finds the standby pool
+// exhausted fall back to Migration instead of failing with ErrNoStandby.
+func WithRebirthFallback() Option {
+	return func(c *Config) { c.RebirthFallback = true }
+}
+
+// ParseFailureSchedule parses the compact one-line schedule grammar
+// ("crash@3b=1|crashrec@migration:repair=4|slow@2=0>3x8|delay@4=0.25");
+// see FormatFailureSchedule for the inverse. Errors match
+// ErrInvalidSchedule.
+func ParseFailureSchedule(s string) (FailureSchedule, error) {
+	return chaos.ParseEvents(s)
+}
+
+// FormatFailureSchedule renders a schedule in the grammar accepted by
+// ParseFailureSchedule.
+func FormatFailureSchedule(events FailureSchedule) string {
+	return chaos.FormatEvents(events)
+}
+
+// ChaosCampaign is a seeded randomized fault-injection campaign: every
+// round draws a multi-failure schedule and checks convergence to the
+// fault-free result. See internal/chaos for the scenario mix.
+type ChaosCampaign = chaos.Campaign
+
+// ChaosReport is a finished campaign's summary; failed rounds carry
+// deterministic repro strings replayable with ChaosCampaign.Replay.
+type ChaosReport = chaos.Report
+
+// Typed failure-handling sentinels. Match with errors.Is; both
+// ErrNoStandby and ErrTooManyFailures also match ErrUnrecoverable.
+var (
+	// ErrUnrecoverable reports a failure the configured strategy cannot
+	// recover from.
+	ErrUnrecoverable = core.ErrUnrecoverable
+	// ErrNoStandby reports an exhausted standby pool during a Rebirth or
+	// Checkpoint recovery (see WithMaxRebirths and WithRebirthFallback).
+	ErrNoStandby = core.ErrNoStandby
+	// ErrTooManyFailures reports more simultaneous node losses than the
+	// replication factor K tolerates.
+	ErrTooManyFailures = core.ErrTooManyFailures
+	// ErrInvalidSchedule reports a malformed failure schedule or an event
+	// referencing iterations/nodes outside the job.
+	ErrInvalidSchedule = core.ErrInvalidSchedule
+)
+
+// IsUnrecoverable reports whether err represents a failure the run could
+// not recover from (convenience for errors.Is(err, ErrUnrecoverable)).
+func IsUnrecoverable(err error) bool { return errors.Is(err, ErrUnrecoverable) }

@@ -1,0 +1,154 @@
+package imitator_test
+
+import (
+	"errors"
+	"testing"
+
+	"imitator/pkg/imitator"
+)
+
+// TestFailureScheduleBuilders: composed schedules survive a multi-failure
+// run — a crash, a second crash during its recovery, and degradation —
+// and the result reports every recovery.
+func TestFailureScheduleBuilders(t *testing.T) {
+	g := ring(t, 240)
+	cfg := imitator.New(
+		imitator.WithNodes(6),
+		imitator.WithIterations(8),
+		imitator.WithFT(2),
+		imitator.WithRecovery(imitator.RecoverMigration),
+		imitator.WithFailures(
+			imitator.Crash(3, imitator.FailBeforeBarrier, 1),
+			imitator.CrashDuringRecoveryAt("migration:repair", 4),
+			imitator.SlowLink(2, 0, 3, 4),
+			imitator.DelayBurst(5, 0.1),
+		),
+	)
+	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recoveries) == 0 {
+		t.Fatal("no recoveries reported")
+	}
+	last := res.Recoveries[len(res.Recoveries)-1]
+	if len(last.Failed) != 2 {
+		t.Fatalf("final recovery covered %v, want both victims", last.Failed)
+	}
+	if last.Kind != "migration" || last.Bytes <= 0 || last.RecoveredVertices <= 0 {
+		t.Fatalf("report incomplete: %+v", last)
+	}
+
+	// The same values as the fault-free run, bit for bit (edge-cut).
+	clean := imitator.New(
+		imitator.WithNodes(6),
+		imitator.WithIterations(8),
+		imitator.WithFT(2),
+		imitator.WithRecovery(imitator.RecoverMigration),
+	)
+	want, err := imitator.Run(clean, g, imitator.NewPageRank(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Values {
+		if res.Values[v] != want.Values[v] {
+			t.Fatalf("vertex %d: %v != fault-free %v", v, res.Values[v], want.Values[v])
+		}
+	}
+}
+
+// TestDeprecatedWithFailure: the legacy option still works and now rides
+// the chaos path.
+func TestDeprecatedWithFailure(t *testing.T) {
+	cfg := imitator.New(imitator.WithFailure(4, imitator.FailAfterBarrier, 2))
+	if len(cfg.Failures) != 0 {
+		t.Fatalf("WithFailure still fills the legacy schedule: %+v", cfg.Failures)
+	}
+	if len(cfg.Chaos) != 1 || cfg.Chaos[0].Iteration != 4 {
+		t.Fatalf("WithFailure chaos event wrong: %+v", cfg.Chaos)
+	}
+}
+
+// TestTypedErrors: sentinel errors surface through the facade and chain
+// into ErrUnrecoverable.
+func TestTypedErrors(t *testing.T) {
+	g := ring(t, 120)
+
+	exhausted := imitator.New(
+		imitator.WithNodes(4),
+		imitator.WithIterations(6),
+		imitator.WithFT(1),
+		imitator.WithRecovery(imitator.RecoverRebirth),
+		imitator.WithMaxRebirths(0),
+		imitator.WithFailures(imitator.Crash(2, imitator.FailBeforeBarrier, 1)),
+	)
+	_, err := imitator.Run(exhausted, g, imitator.NewPageRank(g.NumVertices()))
+	if !errors.Is(err, imitator.ErrNoStandby) || !imitator.IsUnrecoverable(err) {
+		t.Fatalf("exhaustion err = %v, want ErrNoStandby wrapping ErrUnrecoverable", err)
+	}
+
+	beyondK := imitator.New(
+		imitator.WithNodes(4),
+		imitator.WithIterations(6),
+		imitator.WithFT(1),
+		imitator.WithRecovery(imitator.RecoverRebirth),
+		imitator.WithFailures(imitator.Crash(2, imitator.FailBeforeBarrier, 1, 2)),
+	)
+	_, err = imitator.Run(beyondK, g, imitator.NewPageRank(g.NumVertices()))
+	if !errors.Is(err, imitator.ErrTooManyFailures) || !imitator.IsUnrecoverable(err) {
+		t.Fatalf("beyond-K err = %v, want ErrTooManyFailures wrapping ErrUnrecoverable", err)
+	}
+
+	invalid := imitator.New(
+		imitator.WithNodes(4),
+		imitator.WithIterations(6),
+		imitator.WithFailures(imitator.Crash(99, imitator.FailBeforeBarrier, 1)),
+	)
+	_, err = imitator.Run(invalid, g, imitator.NewPageRank(g.NumVertices()))
+	if !errors.Is(err, imitator.ErrInvalidSchedule) {
+		t.Fatalf("invalid schedule err = %v, want ErrInvalidSchedule", err)
+	}
+}
+
+// TestRebirthFallbackOption: exhaustion + fallback completes as migration.
+func TestRebirthFallbackOption(t *testing.T) {
+	g := ring(t, 180)
+	cfg := imitator.New(
+		imitator.WithNodes(5),
+		imitator.WithIterations(6),
+		imitator.WithFT(1),
+		imitator.WithRecovery(imitator.RecoverRebirth),
+		imitator.WithMaxRebirths(0),
+		imitator.WithRebirthFallback(),
+		imitator.WithFailures(imitator.Crash(2, imitator.FailBeforeBarrier, 1)),
+	)
+	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recoveries) != 1 || res.Recoveries[0].Kind != "migration" || !res.Recoveries[0].Fallback {
+		t.Fatalf("recoveries = %+v, want one migration fallback", res.Recoveries)
+	}
+}
+
+// TestScheduleGrammarFacade: parse and format round-trip through the
+// public helpers.
+func TestScheduleGrammarFacade(t *testing.T) {
+	sched := imitator.FailureSchedule{
+		imitator.Crash(3, imitator.FailBeforeBarrier, 1, 4),
+		imitator.CrashDuringRecoveryAt("rebirth:reload", 2),
+		imitator.SlowLink(2, 0, 3, 8),
+		imitator.DelayBurst(4, 0.25),
+	}
+	text := imitator.FormatFailureSchedule(sched)
+	back, err := imitator.ParseFailureSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imitator.FormatFailureSchedule(back) != text {
+		t.Fatalf("round trip: %q != %q", imitator.FormatFailureSchedule(back), text)
+	}
+	if _, err := imitator.ParseFailureSchedule("crash@3=1"); !errors.Is(err, imitator.ErrInvalidSchedule) {
+		t.Fatalf("bad grammar err = %v, want ErrInvalidSchedule", err)
+	}
+}

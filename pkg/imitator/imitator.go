@@ -12,7 +12,10 @@
 //		imitator.WithFT(1),
 //		imitator.WithRecovery(imitator.RecoverRebirth),
 //		imitator.WithIterations(10),
-//		imitator.WithFailure(5, imitator.FailBeforeBarrier, 2),
+//		imitator.WithFailures(
+//			imitator.Crash(5, imitator.FailBeforeBarrier, 2),
+//			imitator.CrashDuringRecovery(3),
+//		),
 //	)
 //	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
 //
@@ -58,7 +61,14 @@ type Config = core.Config
 // TraceEvent is one entry of the simulated execution timeline.
 type TraceEvent = core.TraceEvent
 
+// RecoveryReport breaks one recovery down: strategy, trigger iteration,
+// nodes lost, per-phase simulated seconds, and replayed traffic. A run's
+// reports are in Result.Recoveries.
+type RecoveryReport = core.RecoveryReport
+
 // RecoveryStats breaks one recovery down by phase.
+//
+// Deprecated: use RecoveryReport.
 type RecoveryStats = core.RecoveryStats
 
 // WorkerTimes holds one node's per-worker busy seconds (intra-node pool).

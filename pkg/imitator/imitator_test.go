@@ -86,10 +86,10 @@ func TestOptions(t *testing.T) {
 	if cfg.Recovery != imitator.RecoverMigration || cfg.MaxRebirths != 9 {
 		t.Errorf("recovery wrong: %v/%d", cfg.Recovery, cfg.MaxRebirths)
 	}
-	if len(cfg.Failures) != 2 ||
-		cfg.Failures[0].Iteration != 3 || len(cfg.Failures[0].Nodes) != 2 ||
-		cfg.Failures[1].Phase != imitator.FailAfterBarrier {
-		t.Errorf("failures wrong: %+v", cfg.Failures)
+	if len(cfg.Chaos) != 2 ||
+		cfg.Chaos[0].Iteration != 3 || len(cfg.Chaos[0].Nodes) != 2 ||
+		cfg.Chaos[1].Phase != imitator.FailAfterBarrier {
+		t.Errorf("failures wrong: %+v", cfg.Chaos)
 	}
 	if err := cfg.Validate(); err != nil {
 		t.Errorf("composed config invalid: %v", err)

@@ -100,12 +100,12 @@ func WithPartitioner(p Partitioner) Option {
 
 // WithFailure schedules a crash of the given nodes at iteration iter in
 // the given phase. Repeat the option to inject several failures.
+//
+// Deprecated: use WithFailures with the Crash builder, which routes the
+// crash through the heartbeat failure detector (same timing and results)
+// and composes with the other failure-event kinds.
 func WithFailure(iter int, phase FailPhase, nodes ...int) Option {
-	return func(c *Config) {
-		c.Failures = append(c.Failures, core.FailureSpec{
-			Iteration: iter, Phase: phase, Nodes: nodes,
-		})
-	}
+	return WithFailures(Crash(iter, phase, nodes...))
 }
 
 // WithMaxRebirths bounds how many standby rebirths the cluster can perform.
