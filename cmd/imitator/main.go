@@ -9,6 +9,7 @@
 //	imitator -dataset roadca -algo sssp -mode vertexcut -partitioner hybrid
 //	imitator -dataset ljournal -algo pagerank -recovery checkpoint -ckpt-interval 2 -fail-iter 5 -fail-nodes 1
 //	imitator -dataset wiki -algo pagerank -recovery migration -chaos 'crash@3b=1|crashrec@migration:repair=4|slow@2=0>3x8'
+//	imitator -dataset wiki -algo pagerank -chaos 'drop@1=0>2x0.3|part@2~5=1' -chaos-seed 42
 package main
 
 import (
@@ -45,7 +46,8 @@ func run(args []string) error {
 		ckptIvl     = fs.Int("ckpt-interval", 1, "checkpoint interval in iterations")
 		failIter    = fs.Int("fail-iter", -1, "iteration at which to crash nodes (-1 = no failure)")
 		failNodes   = fs.String("fail-nodes", "1", "comma-separated node ids to crash")
-		chaosSched  = fs.String("chaos", "", "failure schedule: crash@<iter><b|a>=<nodes>, crashrec[@label]=<nodes>, slow@<iter>=<from>><to>x<factor>, delay@<iter>=<seconds>, joined by '|'")
+		chaosSched  = fs.String("chaos", "", "failure schedule: crash@<iter><b|a>=<nodes>, crashrec[@label]=<nodes>, slow@<iter>=<from>><to>x<factor>, delay@<iter>=<seconds>, drop@<iter>=<from>><to>x<prob>, dup@<iter>=<from>><to>x<prob>, reorder@<iter>=<from>><to>x<prob>, part@<iter>~<heal>=<nodes>, joined by '|'")
+		chaosSeed   = fs.Uint64("chaos-seed", 0, "seed for the deterministic per-link omission-fault generators (drop/dup/reorder)")
 		input       = fs.String("input", "", "edge-list file to load instead of -dataset (src dst [weight] per line)")
 		tcp         = fs.Bool("tcp", false, "run the protocol over a loopback TCP mesh instead of in-memory delivery")
 		timeline    = fs.Bool("timeline", false, "render the execution timeline")
@@ -123,6 +125,9 @@ func run(args []string) error {
 		}
 		opts = append(opts, imitator.WithFailures(sched...))
 	}
+	if *chaosSeed != 0 {
+		opts = append(opts, imitator.WithChaosSeed(*chaosSeed))
+	}
 	cfg := imitator.New(opts...)
 
 	w := imitator.Workload{Algo: *algo, Dataset: *dataset, Iters: *iters}
@@ -191,6 +196,11 @@ func report(w imitator.Workload, cfg imitator.Config, s imitator.RunSummary) {
 		float64(s.MaxMemory)/1e6, float64(s.TotalMemory)/1e6)
 	if s.CheckpointCount > 0 {
 		fmt.Printf("checkpoints: %d written, %.3f s total\n", s.CheckpointCount, s.CheckpointSeconds)
+	}
+	if o := s.Omission; o != nil {
+		fmt.Printf("omission: %d retransmits (%.2f KB, %.2f KB acks), %d dups dropped, %d reordered, %d parked, %d fenced\n",
+			o.Retransmits, float64(o.RetransmitBytes)/1e3, float64(o.AckBytes)/1e3,
+			o.DuplicatesDropped, o.Reordered, o.Parked, o.Fenced)
 	}
 	for _, r := range s.Recoveries {
 		fmt.Printf("recovery: %s\n", r)

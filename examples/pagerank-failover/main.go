@@ -28,13 +28,18 @@ func main() {
 		label string
 		cfg   imitator.Config
 		fail  bool
+		lossy bool
 	}{
-		{"BASE (no FT, no failure)", base(), false},
-		{"REP (no failure)", rep(imitator.RecoverRebirth), false},
-		{"CKPT/4 (no failure)", ckpt(4), false},
-		{"REP + Rebirth", rep(imitator.RecoverRebirth), true},
-		{"REP + Migration", rep(imitator.RecoverMigration), true},
-		{"CKPT/4 + recovery", ckpt(4), true},
+		{"BASE (no FT, no failure)", base(), false, false},
+		{"REP (no failure)", rep(imitator.RecoverRebirth), false, false},
+		{"CKPT/4 (no failure)", ckpt(4), false, false},
+		{"REP + Rebirth", rep(imitator.RecoverRebirth), true, false},
+		{"REP + Migration", rep(imitator.RecoverMigration), true, false},
+		{"CKPT/4 + recovery", ckpt(4), true, false},
+		// The same crash, but now the network also drops and reorders
+		// frames: the reliable-delivery layer retransmits through it and
+		// the answer stays bit-identical — only the timeline stretches.
+		{"REP + Rebirth (lossy net)", rep(imitator.RecoverRebirth), true, true},
 	}
 	for _, c := range configs {
 		cfg := c.cfg
@@ -43,6 +48,13 @@ func main() {
 				imitator.Crash(failIter, imitator.FailAfterBarrier, 1),
 			}
 		}
+		if c.lossy {
+			cfg.Chaos = append(cfg.Chaos,
+				imitator.Drop(1, 0, 2, 0.3),
+				imitator.Reorder(1, 3, 4, 0.5),
+			)
+			cfg.ChaosSeed = 42
+		}
 		res := run(g, cfg)
 		recovery := 0.0
 		for _, r := range res.Recoveries {
@@ -50,6 +62,9 @@ func main() {
 		}
 		fmt.Printf("%-26s total %7.3f s   recovery %6.3f s   checkpoints %5.3f s\n",
 			c.label, res.SimSeconds, recovery, res.CheckpointSeconds)
+		if o := res.Omission; o != nil {
+			fmt.Printf("%-26s %d retransmits, %d frames re-sequenced\n", "", o.Retransmits, o.Reordered)
+		}
 		if c.fail {
 			printTimeline(res)
 		}

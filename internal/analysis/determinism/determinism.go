@@ -39,6 +39,9 @@ var DefaultSimPackages = []string{
 	"imitator/internal/costmodel",
 	"imitator/internal/dfs",
 	"imitator/internal/partition",
+	// The omission-fault layer draws per-link fates from internal/rng, so
+	// its state now feeds retransmit counts and simulated time too.
+	"imitator/internal/rng",
 }
 
 // New returns the determinism analyzer scoped to the given package paths

@@ -25,6 +25,7 @@ func TestDefaultScope(t *testing.T) {
 		"imitator/internal/costmodel": true,
 		"imitator/internal/dfs":       true,
 		"imitator/internal/partition": true,
+		"imitator/internal/rng":       true,
 	}
 	if len(determinism.DefaultSimPackages) != len(want) {
 		t.Fatalf("DefaultSimPackages has %d entries, want %d", len(determinism.DefaultSimPackages), len(want))

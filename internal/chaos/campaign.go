@@ -34,12 +34,14 @@ type Campaign struct {
 	Modes    []core.Mode // partitioning modes (default both)
 }
 
-// Round scenarios, cycled by round number so every campaign of >= 3
-// rounds exercises all three.
+// Round scenarios, cycled by round number so every campaign of >= 5
+// rounds exercises all five.
 const (
 	scenarioMultiCrash     = iota // one or two crash events, up to K nodes at once
 	scenarioDuringRecovery        // a second failure while a recovery pass runs
 	scenarioExhaustion            // empty standby pool forces Rebirth->Migration
+	scenarioLossy                 // drop/dup/reorder omission faults riding a crash
+	scenarioPartition             // partitioned node rebuilt by Rebirth, fenced on heal
 	numScenarios
 )
 
@@ -48,9 +50,14 @@ type Report struct {
 	Rounds int // rounds requested
 	Runs   int // individual cluster runs (rounds x modes)
 	// DuringRecovery and Exhaustion count runs that exercised a
-	// mid-recovery failure restart and a standby-exhaustion fallback.
+	// mid-recovery failure restart and a standby-exhaustion fallback;
+	// Lossy counts runs whose reliable layer retransmitted through
+	// omission faults, and Fenced counts runs where a healed partition's
+	// stale-epoch frames hit the epoch fence.
 	DuringRecovery int
 	Exhaustion     int
+	Lossy          int
+	Fenced         int
 	Failures       []RoundFailure
 }
 
@@ -127,6 +134,8 @@ func (c Campaign) Run() (*Report, error) {
 			out := c.runRound(round, mode, g, baselines[i])
 			rep.DuringRecovery += out.duringRecovery
 			rep.Exhaustion += out.exhaustion
+			rep.Lossy += out.lossy
+			rep.Fenced += out.fenced
 			if out.err != nil {
 				rep.Failures = append(rep.Failures, RoundFailure{
 					Round: round, Mode: mode.String(),
@@ -144,6 +153,8 @@ type roundOutcome struct {
 	err            error
 	duringRecovery int
 	exhaustion     int
+	lossy          int
+	fenced         int
 }
 
 // runRound generates round's schedule from its seed and runs it against
@@ -203,6 +214,41 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 			Phase: pickPhase(r), Nodes: sortedInts(victims[:n]),
 		})
 		migrationInvolved = true // fallback completes as a migration
+	case scenarioLossy:
+		cfg.Recovery = pickRecovery(r)
+		cfg.ChaosSeed = r.Uint64()
+		// Soak a handful of distinct links in omission faults from
+		// iteration 1, then crash a node on top: the reliable layer must
+		// carry both steady-state and recovery traffic through the loss.
+		kinds := []core.ChaosKind{core.ChaosDrop, core.ChaosDuplicate, core.ChaosReorder}
+		for i, n := 0, 2+r.Intn(3); i < n; i++ {
+			kind := kinds[r.Intn(len(kinds))]
+			limit := 1.0
+			if kind == core.ChaosDrop {
+				limit = core.MaxDropRate
+			}
+			sched = append(sched, core.ChaosEvent{
+				Kind: kind, Iteration: 1,
+				From: victims[i%c.Nodes], To: victims[(i+1)%c.Nodes],
+				Prob: limit * (0.2 + 0.3*r.Float64()),
+			})
+		}
+		sched = append(sched, core.ChaosEvent{
+			Kind: core.ChaosCrash, Iteration: crashIter,
+			Phase: pickPhase(r), Nodes: victims[:1],
+		})
+		migrationInvolved = cfg.Recovery == core.RecoverMigration
+	case scenarioPartition:
+		// A partitioned-but-alive node is indistinguishable from a crashed
+		// one to the survivors: Rebirth rebuilds its slot under a bumped
+		// epoch, and the heal must release only fenced stale frames.
+		cfg.Recovery = core.RecoverRebirth
+		cfg.ChaosSeed = r.Uint64()
+		healIter := crashIter + 1 + r.Intn(c.Iters-1-crashIter)
+		sched = append(sched, core.ChaosEvent{
+			Kind: core.ChaosPartition, Iteration: crashIter,
+			HealIter: healIter, Nodes: victims[:1],
+		})
 	}
 	// Degradation riders: they may reshape timing, never values.
 	if r.Intn(2) == 0 {
@@ -259,6 +305,26 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 			return out
 		}
 		out.exhaustion = 1
+	case scenarioLossy:
+		if res.Omission == nil {
+			out.err = fmt.Errorf("omission schedule reported no omission stats")
+			return out
+		}
+		if res.Omission.Retransmits+res.Omission.DuplicatesDropped+res.Omission.Reordered == 0 {
+			out.err = fmt.Errorf("omission faults drew no fates: %+v", *res.Omission)
+			return out
+		}
+		out.lossy = 1
+	case scenarioPartition:
+		if res.Omission == nil {
+			out.err = fmt.Errorf("partition reported no omission stats")
+			return out
+		}
+		if res.Omission.Fenced == 0 {
+			out.err = fmt.Errorf("healed partition fenced no stale-epoch frames: %+v", *res.Omission)
+			return out
+		}
+		out.fenced = 1
 	}
 	return out
 }

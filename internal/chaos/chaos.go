@@ -16,8 +16,15 @@
 //	                                     e.g. migration:repair)
 //	slow@<iter>=<from>><to>x<factor>     multiply one link's transfer cost
 //	delay@<iter>=<seconds>               add seconds to each message round
+//	drop@<iter>=<from>><to>x<prob>       drop each frame on a link with
+//	                                     probability prob from an iteration on
+//	dup@<iter>=<from>><to>x<prob>        duplicate frames on a link
+//	reorder@<iter>=<from>><to>x<prob>    displace frames on a link
+//	part@<iter>~<heal>=<n1,...>          cut the nodes off the network at an
+//	                                     iteration, heal the cut at another
+//	                                     (a heal >= MaxIter never heals)
 //
-// Example: "crash@3b=1|crashrec@migration:repair=4|slow@2=0>3x8".
+// Example: "crash@3b=1|crashrec@migration:repair=4|slow@2=0>3x8|drop@1=0>2x0.3|part@2~5=1".
 package chaos
 
 import (
@@ -58,6 +65,12 @@ func FormatEvents(events []core.ChaosEvent) string {
 		case core.ChaosDelayBurst:
 			parts = append(parts, fmt.Sprintf("delay@%d=%s",
 				ev.Iteration, formatFloat(ev.Seconds)))
+		case core.ChaosDrop, core.ChaosDuplicate, core.ChaosReorder:
+			parts = append(parts, fmt.Sprintf("%s@%d=%d>%dx%s",
+				omissionName(ev.Kind), ev.Iteration, ev.From, ev.To, formatFloat(ev.Prob)))
+		case core.ChaosPartition:
+			parts = append(parts, fmt.Sprintf("part@%d~%d=%s",
+				ev.Iteration, ev.HealIter, joinNodes(ev.Nodes)))
 		default:
 			parts = append(parts, fmt.Sprintf("?%d", int(ev.Kind)))
 		}
@@ -149,8 +162,58 @@ func parseEvent(tok string) (core.ChaosEvent, error) {
 			return ev, parseErr(tok, "bad delay seconds")
 		}
 		return core.ChaosEvent{Kind: core.ChaosDelayBurst, Iteration: iter, Seconds: secs}, nil
+	case "drop", "dup", "reorder":
+		iter, err := strconv.Atoi(arg)
+		if err != nil {
+			return ev, parseErr(tok, "bad iteration")
+		}
+		link, probStr, ok := strings.Cut(val, "x")
+		if !ok {
+			return ev, parseErr(tok, name+" needs '<from>><to>x<prob>'")
+		}
+		fromStr, toStr, ok := strings.Cut(link, ">")
+		if !ok {
+			return ev, parseErr(tok, name+" needs '<from>><to>'")
+		}
+		from, err1 := strconv.Atoi(fromStr)
+		to, err2 := strconv.Atoi(toStr)
+		prob, err3 := strconv.ParseFloat(probStr, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return ev, parseErr(tok, "bad "+name+" endpoints or probability")
+		}
+		kind := map[string]core.ChaosKind{
+			"drop": core.ChaosDrop, "dup": core.ChaosDuplicate, "reorder": core.ChaosReorder,
+		}[name]
+		return core.ChaosEvent{Kind: kind, Iteration: iter, From: from, To: to, Prob: prob}, nil
+	case "part":
+		iterStr, healStr, ok := strings.Cut(arg, "~")
+		if !ok {
+			return ev, parseErr(tok, "part needs '<iter>~<heal>'")
+		}
+		iter, err1 := strconv.Atoi(iterStr)
+		heal, err2 := strconv.Atoi(healStr)
+		if err1 != nil || err2 != nil {
+			return ev, parseErr(tok, "bad part iterations")
+		}
+		nodes, err := splitNodes(val)
+		if err != nil {
+			return ev, parseErr(tok, err.Error())
+		}
+		return core.ChaosEvent{Kind: core.ChaosPartition, Iteration: iter, HealIter: heal, Nodes: nodes}, nil
 	default:
 		return ev, parseErr(tok, "unknown event kind")
+	}
+}
+
+// omissionName maps a per-link omission kind to its grammar keyword.
+func omissionName(k core.ChaosKind) string {
+	switch k {
+	case core.ChaosDrop:
+		return "drop"
+	case core.ChaosDuplicate:
+		return "dup"
+	default:
+		return "reorder"
 	}
 }
 

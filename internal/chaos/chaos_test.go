@@ -23,9 +23,14 @@ func TestScheduleRoundTrip(t *testing.T) {
 		{Kind: core.ChaosCrashDuringRecovery, During: "migration:repair", Nodes: []int{3, 5}},
 		{Kind: core.ChaosSlowLink, Iteration: 2, From: 0, To: 3, Factor: 8},
 		{Kind: core.ChaosDelayBurst, Iteration: 4, Seconds: 0.25},
+		{Kind: core.ChaosDrop, Iteration: 1, From: 0, To: 2, Prob: 0.35},
+		{Kind: core.ChaosDuplicate, Iteration: 2, From: 3, To: 1, Prob: 0.5},
+		{Kind: core.ChaosReorder, Iteration: 3, From: 4, To: 5, Prob: 0.125},
+		{Kind: core.ChaosPartition, Iteration: 2, HealIter: 5, Nodes: []int{1, 3}},
 	}
 	text := sched.String()
-	want := "crash@3b=1,4|crash@5a=0|crashrec=2|crashrec@migration:repair=3,5|slow@2=0>3x8|delay@4=0.25"
+	want := "crash@3b=1,4|crash@5a=0|crashrec=2|crashrec@migration:repair=3,5|slow@2=0>3x8|delay@4=0.25|" +
+		"drop@1=0>2x0.35|dup@2=3>1x0.5|reorder@3=4>5x0.125|part@2~5=1,3"
 	if text != want {
 		t.Fatalf("format = %q, want %q", text, want)
 	}
@@ -42,7 +47,8 @@ func TestScheduleRoundTrip(t *testing.T) {
 	for i := range sched {
 		if back[i].Kind != sched[i].Kind || back[i].Iteration != sched[i].Iteration ||
 			back[i].During != sched[i].During || back[i].Factor != sched[i].Factor ||
-			back[i].Seconds != sched[i].Seconds {
+			back[i].Seconds != sched[i].Seconds || back[i].Prob != sched[i].Prob ||
+			back[i].HealIter != sched[i].HealIter {
 			t.Fatalf("event %d: parsed %+v, want %+v", i, back[i], sched[i])
 		}
 	}
@@ -61,6 +67,13 @@ func TestParseErrors(t *testing.T) {
 		"delay@1=fast",      // bad seconds
 		"crash@3b",          // missing '='
 		"crashrec@label=a,", // bad node
+		"drop@1=0>2",        // missing probability
+		"drop@1=0x0.3",      // missing '>' link
+		"dup@x=0>2x0.3",     // bad iteration
+		"reorder@1=0>2xq",   // bad probability
+		"part@2=1",          // missing '~<heal>'
+		"part@2~x=1",        // bad heal iteration
+		"part@2~5=",         // empty node list
 	} {
 		if _, err := ParseEvents(bad); !errors.Is(err, core.ErrInvalidSchedule) {
 			t.Fatalf("%q: err = %v, want ErrInvalidSchedule", bad, err)
@@ -97,8 +110,16 @@ func TestCampaign(t *testing.T) {
 	if rep.Exhaustion < 1 {
 		t.Fatalf("campaign exercised no standby exhaustion (runs=%d)", rep.Runs)
 	}
-	t.Logf("campaign: %d runs, %d during-recovery, %d exhaustion, 0 failures",
-		rep.Runs, rep.DuringRecovery, rep.Exhaustion)
+	if *campaignRounds >= numScenarios {
+		if rep.Lossy < 1 {
+			t.Fatalf("campaign exercised no omission faults (runs=%d)", rep.Runs)
+		}
+		if rep.Fenced < 1 {
+			t.Fatalf("campaign fenced no healed partition (runs=%d)", rep.Runs)
+		}
+	}
+	t.Logf("campaign: %d runs, %d during-recovery, %d exhaustion, %d lossy, %d fenced, 0 failures",
+		rep.Runs, rep.DuringRecovery, rep.Exhaustion, rep.Lossy, rep.Fenced)
 }
 
 // TestReplay: a repro line replays a specific round deterministically.

@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"imitator/internal/core"
+)
+
+// FuzzChaosScheduleRoundTrip feeds arbitrary one-liners through the
+// schedule grammar: ParseEvents must never panic, every rejection must
+// wrap core.ErrInvalidSchedule, and anything accepted must survive
+// FormatEvents∘ParseEvents as a fixed point (the formatted form parses
+// back to a schedule that formats identically).
+func FuzzChaosScheduleRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"crash@3b=1,4",
+		"crash@5a=0|crashrec=2",
+		"crashrec@migration:repair=3,5",
+		"slow@2=0>3x8",
+		"delay@4=0.25",
+		"drop@1=0>2x0.35",
+		"dup@2=3>1x0.5",
+		"reorder@3=4>5x0.125",
+		"part@2~5=1,3",
+		"crash@3b=1|drop@1=0>2x0.3|part@2~5=1",
+		"drop@1=0>2",
+		"part@2=1",
+		"boom@3=1",
+		"crash@3b=1;2",
+		"|||",
+		"drop@1=0>2xNaN",
+		"delay@1=1e309",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		events, err := ParseEvents(s)
+		if err != nil {
+			if !errors.Is(err, core.ErrInvalidSchedule) {
+				t.Fatalf("ParseEvents(%q) error %v does not wrap ErrInvalidSchedule", s, err)
+			}
+			return
+		}
+		// The canonical rendering must be a fixed point: parse it again
+		// and the second rendering must match byte for byte.
+		text := FormatEvents(events)
+		back, err := ParseEvents(text)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", text, s, err)
+		}
+		if again := FormatEvents(back); again != text {
+			t.Fatalf("canonical form not stable: %q -> %q (input %q)", text, again, s)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d (input %q)", len(events), len(back), s)
+		}
+	})
+}

@@ -37,6 +37,15 @@ type Coordinator struct {
 	arrived     map[int]bool
 	generation  int
 	pendingFail []int
+	// epochs[n] is node n's membership incarnation, starting at 1 and
+	// bumped every time the slot rejoins (a rebirth newbie taking over).
+	// Messages stamped with an older epoch belong to a previous life of
+	// the slot and must be fenced (split-brain safety under partitions).
+	epochs map[int]uint64
+	// suspected marks nodes past the suspicion timeout but not yet past
+	// the confirmation deadline: the cluster treats them as possibly dead
+	// (stops waiting on them) without announcing a failure.
+	suspected map[int]bool
 	// states is a two-slot ring: states[g%2] = state of generation g's
 	// release. Two slots suffice because a straggler of generation g must
 	// return from EnterBarrier(g) — and read its slot — before it can enter
@@ -53,13 +62,16 @@ func New(numNodes int) (*Coordinator, error) {
 		return nil, fmt.Errorf("coord: need at least one node, got %d", numNodes)
 	}
 	c := &Coordinator{
-		alive:   make(map[int]bool, numNodes),
-		arrived: make(map[int]bool, numNodes),
-		kv:      make(map[string]int64),
+		alive:     make(map[int]bool, numNodes),
+		arrived:   make(map[int]bool, numNodes),
+		epochs:    make(map[int]uint64, numNodes),
+		suspected: make(map[int]bool),
+		kv:        make(map[string]int64),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	for i := 0; i < numNodes; i++ {
 		c.alive[i] = true
+		c.epochs[i] = 1
 	}
 	return c, nil
 }
@@ -124,18 +136,53 @@ func (c *Coordinator) MarkFailed(node int) {
 	}
 	c.alive[node] = false
 	delete(c.arrived, node)
+	delete(c.suspected, node)
 	c.pendingFail = append(c.pendingFail, node)
 	if c.allArrivedLocked() {
 		c.releaseLocked()
 	}
 }
 
-// Join adds a node to the membership (a rebirth newbie taking over; §5.1).
+// Suspect marks a node as suspected dead: it missed the suspicion
+// timeout but has not yet crossed the confirmation deadline. Suspicion
+// is advisory — membership and barriers are unaffected until MarkFailed
+// confirms — and is cleared by MarkFailed (confirmed) or Join (revived).
+// Returns whether the node was alive and newly suspected.
+func (c *Coordinator) Suspect(node int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.alive[node] || c.suspected[node] {
+		return false
+	}
+	c.suspected[node] = true
+	return true
+}
+
+// Suspected reports whether a node is currently suspected dead.
+func (c *Coordinator) Suspected(node int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.suspected[node]
+}
+
+// Join adds a node to the membership (a rebirth newbie taking over; §5.1)
+// and bumps the slot's epoch: the newbie is a fresh incarnation, and any
+// in-flight traffic stamped with the previous epoch is fenced on arrival.
 // The node must then call EnterBarrier to synchronize with survivors.
 func (c *Coordinator) Join(node int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.alive[node] = true
+	delete(c.suspected, node)
+	c.epochs[node]++
+}
+
+// Epoch returns a node's current membership incarnation (1 at job start,
+// +1 per Join). Epoch 0 is never issued, so it can stamp "no epoch".
+func (c *Coordinator) Epoch(node int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs[node]
 }
 
 // Alive reports whether a node is currently a member.
@@ -189,6 +236,11 @@ type HeartbeatMonitor struct {
 	mu       sync.Mutex
 	lastBeat map[int]time.Time
 	failed   map[int]bool
+	// suspectMisses (0 = disabled) is the earlier suspicion threshold:
+	// after suspectMisses missed intervals a node is reported by
+	// PollSuspects, distinct from the confirmed failure at `misses`.
+	suspectMisses int
+	suspected     map[int]bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -210,12 +262,39 @@ func NewHeartbeatMonitorWithClock(clock Clock, interval time.Duration, misses in
 		clock:    clock,
 		interval: interval,
 		misses:   misses,
-		onFail:   onFail,
-		lastBeat: make(map[int]time.Time),
-		failed:   make(map[int]bool),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		onFail:    onFail,
+		lastBeat:  make(map[int]time.Time),
+		failed:    make(map[int]bool),
+		suspected: make(map[int]bool),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}, nil
+}
+
+// SetSuspectMisses enables the suspicion stage: a node is reported by
+// PollSuspects after k consecutive missed intervals (0 disables). k must
+// not exceed the confirmation threshold.
+func (m *HeartbeatMonitor) SetSuspectMisses(k int) error {
+	if k < 0 || k > m.misses {
+		return fmt.Errorf("coord: suspect threshold %d outside [0, %d]", k, m.misses)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.suspectMisses = k
+	return nil
+}
+
+// Deadline returns the confirmation deadline as exact integer duration
+// arithmetic: misses * interval, with no float rounding anywhere.
+func (m *HeartbeatMonitor) Deadline() time.Duration {
+	return time.Duration(m.misses) * m.interval
+}
+
+// SuspectDeadline returns the suspicion deadline (zero when disabled).
+func (m *HeartbeatMonitor) SuspectDeadline() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return time.Duration(m.suspectMisses) * m.interval
 }
 
 // Track registers a node with a fresh heartbeat.
@@ -224,6 +303,7 @@ func (m *HeartbeatMonitor) Track(node int) {
 	defer m.mu.Unlock()
 	m.lastBeat[node] = m.clock.Now()
 	delete(m.failed, node)
+	delete(m.suspected, node)
 }
 
 // Beat records a heartbeat from node. Beats from untracked or failed nodes
@@ -233,6 +313,7 @@ func (m *HeartbeatMonitor) Beat(node int) {
 	defer m.mu.Unlock()
 	if _, ok := m.lastBeat[node]; ok && !m.failed[node] {
 		m.lastBeat[node] = m.clock.Now()
+		delete(m.suspected, node)
 	}
 }
 
@@ -274,6 +355,28 @@ func (m *HeartbeatMonitor) Poll(now time.Time) []int {
 	return m.expire(now)
 }
 
+// PollSuspects returns, in ascending order, the tracked nodes whose last
+// beat is at least the suspicion deadline old but which are not yet
+// confirmed failed, reporting each suspicion once (a Beat clears it).
+// Returns nil when the suspicion stage is disabled.
+func (m *HeartbeatMonitor) PollSuspects(now time.Time) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.suspectMisses == 0 {
+		return nil
+	}
+	deadline := time.Duration(m.suspectMisses) * m.interval
+	var suspects []int
+	for node, last := range m.lastBeat { //imitator:nondet-ok suspects is sorted before use
+		if !m.failed[node] && !m.suspected[node] && now.Sub(last) >= deadline {
+			m.suspected[node] = true
+			suspects = append(suspects, node)
+		}
+	}
+	sort.Ints(suspects)
+	return suspects
+}
+
 // expire marks every tracked node whose last beat is older than the
 // detection deadline as failed, returning them sorted.
 func (m *HeartbeatMonitor) expire(now time.Time) []int {
@@ -283,6 +386,7 @@ func (m *HeartbeatMonitor) expire(now time.Time) []int {
 	for node, last := range m.lastBeat { //imitator:nondet-ok newlyFailed is sorted before use
 		if !m.failed[node] && now.Sub(last) >= deadline {
 			m.failed[node] = true
+			delete(m.suspected, node)
 			newlyFailed = append(newlyFailed, node)
 		}
 	}

@@ -27,6 +27,16 @@ type chaosRuntime struct {
 	// slow/delays hold degradation events keyed by trigger iteration.
 	slow   map[int][]ChaosEvent
 	delays map[int]float64
+	// faults holds omission events (drop/duplicate/reorder) keyed by
+	// trigger iteration; parts holds partitions by start iteration and
+	// heals the node sets to reconnect, keyed by heal iteration.
+	faults map[int][]ChaosEvent
+	parts  map[int][]ChaosEvent
+	heals  map[int][][]int
+	// pendingPart collects nodes isolated at the current iteration's
+	// start; after the superstep they go silent and the detector
+	// suspects, then confirms them (chaosPartitionSilence).
+	pendingPart []int
 
 	// mon/fc are the heartbeat failure detector and its simulated clock,
 	// created lazily by the first crash. monAt is the sim-second already
@@ -49,6 +59,9 @@ func newChaosRuntime(events []ChaosEvent) *chaosRuntime {
 		crashes: make(map[failKey][]int),
 		slow:    make(map[int][]ChaosEvent),
 		delays:  make(map[int]float64),
+		faults:  make(map[int][]ChaosEvent),
+		parts:   make(map[int][]ChaosEvent),
+		heals:   make(map[int][][]int),
 	}
 	for _, ev := range events {
 		switch ev.Kind {
@@ -64,6 +77,11 @@ func newChaosRuntime(events []ChaosEvent) *chaosRuntime {
 			ch.slow[ev.Iteration] = append(ch.slow[ev.Iteration], ev)
 		case ChaosDelayBurst:
 			ch.delays[ev.Iteration] += ev.Seconds
+		case ChaosDrop, ChaosDuplicate, ChaosReorder:
+			ch.faults[ev.Iteration] = append(ch.faults[ev.Iteration], ev)
+		case ChaosPartition:
+			ch.parts[ev.Iteration] = append(ch.parts[ev.Iteration], ev)
+			ch.heals[ev.HealIter] = append(ch.heals[ev.HealIter], append([]int(nil), ev.Nodes...))
 		}
 	}
 	return ch
@@ -77,6 +95,38 @@ func newChaosRuntime(events []ChaosEvent) *chaosRuntime {
 func (c *Cluster[V, A]) chaosIterStart(iter int) {
 	if c.chaos == nil {
 		return
+	}
+	// Heals run first: a partition scheduled to end here releases its
+	// parked frames before this iteration's traffic (they face the epoch
+	// fence at the receivers' next Collect).
+	if sets, ok := c.chaos.heals[iter]; ok {
+		delete(c.chaos.heals, iter)
+		for _, nodes := range sets {
+			c.net.Heal(nodes)
+		}
+	}
+	if evs, ok := c.chaos.faults[iter]; ok {
+		delete(c.chaos.faults, iter)
+		for _, ev := range evs {
+			switch ev.Kind {
+			case ChaosDrop:
+				c.net.SetDropRate(ev.From, ev.To, ev.Prob)
+			case ChaosDuplicate:
+				c.net.SetDupRate(ev.From, ev.To, ev.Prob)
+			case ChaosReorder:
+				c.net.SetReorderRate(ev.From, ev.To, ev.Prob)
+			}
+		}
+	}
+	if evs, ok := c.chaos.parts[iter]; ok {
+		delete(c.chaos.parts, iter)
+		for _, ev := range evs {
+			// The cut lands before the superstep: the isolated nodes
+			// still compute and send, so their frames park in the cable
+			// — the stale traffic the epoch fence must later reject.
+			c.net.Partition(ev.Nodes)
+			c.chaos.pendingPart = append(c.chaos.pendingPart, ev.Nodes...)
+		}
 	}
 	if evs, ok := c.chaos.slow[iter]; ok {
 		delete(c.chaos.slow, iter)
@@ -120,11 +170,28 @@ func (c *Cluster[V, A]) chaosRecoveryPhase(phase string) {
 	}
 }
 
+// chaosPartitionSilence runs after the superstep of an iteration that
+// installed a partition: the isolated nodes have computed and sent (their
+// frames parked in the cable), and from the cluster's point of view they
+// now go silent. The detector suspects and then confirms them like any
+// crash; the barrier announces the failure, the iteration rolls back,
+// and recovery rebuilds the slots with a bumped epoch that fences the
+// parked traffic when the partition heals.
+func (c *Cluster[V, A]) chaosPartitionSilence() {
+	if c.chaos == nil || len(c.chaos.pendingPart) == 0 {
+		return
+	}
+	nodes := c.chaos.pendingPart
+	c.chaos.pendingPart = c.chaos.pendingPart[:0]
+	c.crashViaHeartbeat(nodes)
+}
+
 // crashViaHeartbeat fail-stops the given nodes and lets the heartbeat
 // monitor detect them: the victims go silent, the simulated clock advances
 // by the detection window, the survivors' beats land at the advanced
-// instant, and Poll flags exactly the silent nodes, which are then
-// announced to the coordinator (surfacing in the next barrier state).
+// instants, and the detector first suspects and then confirms exactly the
+// silent nodes, which are announced to the coordinator (surfacing in the
+// next barrier state).
 func (c *Cluster[V, A]) crashViaHeartbeat(nodes []int) {
 	c.ensureDetector()
 	crashed := false
@@ -141,12 +208,22 @@ func (c *Cluster[V, A]) crashViaHeartbeat(nodes []int) {
 	c.aliveDirty = true
 	c.clock.Advance(c.cfg.Cost.DetectionTime())
 	c.syncDetector()
-	// The float sim-second -> Duration conversion truncates, so the fake
-	// clock can land a nanosecond short of the detection deadline and the
-	// monitor would never expire the victims. Overshoot it slightly: the
-	// fake clock drives only the monitor, never the simulated timeline, and
-	// survivors beat below at the same overshot instant.
-	c.chaos.fc.Advance(time.Millisecond)
+	// Two-stage detection in exact integer tick arithmetic. syncDetector's
+	// float sim-second -> Duration conversion truncates, so the fake clock
+	// may sit a nanosecond short of where float math says it should; the
+	// deadlines below are advanced as exact Duration multiples of the
+	// monitor's interval on top of that, so the victims' silence crosses
+	// each threshold precisely — no overshoot fudge needed. The fake clock
+	// drives only the monitor, never the simulated timeline.
+	suspectAfter := c.chaos.mon.SuspectDeadline()
+	c.chaos.fc.Advance(suspectAfter)
+	for _, nd := range c.aliveNodes() {
+		c.chaos.mon.Beat(nd.id)
+	}
+	for _, id := range c.chaos.mon.PollSuspects(c.chaos.fc.Now()) {
+		c.coord.Suspect(id)
+	}
+	c.chaos.fc.Advance(c.chaos.mon.Deadline() - suspectAfter)
 	for _, nd := range c.aliveNodes() {
 		c.chaos.mon.Beat(nd.id)
 	}
@@ -170,6 +247,9 @@ func (c *Cluster[V, A]) ensureDetector() {
 	if err != nil {
 		// Cost params are validated with the config; this cannot fire.
 		panic(err)
+	}
+	if err := mon.SetSuspectMisses(c.cfg.Cost.SuspectBeats()); err != nil {
+		panic(err) // SuspectBeats is clamped to [1, DetectMissedBeats]
 	}
 	ch.mon = mon
 	for _, nd := range c.aliveNodes() {

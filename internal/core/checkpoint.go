@@ -198,6 +198,7 @@ func (c *Cluster[V, A]) recoverCheckpoint(failed []int) ([]int, error) {
 		c.nodes[f] = nd
 		c.net.SetFailed(f, false)
 		c.coord.Join(f)
+		c.net.SetEpoch(f, c.coord.Epoch(f)) // fresh incarnation: fence the old life's traffic
 		c.chaosTrack(f)
 		c.rebirthsUsed++
 		rec.RecoveredVertices += len(nd.entries)

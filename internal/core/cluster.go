@@ -216,6 +216,11 @@ func NewCluster[V, A any](cfg Config, g *graph.Graph, prog Program[V, A]) (*Clus
 	if err != nil {
 		return nil, err
 	}
+	if cfg.ChaosHasOmission() {
+		// The lossy-channel + reliable-delivery decorator exists only for
+		// schedules that need it: the reliable path stays byte-identical.
+		net.EnableOmission(cfg.ChaosSeed)
+	}
 	d, err := dfs.New(cfg.NumNodes, cfg.Cost)
 	if err != nil {
 		return nil, err
@@ -565,6 +570,7 @@ func (c *Cluster[V, A]) Run() (*Result[V], error) {
 		if err := c.net.Err(); err != nil {
 			return nil, fmt.Errorf("core: transport: %w", err)
 		}
+		c.chaosPartitionSilence()
 		state := c.barrier()
 		c.clock.Advance(c.cfg.Cost.BarrierOverhead)
 		if state.IsFail() {

@@ -148,6 +148,11 @@ type CheckpointConfig struct {
 	FullEvery int
 }
 
+// MaxDropRate caps ChaosDrop probabilities: the reliable layer
+// retransmits every loss, so the expected tries per frame are 1/(1-p)
+// and rates near 1 would effectively sever the link forever.
+const MaxDropRate = 0.9
+
 // FailPhase says when within an iteration a failure strikes.
 type FailPhase int
 
@@ -192,6 +197,26 @@ const (
 	// ChaosDelayBurst adds Seconds to every messaging round of one
 	// execution attempt of Iteration.
 	ChaosDelayBurst
+	// ChaosDrop makes the From->To link lose each frame with probability
+	// Prob from Iteration onwards. The reliable-delivery layer
+	// retransmits until the frame traverses, charging every retry and
+	// its backoff through the cost model: results are unchanged, the
+	// run gets slower and heavier.
+	ChaosDrop
+	// ChaosDuplicate makes the From->To link deliver each frame twice
+	// with probability Prob; the receiver deduplicates by sequence
+	// number.
+	ChaosDuplicate
+	// ChaosReorder makes the From->To link hold each frame back past its
+	// successor with probability Prob; the receiver restores FIFO order.
+	ChaosReorder
+	// ChaosPartition cuts Nodes off from the rest of the cluster at
+	// Iteration: frames on severed links are parked in the cable, the
+	// isolated nodes are suspected, confirmed failed, and recovered like
+	// a crash, and at HealIter the parked frames are released — to be
+	// fenced by the membership epochs the recovery bumped (split-brain
+	// safety).
+	ChaosPartition
 )
 
 // String implements fmt.Stringer.
@@ -205,6 +230,14 @@ func (k ChaosKind) String() string {
 		return "slow-link"
 	case ChaosDelayBurst:
 		return "delay-burst"
+	case ChaosDrop:
+		return "drop"
+	case ChaosDuplicate:
+		return "duplicate"
+	case ChaosReorder:
+		return "reorder"
+	case ChaosPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("chaos(%d)", int(k))
 	}
@@ -214,13 +247,15 @@ func (k ChaosKind) String() string {
 // the fields relevant to Kind are read; see the ChaosKind constants.
 type ChaosEvent struct {
 	Kind      ChaosKind
-	Iteration int       // ChaosCrash, ChaosSlowLink, ChaosDelayBurst
+	Iteration int       // ChaosCrash, ChaosSlowLink, ChaosDelayBurst, omission kinds
 	Phase     FailPhase // ChaosCrash
-	Nodes     []int     // ChaosCrash, ChaosCrashDuringRecovery
+	Nodes     []int     // ChaosCrash, ChaosCrashDuringRecovery, ChaosPartition
 	During    string    // ChaosCrashDuringRecovery: phase-label prefix
-	From, To  int       // ChaosSlowLink endpoints
+	From, To  int       // ChaosSlowLink / ChaosDrop / ChaosDuplicate / ChaosReorder endpoints
 	Factor    float64   // ChaosSlowLink multiplier (>= 1)
 	Seconds   float64   // ChaosDelayBurst extra round seconds
+	Prob      float64   // ChaosDrop/Duplicate/Reorder per-frame probability
+	HealIter  int       // ChaosPartition heal iteration (> Iteration; >= MaxIter never heals)
 }
 
 // TransportKind selects how messages travel between the simulated nodes.
@@ -274,9 +309,14 @@ type Config struct {
 	// Deprecated: prefer Chaos.
 	Failures []FailureSpec
 	// Chaos is the typed fault schedule the run loop evaluates: crashes
-	// (delivered via heartbeat detection), crashes during recovery, and
-	// netsim degradation events. Empty schedules cost nothing.
+	// (delivered via heartbeat detection), crashes during recovery,
+	// netsim degradation events and omission faults (drop / duplicate /
+	// reorder / partition). Empty schedules cost nothing.
 	Chaos []ChaosEvent
+	// ChaosSeed seeds the omission layer's per-link fate RNGs. The same
+	// schedule with the same seed replays bit-for-bit; different seeds
+	// draw different loss patterns from the same probabilities.
+	ChaosSeed uint64
 }
 
 // Validate checks the configuration for contradictions.
@@ -371,10 +411,26 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// chaosHasCrash reports whether the chaos schedule contains crash events.
+// chaosHasCrash reports whether the chaos schedule contains events that
+// cost a node (partitions confirm the isolated set failed, so they need
+// a recovery strategy like any crash).
 func (c *Config) chaosHasCrash() bool {
 	for _, ev := range c.Chaos {
-		if ev.Kind == ChaosCrash || ev.Kind == ChaosCrashDuringRecovery {
+		switch ev.Kind {
+		case ChaosCrash, ChaosCrashDuringRecovery, ChaosPartition:
+			return true
+		}
+	}
+	return false
+}
+
+// ChaosHasOmission reports whether the schedule contains omission-fault
+// events; only then is the netsim omission layer installed, keeping the
+// reliable path at zero cost.
+func (c *Config) ChaosHasOmission() bool {
+	for _, ev := range c.Chaos {
+		switch ev.Kind {
+		case ChaosDrop, ChaosDuplicate, ChaosReorder, ChaosPartition:
 			return true
 		}
 	}
@@ -424,6 +480,37 @@ func (c *Config) validateChaosEvent(ev ChaosEvent) error {
 		}
 		if ev.Seconds < 0 {
 			return fmt.Errorf("%w: delay-burst seconds %g negative", ErrInvalidSchedule, ev.Seconds)
+		}
+		return nil
+	case ChaosDrop, ChaosDuplicate, ChaosReorder:
+		if ev.Iteration < 0 || ev.Iteration >= c.MaxIter {
+			return fmt.Errorf("%w: %v iteration %d outside [0, %d)", ErrInvalidSchedule, ev.Kind, ev.Iteration, c.MaxIter)
+		}
+		if ev.From < 0 || ev.From >= c.NumNodes || ev.To < 0 || ev.To >= c.NumNodes || ev.From == ev.To {
+			return fmt.Errorf("%w: %v endpoints %d->%d invalid", ErrInvalidSchedule, ev.Kind, ev.From, ev.To)
+		}
+		limit := 1.0
+		if ev.Kind == ChaosDrop {
+			// Retransmission terminates in expectation 1/(1-p) tries; cap
+			// the rate so schedules cannot starve a link.
+			limit = MaxDropRate
+		}
+		if ev.Prob < 0 || ev.Prob > limit {
+			return fmt.Errorf("%w: %v probability %g outside [0, %g]", ErrInvalidSchedule, ev.Kind, ev.Prob, limit)
+		}
+		return nil
+	case ChaosPartition:
+		if ev.Iteration < 0 || ev.Iteration >= c.MaxIter {
+			return fmt.Errorf("%w: partition iteration %d outside [0, %d)", ErrInvalidSchedule, ev.Iteration, c.MaxIter)
+		}
+		if err := c.validateNodes(ev.Nodes); err != nil {
+			return err
+		}
+		if len(ev.Nodes) >= c.NumNodes {
+			return fmt.Errorf("%w: partition must leave at least one node on the majority side", ErrInvalidSchedule)
+		}
+		if ev.HealIter <= ev.Iteration {
+			return fmt.Errorf("%w: partition heal iteration %d must be after start %d (use >= MaxIter for a partition that never heals)", ErrInvalidSchedule, ev.HealIter, ev.Iteration)
 		}
 		return nil
 	default:

@@ -48,6 +48,11 @@ func (c *Cluster[V, A]) recoverRebirth(failed []int, iter int) ([]int, error) {
 		c.nodes[f] = nd
 		c.net.SetFailed(f, false)
 		c.coord.Join(f)
+		// The newbie is a fresh incarnation of the slot: stamp its bumped
+		// epoch into the network so traffic of the previous life — e.g. a
+		// partitioned-but-alive predecessor whose frames are still parked
+		// in the cable — is fenced instead of reaching the new state.
+		c.net.SetEpoch(f, c.coord.Epoch(f))
 		c.chaosTrack(f)
 		c.rebirthsUsed++
 	}

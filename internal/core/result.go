@@ -5,6 +5,7 @@ import (
 
 	"imitator/internal/graph"
 	"imitator/internal/metrics"
+	"imitator/internal/netsim"
 )
 
 // TraceEvent is one timeline entry in simulated seconds (Fig 12's x-axis).
@@ -108,7 +109,16 @@ type Result[V any] struct {
 	// Recoveries reports every completed recovery, in order; chaos
 	// assertions and cmd/bench read these instead of scraping logs.
 	Recoveries []RecoveryReport
+
+	// Omission is the omission-fault layer's wire activity (retransmits,
+	// dedup hits, fenced stale-epoch frames, ...), nil for runs whose
+	// schedule contained no omission events.
+	Omission *OmissionStats
 }
+
+// OmissionStats re-exports the netsim omission counters at the engine's
+// public seam, so pkg/imitator does not reach into the transport layers.
+type OmissionStats = netsim.OmissionStats
 
 // result assembles the Result from the cluster state after Run.
 func (c *Cluster[V, A]) result() *Result[V] {
@@ -152,6 +162,9 @@ func (c *Cluster[V, A]) result() *Result[V] {
 	}
 	if iters > 0 {
 		res.AvgIterSeconds = iterTotal / float64(iters)
+	}
+	if stats, ok := c.net.OmissionStats(); ok {
+		res.Omission = &stats
 	}
 	return res
 }

@@ -43,6 +43,13 @@ type Params struct {
 	// DetectMissedBeats * HeartbeatInterval.
 	HeartbeatInterval float64
 	DetectMissedBeats int
+	// SuspectMissedBeats is the earlier suspicion threshold of the
+	// two-stage failure detector: after this many missed intervals a node
+	// is *suspected* (the cluster stops waiting on it) and only after
+	// DetectMissedBeats is the failure *confirmed* and announced. 0 picks
+	// the default of DetectMissedBeats-1 (minimum 1); the value must not
+	// exceed DetectMissedBeats.
+	SuspectMissedBeats int
 	// ComputeSerialFrac is the fraction of each compute phase that cannot
 	// parallelize across a node's cores (dispatch, cache contention,
 	// reduction). The rest runs on the per-node worker pool and is bounded
@@ -85,7 +92,22 @@ func (p Params) Validate() error {
 	if p.ComputeSerialFrac < 0 || p.ComputeSerialFrac >= 1 {
 		return fmt.Errorf("costmodel: ComputeSerialFrac %g outside [0, 1)", p.ComputeSerialFrac)
 	}
+	if p.SuspectMissedBeats < 0 || p.SuspectMissedBeats > p.DetectMissedBeats {
+		return fmt.Errorf("costmodel: SuspectMissedBeats %d outside [0, %d]", p.SuspectMissedBeats, p.DetectMissedBeats)
+	}
 	return nil
+}
+
+// SuspectBeats resolves the effective suspicion threshold: the configured
+// SuspectMissedBeats, or DetectMissedBeats-1 (minimum 1) when unset.
+func (p Params) SuspectBeats() int {
+	if p.SuspectMissedBeats > 0 {
+		return p.SuspectMissedBeats
+	}
+	if p.DetectMissedBeats > 1 {
+		return p.DetectMissedBeats - 1
+	}
+	return 1
 }
 
 // ComputeTime converts one node's compute phase into simulated seconds when
@@ -137,6 +159,26 @@ func (p Params) DFSRead(bytes int64) float64 {
 // by the heartbeat monitor.
 func (p Params) DetectionTime() float64 {
 	return p.HeartbeatInterval * float64(p.DetectMissedBeats)
+}
+
+// retxBackoffCap bounds the exponential retransmission backoff at
+// 2^retxBackoffCap timeout units, so a long loss streak costs linearly
+// after the first few doublings instead of exploding.
+const retxBackoffCap = 5
+
+// RetxBackoff returns the simulated seconds a sender waits before
+// retransmission attempt `attempt` (1-based) of a lost frame: a bounded
+// exponential starting at one retransmission timeout of 2x the round
+// latency (ack turnaround) and doubling up to 2^5 = 32 units.
+func (p Params) RetxBackoff(attempt int) float64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	exp := attempt - 1
+	if exp > retxBackoffCap {
+		exp = retxBackoffCap
+	}
+	return 2 * p.NetLatency * float64(int64(1)<<exp)
 }
 
 // Clock is a simulated clock. The cluster holds one global clock; per-node

@@ -106,6 +106,9 @@ type RunSummary struct {
 	Trace                []core.TraceEvent
 	NumVertices          int
 	NumEdges             int
+	// Omission is the reliable-delivery layer's wire accounting, nil for
+	// runs whose failure schedule had no omission events.
+	Omission *core.OmissionStats
 }
 
 func summarize[V any](res *core.Result[V], rf float64, g *graph.Graph) RunSummary {
@@ -125,6 +128,7 @@ func summarize[V any](res *core.Result[V], rf float64, g *graph.Graph) RunSummar
 		Trace:                res.Trace,
 		NumVertices:          g.NumVertices(),
 		NumEdges:             g.NumEdges(),
+		Omission:             res.Omission,
 	}
 }
 

@@ -1,0 +1,582 @@
+// Omission-fault layer: a lossy Backend decorator plus the reliable
+// delivery protocol that keeps the engine correct on top of it.
+//
+// The channel model drops, duplicates and reorders frames per directed
+// link with installed probabilities, and can cut links entirely
+// (partitions park frames "in the cable" until the partition heals).
+// Every fate is drawn from a per-link RNG seeded from the chaos seed and
+// the link endpoints, so a run replays bit-for-bit: same schedule + same
+// seed means identical retransmit counts, simulated time and byte
+// streams.
+//
+// Reliability is sender-driven and round-synchronous, matching the BSP
+// shape of the engine: frames carry a transport.Envelope (per-link
+// sequence number plus sender/receiver membership epochs), the sender
+// retransmits a dropped frame until it traverses — charging every retry
+// and a bounded exponential backoff through the cost model — and the
+// receiver deduplicates by sequence number, restores FIFO order, and
+// fences frames from or to stale incarnations of a node slot. The
+// decorator is only installed when a schedule contains omission events,
+// so the reliable fast path pays nothing.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"imitator/internal/rng"
+	"imitator/internal/transport"
+)
+
+// maxRetxAttempts bounds the per-frame retransmission loop. With the
+// validated drop-rate ceiling (0.9) the chance of hitting it is
+// negligible; reaching it means a modeling bug, reported as a backend
+// error rather than an infinite loop.
+const maxRetxAttempts = 10000
+
+// OmissionStats counts the omission layer's wire-level activity. All
+// counters are cumulative over the run.
+type OmissionStats struct {
+	// Retransmits is the number of frame re-traversals after a loss.
+	Retransmits int64
+	// RetransmitBytes is the wire bytes of those re-traversals.
+	RetransmitBytes int64
+	// AckBytes is the wire bytes of cumulative acks on links that needed
+	// at least one retransmission in a round (ack-free rounds piggyback).
+	AckBytes int64
+	// DuplicatesDelivered counts wire-level duplicate arrivals injected
+	// by the channel; DuplicatesDropped counts the receiver-side dedup
+	// hits that discarded them (and late retransmit copies).
+	DuplicatesDelivered int64
+	DuplicatesDropped   int64
+	// Reordered counts frames the channel held back past a later frame.
+	Reordered int64
+	// Parked counts frames captured mid-flight by a partition; Released
+	// counts parked frames delivered when the partition healed.
+	Parked   int64
+	Released int64
+	// Fenced counts frames dropped by the split-brain fence: stamped
+	// with a stale sender or receiver epoch, or sent by a slot that is
+	// currently failed.
+	Fenced int64
+	// DroppedDead counts frames discarded because their receiver was
+	// already confirmed failed at flush or release time.
+	DroppedDead int64
+	// BackoffSeconds is the simulated time spent in retransmission
+	// backoff, summed over all senders.
+	BackoffSeconds float64
+}
+
+// linkFaults holds one directed link's installed fault probabilities.
+type linkFaults struct {
+	drop, dup, reorder float64
+}
+
+func (f linkFaults) none() bool { return f.drop == 0 && f.dup == 0 && f.reorder == 0 }
+
+// lossyFrame is one enveloped frame queued on a sender-side link.
+type lossyFrame struct {
+	kind Kind
+	buf  []byte // envelope + payload copy, owned by the layer until delivery
+}
+
+// parkedFrame is a frame caught in the cable by a partition.
+type parkedFrame struct {
+	from, to int
+	kind     Kind
+	buf      []byte
+}
+
+// rxEntry is Collect's per-frame parse scratch.
+type rxEntry struct {
+	env     transport.Envelope
+	kind    Kind
+	payload []byte
+}
+
+// lossyStats is the internal, concurrency-safe form of OmissionStats.
+// Collect runs concurrently across receivers, so counters it touches are
+// atomics; BackoffSeconds is only written from the serial EndRound loop.
+type lossyStats struct {
+	retransmits   atomic.Int64
+	retxBytes     atomic.Int64
+	ackBytes      atomic.Int64
+	dupDelivered  atomic.Int64
+	dupDropped    atomic.Int64
+	reordered     atomic.Int64
+	parked        atomic.Int64
+	released      atomic.Int64
+	fenced        atomic.Int64
+	droppedDead   atomic.Int64
+	backoffSecond float64
+}
+
+func (s *lossyStats) snapshot() OmissionStats {
+	return OmissionStats{
+		Retransmits:         s.retransmits.Load(),
+		RetransmitBytes:     s.retxBytes.Load(),
+		AckBytes:            s.ackBytes.Load(),
+		DuplicatesDelivered: s.dupDelivered.Load(),
+		DuplicatesDropped:   s.dupDropped.Load(),
+		Reordered:           s.reordered.Load(),
+		Parked:              s.parked.Load(),
+		Released:            s.released.Load(),
+		Fenced:              s.fenced.Load(),
+		DroppedDead:         s.droppedDead.Load(),
+		BackoffSeconds:      s.backoffSecond,
+	}
+}
+
+// lossyBackend decorates a Backend with the lossy channel and the
+// reliable-delivery protocol. It shares the Network's byte counters so
+// retransmissions, duplicates and acks are priced like any traffic.
+type lossyBackend struct {
+	inner Backend
+	net   *Network
+	n     int
+	seed  uint64
+
+	faults map[[2]int]linkFaults
+	rngs   map[[2]int]*rng.Source
+	cut    map[[2]int]bool
+
+	// epochs mirrors the coordinator's membership incarnations; frames
+	// are stamped at Send and fenced at Collect against these.
+	epochs []uint32
+
+	nextSeq  []uint32       // [from*n+to] next sequence to stamp
+	recvNext []uint32       // [from*n+to] next sequence to deliver
+	out      [][]lossyFrame // [from*n+to] frames queued this round
+	parked   []parkedFrame
+
+	delay  []float64   // per-sender backoff seconds, drained by FinishRound
+	colOut [][]Message // per-receiver Collect scratch
+	colEnt [][]rxEntry // per-receiver parse scratch
+
+	stats lossyStats
+}
+
+func newLossyBackend(inner Backend, net *Network, seed uint64) *lossyBackend {
+	n := net.numNodes
+	b := &lossyBackend{
+		inner:    inner,
+		net:      net,
+		n:        n,
+		seed:     seed,
+		faults:   make(map[[2]int]linkFaults),
+		rngs:     make(map[[2]int]*rng.Source),
+		cut:      make(map[[2]int]bool),
+		epochs:   make([]uint32, n),
+		nextSeq:  make([]uint32, n*n),
+		recvNext: make([]uint32, n*n),
+		out:      make([][]lossyFrame, n*n),
+		delay:    make([]float64, n),
+		colOut:   make([][]Message, n),
+		colEnt:   make([][]rxEntry, n),
+	}
+	for i := range b.epochs {
+		b.epochs[i] = 1
+	}
+	return b
+}
+
+// linkRNG returns the per-link fate stream, created on first use from
+// the chaos seed and the link endpoints so every link draws an
+// independent deterministic sequence.
+func (b *lossyBackend) linkRNG(link [2]int) *rng.Source {
+	if src, ok := b.rngs[link]; ok {
+		return src
+	}
+	src := rng.New(b.seed ^ rng.Hash2(uint64(link[0])+1, uint64(link[1])+1))
+	b.rngs[link] = src
+	return src
+}
+
+// Send implements Backend: the payload is copied behind an envelope and
+// queued on the sender-side link; the envelope's wire overhead is
+// charged immediately (the base payload was charged by Network.Send).
+// Self-sends bypass the protocol: a node cannot lose a frame to itself.
+func (b *lossyBackend) Send(from, to int, kind Kind, payload []byte) error {
+	if from == to {
+		return b.inner.Send(from, to, kind, payload)
+	}
+	idx := from*b.n + to
+	env := transport.Envelope{
+		Seq:         b.nextSeq[idx],
+		SenderEpoch: b.epochs[from],
+		RecvEpoch:   b.epochs[to],
+	}
+	b.nextSeq[idx]++
+	buf := make([]byte, 0, transport.EnvelopeLen+len(payload))
+	buf = transport.AppendEnvelope(buf, env)
+	buf = append(buf, payload...)
+	b.out[idx] = append(b.out[idx], lossyFrame{kind: kind, buf: buf})
+	b.net.bytesOut[from].Add(transport.EnvelopeLen)
+	b.net.bytesIn[to].Add(transport.EnvelopeLen)
+	b.net.totalOut[from].Add(transport.EnvelopeLen)
+	return nil
+}
+
+// EndRound implements Backend: every queued frame of every link from
+// `from` meets its channel fate here — parked behind a partition,
+// dropped and retransmitted with backoff, duplicated, or held back one
+// slot — before the inner round closes. Runs serially per sender (the
+// Network's FinishRound loop), which makes the RNG draw order, and with
+// it every retransmit count, deterministic.
+func (b *lossyBackend) EndRound(from int, aliveTo []bool) error {
+	for to := 0; to < b.n; to++ {
+		idx := from*b.n + to
+		if len(b.out[idx]) > 0 {
+			b.flushLink(from, to, aliveTo[to], b.out[idx])
+			b.out[idx] = b.out[idx][:0]
+		}
+	}
+	return b.inner.EndRound(from, aliveTo)
+}
+
+// flushLink transmits one link's round of frames in order.
+func (b *lossyBackend) flushLink(from, to int, alive bool, q []lossyFrame) {
+	link := [2]int{from, to}
+	if b.cut[link] {
+		for i := range q {
+			b.parked = append(b.parked, parkedFrame{from: from, to: to, kind: q[i].kind, buf: q[i].buf})
+		}
+		b.stats.parked.Add(int64(len(q)))
+		return
+	}
+	if !alive {
+		// The receiver was confirmed failed after these frames were
+		// queued: fail-stop semantics, the frames go nowhere.
+		b.stats.droppedDead.Add(int64(len(q)))
+		return
+	}
+	f := b.faults[link]
+	var src *rng.Source
+	if !f.none() {
+		src = b.linkRNG(link)
+	}
+	retx := false
+	var held *lossyFrame
+	for i := range q {
+		fr := &q[i]
+		if src != nil && f.reorder > 0 && held == nil && src.Float64() < f.reorder {
+			held = fr
+			b.stats.reordered.Add(1)
+			continue
+		}
+		if b.transmit(from, to, fr, f, src) {
+			retx = true
+		}
+		if held != nil {
+			if b.transmit(from, to, held, f, src) {
+				retx = true
+			}
+			held = nil
+		}
+	}
+	if held != nil {
+		if b.transmit(from, to, held, f, src) {
+			retx = true
+		}
+	}
+	if retx {
+		// One cumulative ack frame back to the sender closes the round's
+		// retransmission window; loss-free rounds piggyback their acks.
+		const ackSize = int64(headerBytes + transport.EnvelopeLen)
+		b.net.bytesOut[to].Add(ackSize)
+		b.net.bytesIn[from].Add(ackSize)
+		b.net.totalOut[to].Add(ackSize)
+		b.stats.ackBytes.Add(ackSize)
+	}
+}
+
+// transmit pushes one frame across the wire, retransmitting after every
+// loss with bounded exponential backoff. Each retry re-charges the frame
+// bytes; the first traversal was charged at Network.Send. Reports
+// whether any retransmission happened.
+func (b *lossyBackend) transmit(from, to int, fr *lossyFrame, f linkFaults, src *rng.Source) (retx bool) {
+	size := int64(len(fr.buf)) + headerBytes
+	if src != nil && f.drop > 0 {
+		attempt := 1
+		for src.Float64() < f.drop {
+			attempt++
+			if attempt > maxRetxAttempts {
+				b.net.recordErr(fmt.Errorf("netsim: link %d->%d lost a frame %d times in a row; drop rate too high", from, to, maxRetxAttempts))
+				return retx
+			}
+			retx = true
+			b.stats.retransmits.Add(1)
+			b.stats.retxBytes.Add(size)
+			b.net.bytesOut[from].Add(size)
+			b.net.bytesIn[to].Add(size)
+			b.net.totalOut[from].Add(size)
+			d := b.net.params.RetxBackoff(attempt - 1)
+			b.delay[from] += d
+			b.stats.backoffSecond += d
+		}
+	}
+	b.net.recordErr(b.inner.Send(from, to, fr.kind, fr.buf))
+	if src != nil && f.dup > 0 && src.Float64() < f.dup {
+		b.stats.dupDelivered.Add(1)
+		b.net.bytesOut[from].Add(size)
+		b.net.bytesIn[to].Add(size)
+		b.net.totalOut[from].Add(size)
+		b.net.recordErr(b.inner.Send(from, to, fr.kind, fr.buf))
+	}
+	return retx
+}
+
+// Collect implements Backend: parse envelopes, fence stale incarnations,
+// deduplicate, and restore per-link FIFO order. Safe for one concurrent
+// call per receiver: all state touched is indexed by `to`.
+func (b *lossyBackend) Collect(to int, expectFrom []bool) ([]Message, error) {
+	raw, err := b.inner.Collect(to, expectFrom)
+	if err != nil {
+		return nil, err
+	}
+	out := b.colOut[to][:0]
+	for i := 0; i < len(raw); {
+		from := raw[i].From
+		j := i
+		for j < len(raw) && raw[j].From == from {
+			j++
+		}
+		if from == to {
+			out = append(out, raw[i:j]...)
+		} else {
+			out = b.deliverRun(to, from, raw[i:j], out)
+		}
+		i = j
+	}
+	b.colOut[to] = out
+	return out, nil
+}
+
+// deliverRun processes one sender's arrivals for receiver `to`.
+func (b *lossyBackend) deliverRun(to, from int, run []Message, out []Message) []Message {
+	entries := b.colEnt[to][:0]
+	for _, m := range run {
+		env, payload, err := transport.ParseEnvelope(m.Payload)
+		if err != nil {
+			b.net.recordErr(err)
+			continue
+		}
+		entries = append(entries, rxEntry{env: env, kind: m.Kind, payload: payload})
+	}
+	// Restore send order: the channel only displaces frames, it never
+	// re-stamps them, so sorting by sequence undoes any reordering. The
+	// sort is stable so a duplicate lands right after its original.
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].env.Seq < entries[j].env.Seq })
+	next := &b.recvNext[from*b.n+to]
+	for i := range entries {
+		e := &entries[i]
+		// Split-brain fence: a frame from a slot that is currently
+		// failed, stamped by a superseded incarnation of the sender, or
+		// addressed to a previous life of this receiver is counted and
+		// dropped. This is what protects a role rebuilt by Rebirth from
+		// a partitioned-but-alive predecessor.
+		if b.net.failed[from] || e.env.SenderEpoch != b.epochs[from] || e.env.RecvEpoch != b.epochs[to] {
+			b.stats.fenced.Add(1)
+			continue
+		}
+		switch {
+		case e.env.Seq < *next:
+			b.stats.dupDropped.Add(1)
+		case e.env.Seq == *next:
+			*next++
+			out = append(out, Message{From: from, Kind: e.kind, Payload: e.payload})
+		default:
+			// A hole in the sequence space cannot happen under the
+			// round-synchronous protocol; deliver anyway but surface the
+			// protocol violation.
+			b.net.recordErr(fmt.Errorf("netsim: link %d->%d sequence gap: got %d want %d", from, to, e.env.Seq, *next))
+			*next = e.env.Seq + 1
+			out = append(out, Message{From: from, Kind: e.kind, Payload: e.payload})
+		}
+	}
+	b.colEnt[to] = entries[:0]
+	return out
+}
+
+// Drain implements Backend (rollback discarding a receiver's round).
+// Parked frames are deliberately untouched: they are in the cable, out
+// of anyone's reach, which is exactly why the epoch fence exists.
+func (b *lossyBackend) Drain(to int) {
+	b.inner.Drain(to)
+}
+
+// DrainFrom implements Backend: a revived slot's unsent queues are stale
+// state of its previous life and are discarded with the inner backend's
+// pending traffic.
+func (b *lossyBackend) DrainFrom(from int) {
+	for to := 0; to < b.n; to++ {
+		b.out[from*b.n+to] = b.out[from*b.n+to][:0]
+	}
+	b.inner.DrainFrom(from)
+}
+
+// Close implements Backend.
+func (b *lossyBackend) Close() error { return b.inner.Close() }
+
+// setEpoch installs a slot's new membership incarnation: sequence state
+// on every link touching the slot restarts (the new incarnation opens
+// fresh connections), queued frames of the old life are dropped, and any
+// partition flags on the slot are cleared — the replacement is new
+// hardware, not stuck behind the old cable cut. Parked frames survive;
+// the epoch fence disposes of them when they finally arrive.
+func (b *lossyBackend) setEpoch(node int, epoch uint64) {
+	b.epochs[node] = uint32(epoch)
+	for p := 0; p < b.n; p++ {
+		b.nextSeq[node*b.n+p] = 0
+		b.nextSeq[p*b.n+node] = 0
+		b.recvNext[node*b.n+p] = 0
+		b.recvNext[p*b.n+node] = 0
+		b.out[node*b.n+p] = b.out[node*b.n+p][:0]
+		b.out[p*b.n+node] = b.out[p*b.n+node][:0]
+		delete(b.cut, [2]int{node, p})
+		delete(b.cut, [2]int{p, node})
+	}
+}
+
+// partition cuts every link between the given set and the rest of the
+// cluster, in both directions.
+func (b *lossyBackend) partition(nodes []int) {
+	inSet := make([]bool, b.n)
+	for _, s := range nodes {
+		inSet[s] = true
+	}
+	for _, s := range nodes {
+		for t := 0; t < b.n; t++ {
+			if inSet[t] {
+				continue
+			}
+			b.cut[[2]int{s, t}] = true
+			b.cut[[2]int{t, s}] = true
+		}
+	}
+}
+
+// heal clears the partition around the given set and releases every
+// parked frame whose link is no longer cut. Released frames were paid
+// for when they were sent; they re-enter the receiver's mailbox and face
+// the fence at its next Collect.
+func (b *lossyBackend) heal(nodes []int) {
+	inSet := make([]bool, b.n)
+	for _, s := range nodes {
+		inSet[s] = true
+	}
+	for _, s := range nodes {
+		for t := 0; t < b.n; t++ {
+			if inSet[t] {
+				continue
+			}
+			delete(b.cut, [2]int{s, t})
+			delete(b.cut, [2]int{t, s})
+		}
+	}
+	kept := b.parked[:0]
+	for _, pf := range b.parked {
+		if b.cut[[2]int{pf.from, pf.to}] {
+			kept = append(kept, pf)
+			continue
+		}
+		b.stats.released.Add(1)
+		if b.net.failed[pf.to] {
+			b.stats.droppedDead.Add(1)
+			continue
+		}
+		b.net.recordErr(b.inner.Send(pf.from, pf.to, pf.kind, pf.buf))
+	}
+	b.parked = kept
+}
+
+// takeDelay drains one sender's accumulated backoff seconds.
+func (b *lossyBackend) takeDelay(node int) float64 {
+	d := b.delay[node]
+	b.delay[node] = 0
+	return d
+}
+
+// setFault updates one probability field of a link's fault config.
+func (b *lossyBackend) setFault(from, to int, update func(*linkFaults)) {
+	link := [2]int{from, to}
+	f := b.faults[link]
+	update(&f)
+	if f.none() {
+		delete(b.faults, link)
+		return
+	}
+	b.faults[link] = f
+}
+
+var _ Backend = (*lossyBackend)(nil)
+
+// EnableOmission installs the omission-fault layer over the network's
+// backend, seeded for bit-for-bit replay. Idempotent; without this call
+// the reliable path runs exactly as before, paying nothing.
+func (n *Network) EnableOmission(seed uint64) {
+	if n.omission != nil {
+		return
+	}
+	n.omission = newLossyBackend(n.backend, n, seed)
+	n.backend = n.omission
+}
+
+// OmissionEnabled reports whether the omission layer is installed.
+func (n *Network) OmissionEnabled() bool { return n.omission != nil }
+
+// OmissionStats snapshots the omission layer's counters; ok is false
+// when the layer is not installed.
+func (n *Network) OmissionStats() (stats OmissionStats, ok bool) {
+	if n.omission == nil {
+		return OmissionStats{}, false
+	}
+	return n.omission.stats.snapshot(), true
+}
+
+// SetDropRate installs the loss probability of the from->to link
+// (0 clears it). Requires EnableOmission.
+func (n *Network) SetDropRate(from, to int, p float64) {
+	n.omission.setFault(from, to, func(f *linkFaults) { f.drop = p })
+}
+
+// SetDupRate installs the duplication probability of the from->to link.
+func (n *Network) SetDupRate(from, to int, p float64) {
+	n.omission.setFault(from, to, func(f *linkFaults) { f.dup = p })
+}
+
+// SetReorderRate installs the reordering probability of the from->to link.
+func (n *Network) SetReorderRate(from, to int, p float64) {
+	n.omission.setFault(from, to, func(f *linkFaults) { f.reorder = p })
+}
+
+// Partition cuts the given node set off from the rest of the cluster:
+// frames on severed links are parked in the cable until Heal.
+func (n *Network) Partition(nodes []int) {
+	n.omission.partition(nodes)
+}
+
+// Heal reconnects the given node set and releases parked frames.
+func (n *Network) Heal(nodes []int) {
+	n.omission.heal(nodes)
+}
+
+// SetEpoch records a slot's new membership incarnation for envelope
+// stamping and fencing. No-op while the omission layer is disabled
+// (epochs are only observable through it).
+func (n *Network) SetEpoch(node int, epoch uint64) {
+	if n.omission == nil {
+		return
+	}
+	n.omission.setEpoch(node, epoch)
+}
+
+// Epoch returns the incarnation the omission layer stamps for a slot
+// (1 when the layer is disabled: the first life of every slot).
+func (n *Network) Epoch(node int) uint64 {
+	if n.omission == nil {
+		return 1
+	}
+	return uint64(n.omission.epochs[node])
+}

@@ -98,6 +98,10 @@ type Network struct {
 	penaltyIn  []atomic.Int64
 	roundDelay float64
 
+	// omission is the lossy-channel + reliable-delivery decorator, nil
+	// unless EnableOmission installed it; when set it aliases backend.
+	omission *lossyBackend
+
 	errMu    sync.Mutex
 	firstErr error
 }
@@ -267,6 +271,11 @@ func (n *Network) FinishRound() (costs []float64, fabric float64) {
 		if vol > 0 {
 			costs[i] = n.params.NetTransfer(vol) + n.params.NetLatency
 			active++
+		}
+		if n.omission != nil {
+			// Retransmission backoff is sender-local waiting: it extends
+			// the sender's round without occupying the shared fabric.
+			costs[i] += n.omission.takeDelay(i)
 		}
 	}
 	if active > 0 {

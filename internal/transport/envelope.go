@@ -1,0 +1,60 @@
+// Reliable-delivery envelope. When the omission-fault layer is active,
+// every payload crossing a lossy link is prefixed with this fixed-size
+// header so the receiver can deduplicate retransmissions (Seq), restore
+// per-link FIFO order after reordering, and fence traffic from or to a
+// stale incarnation of a node slot (SenderEpoch / RecvEpoch): a
+// partitioned-but-alive sender whose role was rebuilt by Rebirth keeps
+// stamping its old epoch, and every such frame is counted and dropped
+// instead of corrupting the new incarnation's state.
+//
+// The envelope lives in internal/transport because it is wire framing:
+// it travels inside the transport frame body over both the in-memory and
+// the loopback-TCP backends, below the engine's own payload codecs.
+
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EnvelopeLen is the wire size of the reliable-delivery prefix:
+// seq u32 | senderEpoch u32 | recvEpoch u32, little-endian.
+const EnvelopeLen = 12
+
+// Envelope is the reliable-delivery header of one frame.
+type Envelope struct {
+	// Seq is the frame's per-(sender, receiver, epoch-pair) sequence
+	// number, starting at 0 for each fresh incarnation pairing.
+	Seq uint32
+	// SenderEpoch is the membership incarnation of the sending slot at
+	// send time; receivers fence frames from superseded incarnations.
+	SenderEpoch uint32
+	// RecvEpoch is the incarnation of the receiving slot the sender
+	// believes it is talking to; the receiver fences frames addressed to
+	// a previous life of its slot.
+	RecvEpoch uint32
+}
+
+// AppendEnvelope appends e's wire form to buf and returns the result.
+func AppendEnvelope(buf []byte, e Envelope) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, e.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, e.SenderEpoch)
+	buf = binary.LittleEndian.AppendUint32(buf, e.RecvEpoch)
+	return buf
+}
+
+// ParseEnvelope splits a frame into its envelope and payload. The payload
+// aliases frame's backing array. Truncated frames are rejected rather
+// than read out of bounds.
+func ParseEnvelope(frame []byte) (Envelope, []byte, error) {
+	if len(frame) < EnvelopeLen {
+		return Envelope{}, nil, fmt.Errorf("transport: frame %d bytes shorter than envelope (%d)", len(frame), EnvelopeLen)
+	}
+	e := Envelope{
+		Seq:         binary.LittleEndian.Uint32(frame[0:4]),
+		SenderEpoch: binary.LittleEndian.Uint32(frame[4:8]),
+		RecvEpoch:   binary.LittleEndian.Uint32(frame[8:12]),
+	}
+	return e, frame[EnvelopeLen:], nil
+}

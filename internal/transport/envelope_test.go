@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte("hello, wire")
+	e := Envelope{Seq: 0xdeadbeef, SenderEpoch: 3, RecvEpoch: 0xffffffff}
+	frame := AppendEnvelope(nil, e)
+	if len(frame) != EnvelopeLen {
+		t.Fatalf("envelope length %d, want %d", len(frame), EnvelopeLen)
+	}
+	frame = append(frame, payload...)
+
+	got, rest, err := ParseEnvelope(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round-trip mismatch: %+v != %+v", got, e)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload mangled: %q", rest)
+	}
+}
+
+func TestEnvelopeAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	out := AppendEnvelope(buf, Envelope{Seq: 1, SenderEpoch: 1, RecvEpoch: 1})
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendEnvelope reallocated a buffer with spare capacity")
+	}
+}
+
+func TestEnvelopeTruncatedFrames(t *testing.T) {
+	full := AppendEnvelope(nil, Envelope{Seq: 9, SenderEpoch: 2, RecvEpoch: 2})
+	for n := 0; n < EnvelopeLen; n++ {
+		if _, _, err := ParseEnvelope(full[:n]); err == nil {
+			t.Fatalf("ParseEnvelope accepted %d-byte frame", n)
+		}
+	}
+	// Exactly EnvelopeLen bytes is a valid empty-payload frame.
+	e, rest, err := ParseEnvelope(full)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("empty-payload frame rejected: %v (rest %d)", err, len(rest))
+	}
+	if e.Seq != 9 {
+		t.Fatalf("seq = %d, want 9", e.Seq)
+	}
+	if _, _, err := ParseEnvelope(nil); err == nil {
+		t.Fatal("ParseEnvelope accepted nil frame")
+	} else if errors.Is(err, nil) {
+		t.Fatal("unreachable")
+	}
+}

@@ -51,6 +51,58 @@ func DelayBurst(iter int, seconds float64) FailureEvent {
 	return core.ChaosEvent{Kind: core.ChaosDelayBurst, Iteration: iter, Seconds: seconds}
 }
 
+// Drop makes the from->to link lose each frame with probability prob
+// (capped at MaxDropRate) from iteration iter onwards. Omission events
+// install the reliable-delivery layer: frames are sequenced, acked and
+// retransmitted, so values never change — only retransmission traffic and
+// simulated time do (Result.Omission reports the wire activity). Fates are
+// drawn per link from the seed set with WithChaosSeed.
+func Drop(iter, from, to int, prob float64) FailureEvent {
+	return core.ChaosEvent{Kind: core.ChaosDrop, Iteration: iter, From: from, To: to, Prob: prob}
+}
+
+// Duplicate makes the from->to link deliver each frame twice with
+// probability prob from iteration iter onwards; the receiver deduplicates
+// by sequence number.
+func Duplicate(iter, from, to int, prob float64) FailureEvent {
+	return core.ChaosEvent{Kind: core.ChaosDuplicate, Iteration: iter, From: from, To: to, Prob: prob}
+}
+
+// Reorder makes the from->to link displace each frame with probability
+// prob from iteration iter onwards; the receiver restores sequence order
+// before delivery.
+func Reorder(iter, from, to int, prob float64) FailureEvent {
+	return core.ChaosEvent{Kind: core.ChaosReorder, Iteration: iter, From: from, To: to, Prob: prob}
+}
+
+// Partition cuts the given nodes off the rest of the cluster at iteration
+// iter and heals the cut at iteration heal (a heal >= the iteration count
+// never heals). The partitioned nodes stay alive and keep computing, but
+// their frames park in the severed links; survivors detect the silence
+// (suspicion, then confirmation) and rebuild the slots under a bumped
+// membership epoch, so the old incarnations' frames are fenced when the
+// partition heals — the split-brain safety property.
+func Partition(iter, heal int, nodes ...int) FailureEvent {
+	return core.ChaosEvent{Kind: core.ChaosPartition, Iteration: iter, HealIter: heal, Nodes: nodes}
+}
+
+// MaxDropRate is the largest per-link drop probability accepted by Drop
+// events; higher rates would stall the bounded retransmission protocol.
+const MaxDropRate = core.MaxDropRate
+
+// WithChaosSeed seeds the deterministic per-link fate generators of the
+// omission events (Drop, Duplicate, Reorder). The same schedule with the
+// same seed replays bit-identically — retransmit counts, simulated time
+// and byte streams included; different seeds draw different loss patterns
+// from the same probabilities. Without omission events the seed is unused.
+func WithChaosSeed(seed uint64) Option {
+	return func(c *Config) { c.ChaosSeed = seed }
+}
+
+// OmissionStats is the omission-fault layer's wire accounting, reported in
+// Result.Omission (nil when the schedule had no omission events).
+type OmissionStats = core.OmissionStats
+
 // WithFailures installs a failure schedule composed from the event
 // builders:
 //

@@ -57,6 +57,65 @@ func TestFailureScheduleBuilders(t *testing.T) {
 	}
 }
 
+// TestOmissionBuilders: the lossy-network builders run a job through
+// drop/dup/reorder faults and a healed partition, converge to the
+// fault-free values bit for bit, and report the wire activity.
+func TestOmissionBuilders(t *testing.T) {
+	g := ring(t, 240)
+	opts := func(extra ...imitator.Option) []imitator.Option {
+		return append([]imitator.Option{
+			imitator.WithNodes(6),
+			imitator.WithIterations(8),
+			imitator.WithFT(2),
+			imitator.WithRecovery(imitator.RecoverRebirth),
+			imitator.WithMaxRebirths(8),
+		}, extra...)
+	}
+	want, err := imitator.Run(imitator.New(opts()...), g, imitator.NewPageRank(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Omission != nil {
+		t.Fatalf("fault-free run reported omission stats: %+v", *want.Omission)
+	}
+
+	cfg := imitator.New(opts(
+		imitator.WithFailures(
+			imitator.Drop(1, 0, 2, 0.35),
+			imitator.Duplicate(1, 2, 4, 0.4),
+			imitator.Reorder(1, 4, 3, 0.5),
+			imitator.Partition(2, 5, 1),
+		),
+		imitator.WithChaosSeed(42),
+	)...)
+	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Values {
+		if res.Values[v] != want.Values[v] {
+			t.Fatalf("vertex %d: %v != fault-free %v", v, res.Values[v], want.Values[v])
+		}
+	}
+	if res.Omission == nil {
+		t.Fatal("omission schedule reported no omission stats")
+	}
+	if res.Omission.Retransmits == 0 || res.Omission.Fenced == 0 {
+		t.Fatalf("omission layer idle: %+v", *res.Omission)
+	}
+	if len(res.Recoveries) == 0 {
+		t.Fatal("partitioned node was not recovered")
+	}
+
+	// A drop probability above the cap is rejected up front.
+	bad := imitator.New(opts(imitator.WithFailures(
+		imitator.Drop(1, 0, 2, imitator.MaxDropRate+0.01),
+	))...)
+	if _, err := imitator.Run(bad, g, imitator.NewPageRank(g.NumVertices())); !errors.Is(err, imitator.ErrInvalidSchedule) {
+		t.Fatalf("over-cap drop rate: err = %v, want ErrInvalidSchedule", err)
+	}
+}
+
 // TestDeprecatedWithFailure: the legacy option still works and now rides
 // the chaos path.
 func TestDeprecatedWithFailure(t *testing.T) {
