@@ -38,6 +38,15 @@ type benchEntry struct {
 	Supersteps         int     `json:"supersteps,omitempty"`
 	AllocsPerSuperstep float64 `json:"allocs_per_superstep,omitempty"`
 	WallPerSuperstep   float64 `json:"wall_seconds_per_superstep,omitempty"`
+
+	// FT-strategy probe (ftcompare/* entries): persistence overhead and
+	// recovery cost under the standard mid-run crash of node 1. Logged
+	// recovery is failure-confined, so its survivor_replay_iters stays 0
+	// (omitted) while log_replay_supersteps counts the reborn node's chain.
+	PersistPerSuperstep float64 `json:"persist_seconds_per_superstep,omitempty"`
+	RecoverySeconds     float64 `json:"recovery_seconds,omitempty"`
+	SurvivorReplayIters int     `json:"survivor_replay_iters,omitempty"`
+	LogReplaySteps      int     `json:"log_replay_supersteps,omitempty"`
 }
 
 // benchReport is the emitted JSON document.
@@ -104,6 +113,16 @@ func runJSON(opts experiments.Options, path, baselinePath string) error {
 		fmt.Fprintf(os.Stderr, "bench: %s allocs/superstep=%.1f\n", entry.ID, entry.AllocsPerSuperstep)
 	}
 
+	ftEntries, err := ftProbe(opts)
+	if err != nil {
+		return err
+	}
+	for _, e := range ftEntries {
+		report.Results = append(report.Results, e)
+		fmt.Fprintf(os.Stderr, "bench: %s persist/step=%.4fs recovery=%.3fs\n",
+			e.ID, e.PersistPerSuperstep, e.RecoverySeconds)
+	}
+
 	if baselinePath != "" {
 		data, err := os.ReadFile(baselinePath)
 		if err != nil {
@@ -124,6 +143,73 @@ func runJSON(opts experiments.Options, path, baselinePath string) error {
 	}
 	out = append(out, '\n')
 	return os.WriteFile(path, out, 0o644)
+}
+
+// ftProbe races log-based failure-confined recovery against the checkpoint
+// baseline under the standard mid-run crash of node 1: per-superstep
+// persistence overhead and total recovery time. Both runs are deterministic,
+// so their sim_seconds/msg_bytes are invariants like every other entry's.
+func ftProbe(opts experiments.Options) ([]benchEntry, error) {
+	iters := opts.Iters
+	if iters < 2 {
+		iters = 2
+	}
+	crashAt := iters / 2
+	w := experiments.Workload{Algo: "pagerank", Dataset: "gweb", Iters: iters}
+	mk := func() core.Config {
+		cfg := core.DefaultConfig(core.EdgeCutMode, opts.Nodes)
+		cfg.FT = core.FTConfig{}
+		if opts.Workers > 0 {
+			cfg.WorkersPerNode = opts.Workers
+		}
+		cfg.MaxRebirths = 8
+		cfg.Failures = []core.FailureSpec{
+			{Iteration: crashAt, Phase: core.FailBeforeBarrier, Nodes: []int{1}},
+		}
+		return cfg
+	}
+	logged := mk()
+	logged.Logged = core.LoggedConfig{Enabled: true, CompactEvery: 4}
+	logged.Recovery = core.RecoverLogged
+	ckpt := mk()
+	ckpt.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: 1}
+	ckpt.Recovery = core.RecoverCheckpoint
+
+	var entries []benchEntry
+	for _, probe := range []struct {
+		id  string
+		cfg core.Config
+	}{
+		{"ftcompare/logged", logged},
+		{"ftcompare/checkpoint", ckpt},
+	} {
+		var sum experiments.RunSummary
+		wall, allocs, bytes, err := measure(func() error {
+			var err error
+			sum, err = experiments.RunWorkload(w, probe.cfg)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", probe.id, err)
+		}
+		if len(sum.Recoveries) == 0 {
+			return nil, fmt.Errorf("%s: crash produced no recovery", probe.id)
+		}
+		rec := sum.Recoveries[len(sum.Recoveries)-1]
+		entries = append(entries, benchEntry{
+			ID:                  probe.id,
+			WallSeconds:         wall,
+			Allocs:              allocs,
+			AllocBytes:          bytes,
+			SimSeconds:          sum.SimSeconds,
+			MsgBytes:            sum.Metrics.TotalBytes(),
+			PersistPerSuperstep: sum.Strategy.PersistSeconds / float64(iters),
+			RecoverySeconds:     rec.TotalSeconds(),
+			SurvivorReplayIters: rec.ReplayIters,
+			LogReplaySteps:      rec.LogReplaySupersteps,
+		})
+	}
+	return entries, nil
 }
 
 // superstepProbe isolates the steady-state superstep loop: it runs the same

@@ -31,7 +31,7 @@ func run(args []string) error {
 	var (
 		all      = fs.Bool("all", false, "run every experiment")
 		figure   = fs.String("figure", "", "figure id to regenerate (2a, 2b, 2c, 3, 7, 8, 9, 10, 11, 12, 13, 14, 15)")
-		table    = fs.String("table", "", "table id to regenerate (1, 2, 3, 5, 6, 7, young)")
+		table    = fs.String("table", "", "table id to regenerate (1, 2, 3, 5, 6, 7, young, ftcompare)")
 		nodes    = fs.Int("nodes", 8, "simulated cluster size")
 		iters    = fs.Int("iters", 10, "PageRank iterations")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "intra-node worker-pool width (identical results, less wall clock)")
@@ -57,9 +57,10 @@ func run(args []string) error {
 	case *figure != "":
 		ids = []string{"fig" + *figure}
 	case *table != "":
-		if *table == "young" {
-			ids = []string{"young"}
-		} else {
+		switch *table {
+		case "young", "ftcompare":
+			ids = []string{*table}
+		default:
 			ids = []string{"table" + *table}
 		}
 	default:

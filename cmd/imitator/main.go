@@ -5,10 +5,11 @@
 // Examples:
 //
 //	imitator -dataset ljournal -algo pagerank -nodes 8 -iters 10
-//	imitator -dataset wiki -algo pagerank -recovery migration -fail-iter 5 -fail-nodes 2,3
+//	imitator -dataset wiki -algo pagerank -ft migration -fail-iter 5 -fail-nodes 2,3
 //	imitator -dataset roadca -algo sssp -mode vertexcut -partitioner hybrid
-//	imitator -dataset ljournal -algo pagerank -recovery checkpoint -ckpt-interval 2 -fail-iter 5 -fail-nodes 1
-//	imitator -dataset wiki -algo pagerank -recovery migration -chaos 'crash@3b=1|crashrec@migration:repair=4|slow@2=0>3x8'
+//	imitator -dataset ljournal -algo pagerank -ft checkpoint -ckpt-interval 2 -fail-iter 5 -fail-nodes 1
+//	imitator -dataset wiki -algo pagerank -ft logged -compact-every 4 -fail-iter 5
+//	imitator -dataset wiki -algo pagerank -ft migration -chaos 'crash@3b=1|crashrec@migration:repair=4|slow@2=0>3x8'
 //	imitator -dataset wiki -algo pagerank -chaos 'drop@1=0>2x0.3|part@2~5=1' -chaos-seed 42
 package main
 
@@ -39,11 +40,12 @@ func run(args []string) error {
 		nodes       = fs.Int("nodes", 8, "number of simulated nodes")
 		iters       = fs.Int("iters", 10, "supersteps to run")
 		workers     = fs.Int("workers", 1, "intra-node worker-pool width (results are identical for any value)")
-		ft          = fs.Bool("ft", true, "enable replication-based fault tolerance")
-		k           = fs.Int("k", 1, "number of simultaneous failures to tolerate")
-		selfish     = fs.Bool("selfish-opt", true, "enable the selfish-vertex optimization")
-		recovery    = fs.String("recovery", "rebirth", "recovery: none, checkpoint, rebirth, migration")
-		ckptIvl     = fs.Int("ckpt-interval", 1, "checkpoint interval in iterations")
+		ftMode      = fs.String("ft", "replication", "fault-tolerance strategy: replication (rebirth), migration, checkpoint, logged, none")
+		k           = fs.Int("k", 1, "replication/migration: number of simultaneous failures to tolerate")
+		selfish     = fs.Bool("selfish-opt", true, "replication/migration: enable the selfish-vertex optimization")
+		recovery    = fs.String("recovery", "", "deprecated alias for -ft (overrides it when set)")
+		ckptIvl     = fs.Int("ckpt-interval", 1, "checkpoint: snapshot interval in iterations")
+		compactIvl  = fs.Int("compact-every", 0, "logged: write a full log record every n supersteps to bound replay (0 = never)")
 		failIter    = fs.Int("fail-iter", -1, "iteration at which to crash nodes (-1 = no failure)")
 		failNodes   = fs.String("fail-nodes", "1", "comma-separated node ids to crash")
 		chaosSched  = fs.String("chaos", "", "failure schedule: crash@<iter><b|a>=<nodes>, crashrec[@label]=<nodes>, slow@<iter>=<from>><to>x<factor>, delay@<iter>=<seconds>, drop@<iter>=<from>><to>x<prob>, dup@<iter>=<from>><to>x<prob>, reorder@<iter>=<from>><to>x<prob>, part@<iter>~<heal>=<nodes>, joined by '|'")
@@ -85,25 +87,11 @@ func run(args []string) error {
 		}
 		opts = append(opts, imitator.WithPartitioner(p))
 	}
-	if *ft {
-		opts = append(opts, imitator.WithFT(*k), imitator.WithSelfishOpt(*selfish))
-	} else {
-		opts = append(opts, imitator.WithoutFT())
+	strat, err := buildStrategy(*ftMode, *recovery, *k, *selfish, *ckptIvl, *compactIvl)
+	if err != nil {
+		return err
 	}
-	switch *recovery {
-	case "none":
-		opts = append(opts, imitator.WithRecovery(imitator.RecoverNone))
-	case "checkpoint":
-		// The checkpoint baseline runs without replication FT, like the
-		// paper's Hama-style comparison point.
-		opts = append(opts, imitator.WithCheckpoint(*ckptIvl))
-	case "rebirth":
-		opts = append(opts, imitator.WithRecovery(imitator.RecoverRebirth))
-	case "migration":
-		opts = append(opts, imitator.WithRecovery(imitator.RecoverMigration))
-	default:
-		return fmt.Errorf("unknown recovery %q", *recovery)
-	}
+	opts = append(opts, imitator.WithFTStrategy(strat))
 	if *tcp {
 		opts = append(opts, imitator.WithTransport(imitator.TransportTCP))
 	}
@@ -163,6 +151,33 @@ func run(args []string) error {
 	return nil
 }
 
+// buildStrategy maps the -ft name (or the deprecated -recovery alias, which
+// wins when set) plus the per-strategy refinement flags onto one typed
+// FTStrategy.
+func buildStrategy(name, legacy string, k int, selfish bool, ckptIvl, compactIvl int) (imitator.FTStrategy, error) {
+	if legacy != "" {
+		name = legacy
+	}
+	switch name {
+	case "replication", "rebirth":
+		return imitator.Replication(
+			imitator.ReplicationK(k), imitator.ReplicationSelfish(selfish)), nil
+	case "migration":
+		return imitator.Migration(
+			imitator.ReplicationK(k), imitator.ReplicationSelfish(selfish)), nil
+	case "checkpoint":
+		// The checkpoint baseline runs without replication FT, like the
+		// paper's Hama-style comparison point.
+		return imitator.Checkpoint(ckptIvl), nil
+	case "logged":
+		return imitator.LoggedRecovery(imitator.LoggedCompactEvery(compactIvl)), nil
+	case "none":
+		return imitator.NoRecovery(), nil
+	default:
+		return nil, fmt.Errorf("unknown FT strategy %q", name)
+	}
+}
+
 func parsePartitioner(s string) (imitator.Partitioner, error) {
 	switch s {
 	case "hash":
@@ -196,6 +211,11 @@ func report(w imitator.Workload, cfg imitator.Config, s imitator.RunSummary) {
 		float64(s.MaxMemory)/1e6, float64(s.TotalMemory)/1e6)
 	if s.CheckpointCount > 0 {
 		fmt.Printf("checkpoints: %d written, %.3f s total\n", s.CheckpointCount, s.CheckpointSeconds)
+	}
+	if st := s.Strategy; st.PersistCount > 0 || st.Recoveries > 0 {
+		fmt.Printf("ft: %s strategy, %d persists (%.2f MB, %.3f s, %d log records), %d recoveries (%.3f s)\n",
+			st.Kind, st.PersistCount, float64(st.PersistedBytes)/1e6, st.PersistSeconds,
+			st.LogRecords, st.Recoveries, st.RecoverySeconds)
 	}
 	if o := s.Omission; o != nil {
 		fmt.Printf("omission: %d retransmits (%.2f KB, %.2f KB acks), %d dups dropped, %d reordered, %d parked, %d fenced\n",

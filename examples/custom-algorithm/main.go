@@ -77,9 +77,8 @@ func main() {
 	// the built-ins: crash two nodes, recover by migration.
 	cfg := imitator.New(
 		imitator.WithNodes(6),
-		imitator.WithFT(2),
-		imitator.WithSelfishOpt(false),
-		imitator.WithRecovery(imitator.RecoverMigration),
+		imitator.WithFTStrategy(imitator.Migration(
+			imitator.ReplicationK(2), imitator.ReplicationSelfish(false))),
 		imitator.WithIterations(12),
 		imitator.WithFailure(6, imitator.FailBeforeBarrier, 1, 4),
 	)

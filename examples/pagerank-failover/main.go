@@ -1,9 +1,10 @@
 // pagerank-failover reproduces the paper's Fig 12 case study as a runnable
-// program: PageRank on an LJournal-like graph under three fault-tolerance
-// settings, with one machine crashing between iterations 6 and 7. It prints
+// program: PageRank on an LJournal-like graph under the four fault-tolerance
+// strategies, with one machine crashing between iterations 6 and 7. It prints
 // each configuration's timeline so the recovery-cost differences are
-// visible: Migration is fastest, Rebirth close behind, checkpointing pays a
-// long reload plus replayed iterations.
+// visible: Migration is fastest, Rebirth close behind, logged recovery pays
+// only the reborn node's replay, and checkpointing pays a long reload plus
+// replayed iterations on every node.
 package main
 
 import (
@@ -30,16 +31,19 @@ func main() {
 		fail  bool
 		lossy bool
 	}{
-		{"BASE (no FT, no failure)", base(), false, false},
-		{"REP (no failure)", rep(imitator.RecoverRebirth), false, false},
-		{"CKPT/4 (no failure)", ckpt(4), false, false},
-		{"REP + Rebirth", rep(imitator.RecoverRebirth), true, false},
-		{"REP + Migration", rep(imitator.RecoverMigration), true, false},
-		{"CKPT/4 + recovery", ckpt(4), true, false},
+		{"BASE (no FT, no failure)", job(imitator.NoRecovery()), false, false},
+		{"REP (no failure)", job(imitator.Replication()), false, false},
+		{"CKPT/4 (no failure)", job(imitator.Checkpoint(4)), false, false},
+		{"REP + Rebirth", job(imitator.Replication()), true, false},
+		{"REP + Migration", job(imitator.Migration()), true, false},
+		{"CKPT/4 + recovery", job(imitator.Checkpoint(4)), true, false},
+		// Log-based failure-confined recovery: only the reborn node replays
+		// its own logs, the survivors never re-execute a superstep.
+		{"LOGGED/4 + replay", job(imitator.LoggedRecovery(imitator.LoggedCompactEvery(4))), true, false},
 		// The same crash, but now the network also drops and reorders
 		// frames: the reliable-delivery layer retransmits through it and
 		// the answer stays bit-identical — only the timeline stretches.
-		{"REP + Rebirth (lossy net)", rep(imitator.RecoverRebirth), true, true},
+		{"REP + Rebirth (lossy net)", job(imitator.Replication()), true, true},
 	}
 	for _, c := range configs {
 		cfg := c.cfg
@@ -71,30 +75,13 @@ func main() {
 	}
 }
 
-func base() imitator.Config {
+// job builds the shared cluster shape; the strategy is the only thing the
+// configurations vary.
+func job(strat imitator.FTStrategy) imitator.Config {
 	return imitator.New(
 		imitator.WithNodes(nodes),
 		imitator.WithIterations(iters),
-		imitator.WithoutFT(),
-		imitator.WithRecovery(imitator.RecoverNone),
-	)
-}
-
-func rep(rk imitator.Recovery) imitator.Config {
-	return imitator.New(
-		imitator.WithNodes(nodes),
-		imitator.WithIterations(iters),
-		imitator.WithFT(1),
-		imitator.WithRecovery(rk),
-		imitator.WithMaxRebirths(2),
-	)
-}
-
-func ckpt(interval int) imitator.Config {
-	return imitator.New(
-		imitator.WithNodes(nodes),
-		imitator.WithIterations(iters),
-		imitator.WithCheckpoint(interval),
+		imitator.WithFTStrategy(strat),
 		imitator.WithMaxRebirths(2),
 	)
 }

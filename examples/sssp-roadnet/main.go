@@ -21,9 +21,8 @@ func main() {
 		imitator.WithMode(imitator.VertexCutMode),
 		imitator.WithNodes(6),
 		imitator.WithPartitioner(imitator.PartHybrid),
-		imitator.WithFT(2),
-		imitator.WithSelfishOpt(false),
-		imitator.WithRecovery(imitator.RecoverMigration),
+		imitator.WithFTStrategy(imitator.Migration(
+			imitator.ReplicationK(2), imitator.ReplicationSelfish(false))),
 		imitator.WithIterations(400), // road networks have large diameters
 		imitator.WithFailure(40, imitator.FailBeforeBarrier, 2, 4),
 	)

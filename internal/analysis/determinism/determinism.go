@@ -38,6 +38,9 @@ var DefaultSimPackages = []string{
 	"imitator/internal/coord",
 	"imitator/internal/costmodel",
 	"imitator/internal/dfs",
+	// The FT-log codec's bytes are replayed during recovery and compared
+	// bit-for-bit across worker counts, so it must stay deterministic.
+	"imitator/internal/ftlog",
 	"imitator/internal/partition",
 	// The omission-fault layer draws per-link fates from internal/rng, so
 	// its state now feeds retransmit counts and simulated time too.

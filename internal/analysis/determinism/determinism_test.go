@@ -24,6 +24,7 @@ func TestDefaultScope(t *testing.T) {
 		"imitator/internal/coord":     true,
 		"imitator/internal/costmodel": true,
 		"imitator/internal/dfs":       true,
+		"imitator/internal/ftlog":     true,
 		"imitator/internal/partition": true,
 		"imitator/internal/rng":       true,
 	}

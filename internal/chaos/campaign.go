@@ -45,6 +45,43 @@ const (
 	numScenarios
 )
 
+// campaignStrategies are the FT strategies the crash scenarios cycle
+// through by round, so a campaign of >= 4*numScenarios rounds runs every
+// scenario under every strategy. Exhaustion and partition stay pinned to
+// Rebirth — their verdicts are about the standby pool and the epoch fence.
+var campaignStrategies = []core.RecoveryKind{
+	core.RecoverRebirth, core.RecoverMigration,
+	core.RecoverCheckpoint, core.RecoverLogged,
+}
+
+// applyStrategy reconfigures the round's job for one recovery strategy,
+// mirroring the pkg/imitator typed constructors: the checkpoint and logged
+// baselines run without replication FT.
+func applyStrategy(cfg *core.Config, kind core.RecoveryKind) {
+	cfg.Recovery = kind
+	switch kind {
+	case core.RecoverCheckpoint:
+		cfg.FT = core.FTConfig{}
+		cfg.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: 2}
+	case core.RecoverLogged:
+		cfg.FT = core.FTConfig{}
+		cfg.Logged = core.LoggedConfig{Enabled: true, CompactEvery: 3}
+	}
+}
+
+// recoveryLabels are the during-recovery phase labels each strategy can
+// reach; every label is covered by internal/core's crash-during-recovery
+// tests.
+var recoveryLabels = map[core.RecoveryKind][]string{
+	core.RecoverRebirth: {"rebirth:join", "rebirth:reload", "rebirth:reconstruct"},
+	core.RecoverMigration: {
+		"migration:promote", "migration:moved", "migration:edges",
+		"migration:replicas", "migration:repair",
+	},
+	core.RecoverCheckpoint: {"checkpoint:join", "checkpoint:reload"},
+	core.RecoverLogged:     {"logged:join", "logged:replay"},
+}
+
 // Report summarizes a finished campaign.
 type Report struct {
 	Rounds int // rounds requested
@@ -58,7 +95,10 @@ type Report struct {
 	Exhaustion     int
 	Lossy          int
 	Fenced         int
-	Failures       []RoundFailure
+	// Strategies counts runs per FT strategy name; crash scenarios cycle
+	// through all four, so a long campaign covers the full matrix.
+	Strategies map[string]int
+	Failures   []RoundFailure
 }
 
 // RoundFailure is one failed round with a deterministic repro line.
@@ -113,7 +153,7 @@ func (c Campaign) baseConfig(mode core.Mode) core.Config {
 // failed rounds are data, not errors.
 func (c Campaign) Run() (*Report, error) {
 	c = c.normalized()
-	rep := &Report{Rounds: c.Rounds}
+	rep := &Report{Rounds: c.Rounds, Strategies: make(map[string]int)}
 	g := datasets.Tiny(c.Vertices, c.Edges, rng.Hash64(c.Seed))
 	// Fault-free baselines, one per mode: recovery settings and chaos
 	// schedules must not change converged values, so one baseline serves
@@ -136,6 +176,7 @@ func (c Campaign) Run() (*Report, error) {
 			rep.Exhaustion += out.exhaustion
 			rep.Lossy += out.lossy
 			rep.Fenced += out.fenced
+			rep.Strategies[out.ft]++
 			if out.err != nil {
 				rep.Failures = append(rep.Failures, RoundFailure{
 					Round: round, Mode: mode.String(),
@@ -150,6 +191,7 @@ func (c Campaign) Run() (*Report, error) {
 // roundOutcome is one (round, mode) run's verdict.
 type roundOutcome struct {
 	repro          string
+	ft             string
 	err            error
 	duringRecovery int
 	exhaustion     int
@@ -163,6 +205,7 @@ type roundOutcome struct {
 func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []float64) roundOutcome {
 	r := rng.New(c.Seed ^ rng.Hash2(uint64(round), uint64(mode)+1))
 	scenario := round % numScenarios
+	strat := campaignStrategies[(round/numScenarios)%len(campaignStrategies)]
 	cfg := c.baseConfig(mode)
 
 	victims := r.Perm(c.Nodes)
@@ -171,7 +214,7 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 	migrationInvolved := false
 	switch scenario {
 	case scenarioMultiCrash:
-		cfg.Recovery = pickRecovery(r)
+		applyStrategy(&cfg, strat)
 		n := 1 + r.Intn(c.K)
 		sched = append(sched, core.ChaosEvent{
 			Kind: core.ChaosCrash, Iteration: crashIter,
@@ -188,11 +231,8 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 		}
 		migrationInvolved = cfg.Recovery == core.RecoverMigration
 	case scenarioDuringRecovery:
-		cfg.Recovery = pickRecovery(r)
-		labels := rebirthLabels
-		if cfg.Recovery == core.RecoverMigration {
-			labels = migrationLabels
-		}
+		applyStrategy(&cfg, strat)
+		labels := recoveryLabels[cfg.Recovery]
 		sched = append(sched,
 			core.ChaosEvent{
 				Kind: core.ChaosCrash, Iteration: crashIter,
@@ -215,7 +255,7 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 		})
 		migrationInvolved = true // fallback completes as a migration
 	case scenarioLossy:
-		cfg.Recovery = pickRecovery(r)
+		applyStrategy(&cfg, strat)
 		cfg.ChaosSeed = r.Uint64()
 		// Soak a handful of distinct links in omission faults from
 		// iteration 1, then crash a node on top: the reliable layer must
@@ -267,8 +307,9 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 	cfg.Chaos = sched
 
 	out := roundOutcome{
-		repro: fmt.Sprintf("chaos seed=%d round=%d mode=%s sched=%s",
-			c.Seed, round, mode, FormatEvents(sched)),
+		ft: cfg.Recovery.String(),
+		repro: fmt.Sprintf("chaos seed=%d round=%d mode=%s ft=%s sched=%s",
+			c.Seed, round, mode, cfg.Recovery, FormatEvents(sched)),
 	}
 	res, err := runPageRank(cfg, g)
 	if err != nil {
@@ -385,16 +426,6 @@ func (c Campaign) Replay(repro string) error {
 	return c.runRound(round, mode, g, base.Values).err
 }
 
-// During-recovery phase labels the generator draws from; every label is
-// covered by internal/core's TestChaosCrashDuringRecovery table.
-var (
-	rebirthLabels   = []string{"rebirth:join", "rebirth:reload", "rebirth:reconstruct"}
-	migrationLabels = []string{
-		"migration:promote", "migration:moved", "migration:edges",
-		"migration:replicas", "migration:repair",
-	}
-)
-
 // coreGraph aliases the graph type to keep signatures short here.
 type coreGraph = graph.Graph
 
@@ -405,14 +436,6 @@ func runPageRank(cfg core.Config, g *coreGraph) (*core.Result[float64], error) {
 		return nil, err
 	}
 	return cl.Run()
-}
-
-// pickRecovery draws an FT recovery strategy.
-func pickRecovery(r *rng.Source) core.RecoveryKind {
-	if r.Intn(2) == 0 {
-		return core.RecoverRebirth
-	}
-	return core.RecoverMigration
 }
 
 // pickPhase draws a crash phase.

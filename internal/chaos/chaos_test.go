@@ -122,6 +122,30 @@ func TestCampaign(t *testing.T) {
 		rep.Runs, rep.DuringRecovery, rep.Exhaustion, rep.Lossy, rep.Fenced)
 }
 
+// TestCampaignStrategyMatrix: one full cycle of scenarios x FT strategies,
+// in both modes. Every crash scenario must have run under all four
+// strategies, and every round converged bit-for-bit (tol only for
+// vertex-cut migrations) — this is the four-strategy chaos matrix.
+func TestCampaignStrategyMatrix(t *testing.T) {
+	camp := Campaign{Seed: *campaignSeed, Rounds: numScenarios * len(campaignStrategies)}
+	rep, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("round %d (%s): %s\n  repro: %s", f.Round, f.Mode, f.Err, f.Repro)
+	}
+	if rep.Failed() {
+		t.FailNow()
+	}
+	for _, kind := range campaignStrategies {
+		if rep.Strategies[kind.String()] == 0 {
+			t.Errorf("campaign never ran the %s strategy: %v", kind, rep.Strategies)
+		}
+	}
+	t.Logf("strategy matrix: %v over %d runs", rep.Strategies, rep.Runs)
+}
+
 // TestReplay: a repro line replays a specific round deterministically.
 func TestReplay(t *testing.T) {
 	camp := Campaign{Seed: *campaignSeed}

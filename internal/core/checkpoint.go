@@ -45,6 +45,7 @@ func (c *Cluster[V, A]) writeCheckpointAt(epoch int, charge bool) {
 	// records encode chunk-parallel and concatenate in chunk order, so the
 	// snapshot bytes match the sequential encoder's for any worker count.
 	nodeCosts := make([]float64, c.cfg.NumNodes)
+	nodeBytes := make([]int64, c.cfg.NumNodes)
 	c.eachAlive(func(nd *node[V, A]) {
 		buf := putU32(c.pool.Get(), uint32(epoch))
 		countAt := len(buf)
@@ -81,6 +82,7 @@ func (c *Cluster[V, A]) writeCheckpointAt(epoch int, charge bool) {
 			// the paper notes triple replication still crosses machines.
 			cost = c.cfg.Cost.NetTransfer(int64(len(buf)) * int64(c.cfg.Cost.DFSReplication-1))
 		}
+		nodeBytes[nd.id] = int64(len(buf))
 		c.pool.Put(buf)
 		nodeCosts[nd.id] = cost
 	})
@@ -92,6 +94,9 @@ func (c *Cluster[V, A]) writeCheckpointAt(epoch int, charge bool) {
 		c.clock.Advance(span.Max())
 		c.ckptSeconds += span.Max()
 		c.ckptCount++
+		for _, b := range nodeBytes {
+			c.ckptBytes += b
+		}
 	} else {
 		c.loadSeconds += span.Max()
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
@@ -153,9 +152,17 @@ type Cluster[V, A any] struct {
 	ec   *partition.EdgeCut
 	vcut *partition.VertexCut
 
-	// pristine retains each node's post-load state when checkpointing is
-	// enabled, so a standby newbie can rebuild a crashed node's immutable
-	// topology (the metadata snapshot's content).
+	// strat is the configured fault-tolerance strategy: the run loop talks
+	// to it through the ftStrategy hooks and never branches on
+	// Config.Recovery itself.
+	strat ftStrategy[V, A]
+
+	// flog is the superstep-log runtime, nil unless Config.Logged.Enabled.
+	flog *flogState
+
+	// pristine retains each node's post-load state when checkpointing or
+	// logging is enabled, so a standby newbie can rebuild a crashed node's
+	// immutable topology (the metadata snapshot's content).
 	pristine []*pristineNode[V]
 	// replayWatch accounts checkpoint-recovery replay time.
 	replayWatch *replayWatch
@@ -185,6 +192,7 @@ type Cluster[V, A any] struct {
 	loadSeconds          float64
 	ckptSeconds          float64
 	ckptCount            int
+	ckptBytes            int64
 	trace                []TraceEvent
 	recoveries           []RecoveryReport
 
@@ -243,6 +251,10 @@ func NewCluster[V, A any](cfg Config, g *graph.Graph, prog Program[V, A]) (*Clus
 		always: prog.AlwaysActive(),
 		selfishOptOn: cfg.FT.Enabled && cfg.FT.SelfishOpt &&
 			prog.CanRecomputeSelfish() && prog.AlwaysActive(),
+	}
+	c.strat, err = newFTStrategy(c)
+	if err != nil {
+		return nil, err
 	}
 	c.bindPhases()
 	if err := c.load(); err != nil {
@@ -575,6 +587,7 @@ func (c *Cluster[V, A]) Run() (*Result[V], error) {
 		c.clock.Advance(c.cfg.Cost.BarrierOverhead)
 		if state.IsFail() {
 			c.rollback()
+			c.strat.onRollback()
 			if err := c.recover(state.Failed, iter); err != nil {
 				return nil, err
 			}
@@ -589,9 +602,7 @@ func (c *Cluster[V, A]) Run() (*Result[V], error) {
 			c.replayWatch = nil
 		}
 
-		if c.cfg.Checkpoint.Enabled && c.iter%c.cfg.Checkpoint.Interval == 0 {
-			c.writeCheckpoint()
-		}
+		c.strat.onSuperstepEnd()
 
 		maybeInject(iter, FailAfterBarrier)
 		c.chaosCrashAt(iter, FailAfterBarrier)
@@ -617,35 +628,15 @@ func (c *Cluster[V, A]) superstep(iter int) error {
 	}
 }
 
-// recover dispatches on the recovery strategy, restarting when additional
-// failures strike during recovery (§5.3.2).
+// recover hands the failed set to the configured strategy, restarting when
+// additional failures strike during recovery (§5.3.2).
 func (c *Cluster[V, A]) recover(failed []int, iter int) error {
 	pending := append([]int(nil), failed...)
 	for attempt := 0; ; attempt++ {
 		if attempt > 2*c.cfg.NumNodes {
 			return fmt.Errorf("%w: recovery restarted too many times", ErrTooManyFailures)
 		}
-		var more []int
-		var err error
-		switch c.cfg.Recovery {
-		case RecoverCheckpoint:
-			more, err = c.recoverCheckpoint(pending)
-		case RecoverRebirth:
-			more, err = c.recoverRebirth(pending, iter)
-			if err != nil && c.cfg.RebirthFallback && errors.Is(err, ErrNoStandby) {
-				// Standby pool is dry: migrate the lost slots onto the
-				// survivors instead of failing the job (§5.2 as fallback).
-				more, err = c.recoverMigration(pending, iter)
-				if err == nil && len(more) == 0 && len(c.recoveries) > 0 {
-					c.recoveries[len(c.recoveries)-1].Fallback = true
-				}
-			}
-		case RecoverMigration:
-			more, err = c.recoverMigration(pending, iter)
-		default:
-			return fmt.Errorf("%w: no recovery strategy configured (failed nodes %v)",
-				ErrUnrecoverable, pending)
-		}
+		more, err := c.strat.recover(pending, iter)
 		if err != nil {
 			return err
 		}

@@ -81,6 +81,12 @@ const (
 	// RecoverMigration promotes mirrors on surviving nodes to masters and
 	// scatters the crashed node's workload across the cluster (§5.2).
 	RecoverMigration
+	// RecoverLogged is log-based failure-confined recovery (after Yan, Cheng
+	// & Yang, arXiv:1601.06496): every node logs its touched-vertex deltas
+	// and received sync payloads at superstep end, and on failure only the
+	// reborn nodes replay their own log chains — survivors perform zero
+	// recomputation. Requires Logged.Enabled.
+	RecoverLogged
 )
 
 // String implements fmt.Stringer.
@@ -94,6 +100,8 @@ func (r RecoveryKind) String() string {
 		return "rebirth"
 	case RecoverMigration:
 		return "migration"
+	case RecoverLogged:
+		return "logged"
 	default:
 		return fmt.Sprintf("recovery(%d)", int(r))
 	}
@@ -146,6 +154,17 @@ type CheckpointConfig struct {
 	// FullEvery forces a full snapshot every N snapshots when Incremental
 	// is set (bounds the recovery chain). Defaults to 4.
 	FullEvery int
+}
+
+// LoggedConfig controls the superstep-log layer behind RecoverLogged.
+type LoggedConfig struct {
+	// Enabled turns on superstep-end logging: per-node touched-master deltas
+	// plus received sync payloads, persisted to the DFS.
+	Enabled bool
+	// CompactEvery writes a full snapshot record every N supersteps in place
+	// of the delta log, bounding a reborn node's replay chain at N files.
+	// 0 never compacts (chains grow with the run).
+	CompactEvery int
 }
 
 // MaxDropRate caps ChaosDrop probabilities: the reliable layer
@@ -284,6 +303,7 @@ type Config struct {
 
 	FT         FTConfig
 	Checkpoint CheckpointConfig
+	Logged     LoggedConfig
 	Recovery   RecoveryKind
 
 	// MaxIter is the number of supersteps to run.
@@ -362,32 +382,8 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: FT.K %d must be below NumNodes %d", c.FT.K, c.NumNodes)
 		}
 	}
-	if c.Checkpoint.Enabled {
-		if c.Checkpoint.Interval < 1 {
-			return fmt.Errorf("core: checkpoint interval must be >= 1, got %d", c.Checkpoint.Interval)
-		}
-		if c.Checkpoint.FullEvery < 0 {
-			return fmt.Errorf("core: Checkpoint.FullEvery must be >= 0, got %d (0 means the default of 4)", c.Checkpoint.FullEvery)
-		}
-	}
-	switch c.Recovery {
-	case RecoverNone:
-		if len(c.Failures) > 0 || c.chaosHasCrash() {
-			return fmt.Errorf("%w: failures scheduled but recovery disabled", ErrInvalidSchedule)
-		}
-	case RecoverCheckpoint:
-		if !c.Checkpoint.Enabled {
-			return fmt.Errorf("core: checkpoint recovery needs Checkpoint.Enabled")
-		}
-	case RecoverRebirth, RecoverMigration:
-		if !c.FT.Enabled {
-			return fmt.Errorf("core: %v recovery needs FT.Enabled", c.Recovery)
-		}
-	default:
-		return fmt.Errorf("core: unknown recovery kind %v", c.Recovery)
-	}
-	if c.RebirthFallback && !c.FT.Enabled {
-		return fmt.Errorf("core: RebirthFallback needs FT.Enabled (migration promotes mirrors)")
+	if err := validateStrategy(c); err != nil {
+		return err
 	}
 	for _, f := range c.Failures {
 		if f.Iteration < 0 || f.Iteration >= c.MaxIter {

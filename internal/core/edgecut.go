@@ -50,6 +50,9 @@ func (c *Cluster[V, A]) bindEdgeCutPhases() {
 	}
 	c.fnECRecv = func(nd *node[V, A]) {
 		nd.recvMsgs = c.net.Receive(nd.id)
+		if c.flog != nil {
+			c.flogCapture(nd)
+		}
 		c.chunked(nd, len(nd.recvMsgs), nd.bodies.ecRecv)
 		c.recycleMsgs(nd.recvMsgs)
 		nd.recvMsgs = nil

@@ -28,4 +28,10 @@ var (
 	// the job configuration (bad iteration, unknown node, factor < 1, ...)
 	// or a repro string that does not parse.
 	ErrInvalidSchedule = errors.New("core: invalid failure schedule")
+
+	// ErrInvalidStrategy reports an FT-strategy configuration the strategy
+	// seam rejected (unknown recovery kind, or a strategy missing the
+	// machinery it depends on, e.g. checkpoint recovery without
+	// Checkpoint.Enabled).
+	ErrInvalidStrategy = errors.New("core: invalid FT-strategy configuration")
 )

@@ -302,19 +302,10 @@ func (c *Cluster[V, A]) load() error {
 		c.writeEdgeCkpts()
 	}
 
-	// 10. Checkpoint metadata snapshot and the initial (epoch 0) data
-	// snapshot.
-	if c.cfg.Checkpoint.Enabled {
-		c.pristine = make([]*pristineNode[V], p)
-		for _, nd := range c.nodes {
-			meta := c.encodeMetadataSnapshot(nd)
-			c.loadSeconds += c.dfsWriteCost(nd, fmt.Sprintf("ckptmeta/%d", nd.id), meta)
-			entries := make([]vertexEntry[V], len(nd.entries))
-			copy(entries, nd.entries)
-			c.pristine[nd.id] = &pristineNode[V]{entries: entries, localEdges: nd.localEdges}
-		}
-		c.writeCheckpointAt(0, false)
-	}
+	// 10. Strategy persistence setup: metadata snapshots + pristine
+	// retention, the epoch-0 data snapshot (checkpointing), the log runtime
+	// (logged recovery).
+	c.strat.onLoad()
 
 	// 11. Memory accounting.
 	c.refreshMemoryMetrics()

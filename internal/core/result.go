@@ -36,8 +36,13 @@ type RecoveryReport struct {
 	ReplaySeconds      float64
 
 	// ReplayIters counts re-executed supersteps (checkpoint recovery; the
-	// replication strategies replay activation only, so this is 0).
+	// replication strategies replay activation only and logged recovery
+	// replays logs without re-executing, so this is 0 for them).
 	ReplayIters int
+
+	// LogReplaySupersteps counts the log files the slowest reborn node
+	// replayed (logged recovery only). Survivors replay nothing.
+	LogReplaySupersteps int
 
 	RecoveredVertices int
 	RecoveredEdges    int
@@ -87,6 +92,10 @@ type Result[V any] struct {
 	CheckpointSeconds float64
 	CheckpointCount   int
 
+	// Strategy is the configured FT strategy's uniform accounting:
+	// superstep-end persistence work and completed recovery passes.
+	Strategy StrategyStats
+
 	// Replication stats for Figs 3/8/10/14.
 	ExtraReplicas        int // FT-only replicas added at load
 	ExtraReplicasSelfish int // of which for selfish vertices (§4.4)
@@ -129,6 +138,7 @@ func (c *Cluster[V, A]) result() *Result[V] {
 		LoadSeconds:          c.loadSeconds,
 		CheckpointSeconds:    c.ckptSeconds,
 		CheckpointCount:      c.ckptCount,
+		Strategy:             c.strategyStats(),
 		ExtraReplicas:        c.extraReplicas,
 		ExtraReplicasSelfish: c.extraReplicasSelfish,
 		TotalPresences:       c.totalPresences,

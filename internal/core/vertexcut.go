@@ -131,6 +131,9 @@ func (c *Cluster[V, A]) bindVertexCutPhases() {
 	}
 	c.fnVCRecv = func(nd *node[V, A]) {
 		nd.recvMsgs = c.net.Receive(nd.id)
+		if c.flog != nil {
+			c.flogCapture(nd)
+		}
 		c.chunked(nd, len(nd.recvMsgs), nd.bodies.vcRecv)
 		c.recycleMsgs(nd.recvMsgs)
 		nd.recvMsgs = nil

@@ -29,6 +29,14 @@ type Params struct {
 	// fixed cost dominates at small sizes (§6.2).
 	DFSWriteLatency float64
 	DFSReadLatency  float64
+	// LogBandwidth is the per-node streamed-append bandwidth of the
+	// superstep-log files (bytes/second); LogWriteLatency the fixed cost of
+	// sealing one log file. Log appends stream into a pre-opened pipeline,
+	// so they skip the per-operation namenode round-trips DFSWriteLatency
+	// charges (Young's-model comparison: logging overhead vs checkpoint
+	// overhead, arXiv:1601.06496 §2).
+	LogBandwidth    float64
+	LogWriteLatency float64
 	// ComputePerEdge is the cost of processing one edge in gather.
 	ComputePerEdge float64
 	// ComputePerVertex is the cost of one apply.
@@ -71,6 +79,8 @@ func Default() Params {
 		DFSReplication:       3,
 		DFSWriteLatency:      50e-3,
 		DFSReadLatency:       20e-3,
+		LogBandwidth:         0.94e6, // streamed appends ride the same disks
+		LogWriteLatency:      2e-3,
 		ComputePerEdge:       0.7e-6,
 		ComputePerVertex:     3e-6,
 		ReconstructPerVertex: 4e-6,
@@ -88,6 +98,9 @@ func (p Params) Validate() error {
 	}
 	if p.DFSReplication < 1 {
 		return fmt.Errorf("costmodel: DFS replication %d < 1", p.DFSReplication)
+	}
+	if p.LogBandwidth < 0 || p.LogWriteLatency < 0 {
+		return fmt.Errorf("costmodel: log-write parameters must be non-negative")
 	}
 	if p.ComputeSerialFrac < 0 || p.ComputeSerialFrac >= 1 {
 		return fmt.Errorf("costmodel: ComputeSerialFrac %g outside [0, 1)", p.ComputeSerialFrac)
@@ -145,6 +158,26 @@ func (p Params) DFSWrite(bytes int64) float64 {
 		return p.DFSWriteLatency + net
 	}
 	return p.DFSWriteLatency + disk
+}
+
+// LogWrite returns the simulated seconds for one node to append and seal an
+// n-byte superstep-log file: the fixed seal cost plus the slower of the
+// local streamed append and the (replication-1) remote copies, pipelined
+// like DFSWrite. A zero LogBandwidth falls back to DiskBandwidth.
+func (p Params) LogWrite(bytes int64) float64 {
+	if bytes <= 0 {
+		return p.LogWriteLatency
+	}
+	bw := p.LogBandwidth
+	if bw <= 0 {
+		bw = p.DiskBandwidth
+	}
+	disk := float64(bytes) / bw
+	net := float64(bytes) * float64(p.DFSReplication-1) / p.NetBandwidth
+	if net > disk {
+		return p.LogWriteLatency + net
+	}
+	return p.LogWriteLatency + disk
 }
 
 // DFSRead returns the simulated seconds for one node to read n bytes.

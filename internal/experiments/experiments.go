@@ -102,6 +102,7 @@ type RunSummary struct {
 	MaxMemory            int64
 	TotalMemory          int64
 	Metrics              metrics.Node
+	Strategy             core.StrategyStats
 	Recoveries           []core.RecoveryStats
 	Trace                []core.TraceEvent
 	NumVertices          int
@@ -124,6 +125,7 @@ func summarize[V any](res *core.Result[V], rf float64, g *graph.Graph) RunSummar
 		MaxMemory:            res.MaxMemory,
 		TotalMemory:          res.TotalMemory,
 		Metrics:              res.Metrics,
+		Strategy:             res.Strategy,
 		Recoveries:           res.Recoveries,
 		Trace:                res.Trace,
 		NumVertices:          g.NumVertices(),
@@ -245,6 +247,13 @@ func withREP(cfg core.Config, k int) core.Config {
 func withCKPT(cfg core.Config, interval int, inMemory bool) core.Config {
 	cfg.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: interval, InMemory: inMemory}
 	cfg.Recovery = core.RecoverCheckpoint
+	cfg.MaxRebirths = 8
+	return cfg
+}
+
+func withLogged(cfg core.Config, compactEvery int) core.Config {
+	cfg.Logged = core.LoggedConfig{Enabled: true, CompactEvery: compactEvery}
+	cfg.Recovery = core.RecoverLogged
 	cfg.MaxRebirths = 8
 	return cfg
 }

@@ -840,6 +840,7 @@ func All() []struct {
 		{"table6", Table6CommunicationVertexCut},
 		{"table7", Table7MemoryVertexCut},
 		{"young", YoungModelEfficiency},
+		{"ftcompare", FTCompare},
 		{"ablation-mirror", AblationMirrorPlacement},
 		{"ablation-positional", AblationPositionalRecovery},
 	}

@@ -9,8 +9,7 @@
 //	g := imitator.MustLoadDataset("gweb")
 //	cfg := imitator.New(
 //		imitator.WithNodes(8),
-//		imitator.WithFT(1),
-//		imitator.WithRecovery(imitator.RecoverRebirth),
+//		imitator.WithFTStrategy(imitator.Replication(imitator.ReplicationK(1))),
 //		imitator.WithIterations(10),
 //		imitator.WithFailures(
 //			imitator.Crash(5, imitator.FailBeforeBarrier, 2),
@@ -18,6 +17,10 @@
 //		),
 //	)
 //	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
+//
+// WithFTStrategy selects among the four fault-tolerance strategies —
+// Replication (rebirth), Migration, Checkpoint, LoggedRecovery — each with
+// typed sub-options; Result.Strategy reports their overheads uniformly.
 //
 // Everything reachable from this package is supported API; callers never
 // need to import imitator/internal/... directly.
@@ -107,7 +110,13 @@ const (
 	RecoverCheckpoint = core.RecoverCheckpoint
 	RecoverRebirth    = core.RecoverRebirth
 	RecoverMigration  = core.RecoverMigration
+	RecoverLogged     = core.RecoverLogged
 )
+
+// StrategyStats is the uniform per-strategy accounting in Result.Strategy:
+// superstep-end persistence work (snapshots and/or logs) and completed
+// recovery passes, comparable across strategies.
+type StrategyStats = core.StrategyStats
 
 // Failure-injection phases.
 type FailPhase = core.FailPhase

@@ -70,27 +70,25 @@ func WithSelfishOpt(on bool) Option {
 	return func(c *Config) { c.FT.SelfishOpt = on }
 }
 
-// WithRecovery selects the recovery strategy. Selecting RecoverCheckpoint
-// also enables checkpointing (interval 1) if no WithCheckpoint option has
-// configured it.
+// WithRecovery selects the recovery strategy by kind, keeping the
+// replication/checkpoint layers as previously configured (checkpoint
+// recovery auto-enables snapshots at interval 1 if none are configured).
+//
+// Deprecated: use WithFTStrategy with a typed constructor — Replication(),
+// Migration(), Checkpoint(...), LoggedRecovery() — which configures the
+// recovery kind and the persistence machinery it depends on in one option.
 func WithRecovery(r Recovery) Option {
-	return func(c *Config) {
-		c.Recovery = r
-		if r == core.RecoverCheckpoint && !c.Checkpoint.Enabled {
-			c.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: 1}
-		}
-	}
+	return WithFTStrategy(legacyStrategy(r))
 }
 
 // WithCheckpoint configures the checkpoint-based baseline: periodic
 // snapshots every interval iterations, checkpoint recovery, and
 // replication FT off (apply WithFT afterwards to combine them).
+//
+// Deprecated: use WithFTStrategy(Checkpoint(interval, ...)), which also
+// takes the in-memory and incremental sub-options.
 func WithCheckpoint(interval int) Option {
-	return func(c *Config) {
-		c.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: interval}
-		c.Recovery = core.RecoverCheckpoint
-		c.FT = core.FTConfig{}
-	}
+	return WithFTStrategy(Checkpoint(interval))
 }
 
 // WithPartitioner overrides the mode's default graph partitioner.

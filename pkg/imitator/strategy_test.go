@@ -1,0 +1,171 @@
+package imitator_test
+
+import (
+	"reflect"
+	"testing"
+
+	"imitator/internal/core"
+	"imitator/pkg/imitator"
+)
+
+// TestFTStrategyMapping pins each typed constructor to the engine config it
+// produces.
+func TestFTStrategyMapping(t *testing.T) {
+	cases := map[string]struct {
+		strat imitator.FTStrategy
+		check func(t *testing.T, c imitator.Config)
+	}{
+		"replication": {
+			imitator.Replication(imitator.ReplicationK(2), imitator.ReplicationSelfish(false)),
+			func(t *testing.T, c imitator.Config) {
+				if c.Recovery != imitator.RecoverRebirth || !c.FT.Enabled || c.FT.K != 2 || c.FT.SelfishOpt {
+					t.Errorf("replication config wrong: %+v", c)
+				}
+			},
+		},
+		"replication-fallback": {
+			imitator.Replication(imitator.ReplicationFallback()),
+			func(t *testing.T, c imitator.Config) {
+				if !c.RebirthFallback || c.FT.K != 1 {
+					t.Errorf("fallback config wrong: %+v", c)
+				}
+			},
+		},
+		"migration": {
+			imitator.Migration(),
+			func(t *testing.T, c imitator.Config) {
+				if c.Recovery != imitator.RecoverMigration || !c.FT.Enabled {
+					t.Errorf("migration config wrong: %+v", c)
+				}
+			},
+		},
+		"checkpoint": {
+			imitator.Checkpoint(3, imitator.CheckpointInMemory(), imitator.CheckpointIncremental(5)),
+			func(t *testing.T, c imitator.Config) {
+				ck := c.Checkpoint
+				if c.Recovery != imitator.RecoverCheckpoint || !ck.Enabled || ck.Interval != 3 ||
+					!ck.InMemory || !ck.Incremental || ck.FullEvery != 5 || c.FT.Enabled {
+					t.Errorf("checkpoint config wrong: %+v", c)
+				}
+			},
+		},
+		"logged": {
+			imitator.LoggedRecovery(imitator.LoggedCompactEvery(4)),
+			func(t *testing.T, c imitator.Config) {
+				if c.Recovery != imitator.RecoverLogged || !c.Logged.Enabled ||
+					c.Logged.CompactEvery != 4 || c.FT.Enabled || c.Checkpoint.Enabled {
+					t.Errorf("logged config wrong: %+v", c)
+				}
+			},
+		},
+		"none": {
+			imitator.NoRecovery(),
+			func(t *testing.T, c imitator.Config) {
+				if c.Recovery != imitator.RecoverNone || c.FT.Enabled || c.Checkpoint.Enabled || c.Logged.Enabled {
+					t.Errorf("none config wrong: %+v", c)
+				}
+			},
+		},
+	}
+	for name, tc := range cases {
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			cfg := imitator.New(imitator.WithFTStrategy(tc.strat))
+			tc.check(t, cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("strategy config does not validate: %v", err)
+			}
+		})
+	}
+}
+
+// TestFTStrategyByName: the CLI name registry matches the constructors.
+func TestFTStrategyByName(t *testing.T) {
+	for name, wantKind := range map[string]imitator.Recovery{
+		"replication": imitator.RecoverRebirth,
+		"rebirth":     imitator.RecoverRebirth,
+		"migration":   imitator.RecoverMigration,
+		"checkpoint":  imitator.RecoverCheckpoint,
+		"logged":      imitator.RecoverLogged,
+		"none":        imitator.RecoverNone,
+	} {
+		s, ok := imitator.FTStrategyByName(name)
+		if !ok {
+			t.Fatalf("%s: not registered", name)
+		}
+		if cfg := imitator.New(imitator.WithFTStrategy(s)); cfg.Recovery != wantKind {
+			t.Errorf("%s -> %v, want %v", name, cfg.Recovery, wantKind)
+		}
+	}
+	if _, ok := imitator.FTStrategyByName("raid"); ok {
+		t.Error("unknown name accepted")
+	}
+}
+
+// TestDeprecatedOptionsForward: the deprecated recovery options produce the
+// exact configs they always did, now by forwarding through WithFTStrategy.
+func TestDeprecatedOptionsForward(t *testing.T) {
+	oldCkpt := imitator.New(imitator.WithCheckpoint(3))
+	newCkpt := imitator.New(imitator.WithFTStrategy(imitator.Checkpoint(3)))
+	if !reflect.DeepEqual(oldCkpt, newCkpt) {
+		t.Errorf("WithCheckpoint(3) != WithFTStrategy(Checkpoint(3)):\n%+v\n%+v", oldCkpt, newCkpt)
+	}
+
+	// WithRecovery keeps its historical semantics: kind only, replication
+	// layer untouched (the default FT stays on for rebirth/migration).
+	cfg := imitator.New(imitator.WithFT(2), imitator.WithRecovery(imitator.RecoverMigration))
+	if cfg.Recovery != imitator.RecoverMigration || cfg.FT.K != 2 {
+		t.Errorf("WithRecovery clobbered FT: %+v", cfg)
+	}
+	cfg = imitator.New(imitator.WithRecovery(imitator.RecoverCheckpoint))
+	if !cfg.Checkpoint.Enabled || cfg.Checkpoint.Interval != 1 || !cfg.FT.Enabled {
+		t.Errorf("WithRecovery(checkpoint) auto-enable broken: %+v", cfg)
+	}
+	cfg = imitator.New(imitator.WithRecovery(imitator.RecoverLogged))
+	if !cfg.Logged.Enabled {
+		t.Errorf("WithRecovery(logged) left logging off: %+v", cfg)
+	}
+}
+
+// TestLoggedRecoveryEndToEnd drives the new strategy through the facade and
+// reads the uniform stats back.
+func TestLoggedRecoveryEndToEnd(t *testing.T) {
+	g := ring(t, 200)
+	cfg := imitator.New(
+		imitator.WithNodes(4),
+		imitator.WithIterations(8),
+		imitator.WithFTStrategy(imitator.LoggedRecovery(imitator.LoggedCompactEvery(3))),
+		imitator.WithFailure(5, imitator.FailBeforeBarrier, 2),
+	)
+	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recoveries) != 1 || res.Recoveries[0].Kind != "logged" {
+		t.Fatalf("recoveries = %+v, want one logged", res.Recoveries)
+	}
+	if res.Recoveries[0].ReplayIters != 0 {
+		t.Errorf("ReplayIters = %d, want 0 (failure-confined)", res.Recoveries[0].ReplayIters)
+	}
+	if res.Recoveries[0].LogReplaySupersteps == 0 {
+		t.Error("no log supersteps replayed")
+	}
+	st := res.Strategy
+	if st.Kind != "logged" || st.PersistCount != 8 || st.LogRecords == 0 || st.Recoveries != 1 {
+		t.Errorf("Strategy stats wrong: %+v", st)
+	}
+
+	// The same run fault-free matches bit-for-bit.
+	base := cfg
+	base.Chaos = nil
+	want, err := imitator.Run(base, g, imitator.NewPageRank(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Values {
+		if res.Values[v] != want.Values[v] {
+			t.Fatalf("vertex %d: %g != %g", v, res.Values[v], want.Values[v])
+		}
+	}
+	_ = core.RecoverLogged // facade const aliases the engine's
+}
