@@ -47,6 +47,19 @@ type benchEntry struct {
 	RecoverySeconds     float64 `json:"recovery_seconds,omitempty"`
 	SurvivorReplayIters int     `json:"survivor_replay_iters,omitempty"`
 	LogReplaySteps      int     `json:"log_replay_supersteps,omitempty"`
+
+	// Scale tier (scale/* entries): the synthetic graph's dimensions,
+	// parallel-generation wall clock keyed by worker count (the graph is
+	// bit-identical across the sweep), and the compact layout's measured
+	// footprint next to what the retired AoS []Edge + CSR layout would have
+	// used for the same graph.
+	ScaleVertices         int                `json:"scale_vertices,omitempty"`
+	ScaleEdges            int                `json:"scale_edges,omitempty"`
+	GenWallSeconds        map[string]float64 `json:"gen_wall_seconds,omitempty"`
+	FootprintBytes        int64              `json:"footprint_bytes,omitempty"`
+	FootprintBytesPerEdge float64            `json:"footprint_bytes_per_edge,omitempty"`
+	FootprintLegacyBytes  int64              `json:"footprint_legacy_bytes,omitempty"`
+	FootprintSavedPct     float64            `json:"footprint_saved_pct,omitempty"`
 }
 
 // benchReport is the emitted JSON document.
@@ -73,8 +86,10 @@ func measure(f func() error) (wall float64, allocs, bytes uint64, err error) {
 	return wall, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
 }
 
-// runJSON executes the bench suite and writes the report to path.
-func runJSON(opts experiments.Options, path, baselinePath string) error {
+// runJSON executes the bench suite and writes the report to fl.path. When a
+// baseline is given, the regression guards run after the report is written,
+// so a failing run still leaves the evidence on disk.
+func runJSON(opts experiments.Options, fl jsonFlags) error {
 	report := benchReport{
 		Schema:  "imitator-bench/v1",
 		Nodes:   opts.Nodes,
@@ -83,27 +98,11 @@ func runJSON(opts experiments.Options, path, baselinePath string) error {
 		Small:   opts.Small,
 	}
 
-	figures := []struct {
-		id  string
-		run func(experiments.Options) (*experiments.Table, error)
-	}{
-		{"fig7", experiments.Fig7RuntimeOverheadEdgeCut},
-		{"fig13", experiments.Fig13RuntimeOverheadVertexCut},
-	}
-	for _, fig := range figures {
-		wall, allocs, bytes, err := measure(func() error {
-			_, err := fig.run(opts)
-			return err
-		})
-		if err != nil {
-			return fmt.Errorf("%s: %w", fig.id, err)
-		}
-		report.Results = append(report.Results, benchEntry{
-			ID: fig.id, WallSeconds: wall, Allocs: allocs, AllocBytes: bytes,
-		})
-		fmt.Fprintf(os.Stderr, "bench: %s wall=%.2fs allocs=%d\n", fig.id, wall, allocs)
-	}
-
+	// The steady-state probes run FIRST, before the figure suites: figures
+	// load and memoize many datasets, and the grown live set makes every GC
+	// cycle inside a later sub-second probe measurably slower (observed 2x+
+	// on the per-superstep wall). Probe walls are only comparable across
+	// reports when taken on a quiet heap.
 	for _, mode := range []core.Mode{core.EdgeCutMode, core.VertexCutMode} {
 		entry, err := superstepProbe(mode, opts)
 		if err != nil {
@@ -123,13 +122,47 @@ func runJSON(opts experiments.Options, path, baselinePath string) error {
 			e.ID, e.PersistPerSuperstep, e.RecoverySeconds)
 	}
 
-	if baselinePath != "" {
-		data, err := os.ReadFile(baselinePath)
+	if !fl.probesOnly {
+		figures := []struct {
+			id  string
+			run func(experiments.Options) (*experiments.Table, error)
+		}{
+			{"fig7", experiments.Fig7RuntimeOverheadEdgeCut},
+			{"fig13", experiments.Fig13RuntimeOverheadVertexCut},
+		}
+		for _, fig := range figures {
+			wall, allocs, bytes, err := measure(func() error {
+				_, err := fig.run(opts)
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", fig.id, err)
+			}
+			report.Results = append(report.Results, benchEntry{
+				ID: fig.id, WallSeconds: wall, Allocs: allocs, AllocBytes: bytes,
+			})
+			fmt.Fprintf(os.Stderr, "bench: %s wall=%.2fs allocs=%d\n", fig.id, wall, allocs)
+		}
+	}
+
+	if fl.scale {
+		entry, err := scaleProbe(opts, fl.scaleVertices, fl.scaleEdges)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, entry)
+		fmt.Fprintf(os.Stderr, "bench: %s wall=%.2fs footprint=%.1fMB (saved %.1f%%)\n",
+			entry.ID, entry.WallSeconds, float64(entry.FootprintBytes)/(1<<20), entry.FootprintSavedPct)
+	}
+
+	var base *benchReport
+	if fl.basePath != "" {
+		data, err := os.ReadFile(fl.basePath)
 		if err != nil {
 			return fmt.Errorf("bench: baseline: %w", err)
 		}
-		var base benchReport
-		if err := json.Unmarshal(data, &base); err != nil {
+		base = &benchReport{}
+		if err := json.Unmarshal(data, base); err != nil {
 			return fmt.Errorf("bench: baseline: %w", err)
 		}
 		report.Baseline = base.Results
@@ -142,7 +175,53 @@ func runJSON(opts experiments.Options, path, baselinePath string) error {
 		return err
 	}
 	out = append(out, '\n')
-	return os.WriteFile(path, out, 0o644)
+	if err := os.WriteFile(fl.path, out, 0o644); err != nil {
+		return err
+	}
+	if base != nil {
+		return checkBaseline(&report, base, fl)
+	}
+	return nil
+}
+
+// checkBaseline enforces the two regression guards against a baseline run:
+// identity (sim_seconds/msg_bytes must match bit-for-bit on every entry both
+// reports share — these are simulation outputs, so any drift means the
+// semantics changed, not the speed) and wall clock (an entry slower than
+// baseline by more than -max-wall-regress fails; sub-100ms baselines are
+// skipped as pure noise).
+func checkBaseline(report, base *benchReport, fl jsonFlags) error {
+	baseByID := make(map[string]benchEntry, len(base.Results))
+	for _, e := range base.Results {
+		baseByID[e.ID] = e
+	}
+	var problems []string
+	for _, e := range report.Results {
+		b, ok := baseByID[e.ID]
+		if !ok {
+			continue
+		}
+		if fl.checkIdentity && (b.SimSeconds != 0 || b.MsgBytes != 0) {
+			if e.SimSeconds != b.SimSeconds || e.MsgBytes != b.MsgBytes {
+				problems = append(problems, fmt.Sprintf(
+					"%s: identity drift: sim_seconds %v -> %v, msg_bytes %d -> %d",
+					e.ID, b.SimSeconds, e.SimSeconds, b.MsgBytes, e.MsgBytes))
+			}
+		}
+		if fl.maxWallRegress > 0 && b.WallSeconds >= 0.1 &&
+			e.WallSeconds > fl.maxWallRegress*b.WallSeconds {
+			problems = append(problems, fmt.Sprintf(
+				"%s: wall regression: %.2fs -> %.2fs (> %.2fx baseline)",
+				e.ID, b.WallSeconds, e.WallSeconds, fl.maxWallRegress))
+		}
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "bench: FAIL:", p)
+	}
+	return fmt.Errorf("%d baseline check(s) failed (report written anyway)", len(problems))
 }
 
 // ftProbe races log-based failure-confined recovery against the checkpoint
@@ -251,8 +330,11 @@ func superstepProbe(mode core.Mode, opts experiments.Options) (benchEntry, error
 		Allocs:             longAllocs,
 		SimSeconds:         long.SimSeconds,
 		MsgBytes:           long.Metrics.TotalBytes(),
-		Supersteps:         span,
-		AllocsPerSuperstep: float64(longAllocs-shortAllocs) / span,
+		Supersteps: span,
+		// Signed delta: when the steady state is alloc-free, GC noise can
+		// leave the long run a hair under the short one, and an unsigned
+		// subtraction would wrap to 2^64.
+		AllocsPerSuperstep: (float64(longAllocs) - float64(shortAllocs)) / span,
 		WallPerSuperstep:   (longWall - shortWall) / span,
 	}, nil
 }

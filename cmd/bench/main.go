@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"imitator/internal/experiments"
@@ -24,6 +25,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+}
+
+// jsonFlags bundles the -json mode knobs threaded into runJSON.
+type jsonFlags struct {
+	path, basePath string
+	probesOnly     bool
+	scale          bool
+	scaleVertices  int
+	scaleEdges     int
+	maxWallRegress float64
+	checkIdentity  bool
 }
 
 func run(args []string) error {
@@ -38,14 +50,58 @@ func run(args []string) error {
 		small    = fs.Bool("small", false, "shrink datasets and sweeps for a quick pass")
 		jsonPath = fs.String("json", "", "write a wall-clock + allocations report (e.g. BENCH_PR2.json) instead of tables")
 		basePath = fs.String("baseline", "", "embed a previous -json report for side-by-side comparison")
+
+		probesOnly = fs.Bool("probes-only", false, "-json mode: skip the fig7/fig13 workloads, keep the probes (CI smoke)")
+		scale      = fs.Bool("scale", false, "-json mode: add the paper-scale tier (parallel generation + compact-layout footprint + PageRank probe)")
+		scaleVerts = fs.Int("scale-vertices", 640_000, "scale tier |V|")
+		scaleEdges = fs.Int("scale-edges", 22_400_000, "scale tier |E| (default 10x the largest catalog graph)")
+		maxRegress = fs.Float64("max-wall-regress", 1.8, "with -baseline: exit non-zero when an entry's wall clock exceeds baseline by this factor (0 disables)")
+		checkIdent = fs.Bool("check-identity", false, "with -baseline: exit non-zero when sim_seconds/msg_bytes differ from baseline on any shared entry")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := experiments.Options{Nodes: *nodes, Iters: *iters, Workers: *workers, Small: *small}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			}
+		}()
+	}
+
 	if *jsonPath != "" {
-		return runJSON(opts, *jsonPath, *basePath)
+		return runJSON(opts, jsonFlags{
+			path:           *jsonPath,
+			basePath:       *basePath,
+			probesOnly:     *probesOnly,
+			scale:          *scale,
+			scaleVertices:  *scaleVerts,
+			scaleEdges:     *scaleEdges,
+			maxWallRegress: *maxRegress,
+			checkIdentity:  *checkIdent,
+		})
 	}
 
 	var ids []string

@@ -117,12 +117,23 @@ type Cluster[V, A any] struct {
 	aliveList  []*node[V, A]
 	aliveDirty bool
 
-	// Persistent phase workers: runPhase hands alive nodes to NumNodes
-	// long-lived goroutines through work, so steady-state phases spawn no
-	// goroutines and allocate no closures.
-	work    chan *node[V, A]
-	phaseFn func(*node[V, A])
-	phaseWG sync.WaitGroup
+	// Persistent phase workers, two pools sharing phaseFn/phaseWG:
+	// work is the COMPUTE pool, capped at min(NumNodes, HostParallelism)
+	// goroutines — compute phases never block across nodes, so a 64-node
+	// simulation on an 8-core host runs 8 phase goroutines instead of
+	// thrashing the scheduler with 64. workBarrier is the full-width pool
+	// (NumNodes goroutines) reserved for barrier phases, which need every
+	// alive node blocked in coord.EnterBarrier concurrently; when the cap
+	// doesn't bite, both fields alias one pool.
+	work        chan *node[V, A]
+	workBarrier chan *node[V, A]
+	phaseFn     func(*node[V, A])
+	phaseWG     sync.WaitGroup
+	// chunkSlots caps the goroutines chunked()/chunkEncode() use to execute
+	// one node's WorkersPerNode chunks, sized so phase pool x chunk slots
+	// stays at about HostParallelism. The chunk COUNT (sim semantics, cost
+	// model) is untouched — this is pure host scheduling.
+	chunkSlots int
 
 	// Pre-bound phase functions (built once by bindPhases) and the
 	// per-phase parameters they read.
@@ -256,6 +267,19 @@ func NewCluster[V, A any](cfg Config, g *graph.Graph, prog Program[V, A]) (*Clus
 	if err != nil {
 		return nil, err
 	}
+	// Divide the host budget between the phase pool (one goroutine per node,
+	// capped) and each node's chunk execution: with more nodes than cores
+	// the node-level parallelism already saturates the host, so chunks run
+	// inline; with few nodes, leftover cores go to intra-node chunk slots.
+	hostWidth := cfg.hostParallelism()
+	computeWidth := hostWidth
+	if computeWidth > cfg.NumNodes {
+		computeWidth = cfg.NumNodes
+	}
+	c.chunkSlots = hostWidth / computeWidth
+	if c.chunkSlots < 1 {
+		c.chunkSlots = 1
+	}
 	c.bindPhases()
 	if err := c.load(); err != nil {
 		c.stopWorkers()
@@ -374,21 +398,44 @@ func (c *Cluster[V, A]) bindNodeBodies(nd *node[V, A]) {
 	c.bindVertexCutBodies(nd)
 }
 
-// ensureWorkers lazily spawns the persistent phase workers. NumNodes of
-// them, because barrier phases need every alive node blocked in
-// EnterBarrier concurrently.
+// ensureWorkers lazily spawns the persistent phase workers: a compute pool
+// of min(NumNodes, HostParallelism) goroutines for ordinary phases, plus —
+// only when that cap bites — a full NumNodes-wide pool reserved for barrier
+// phases, which block every alive node in coord.EnterBarrier concurrently
+// and would deadlock on a narrower pool. Every other phase body is
+// non-blocking across nodes (compute, flush into netsim buffers, coord KV
+// ops), so the capped pool cannot deadlock and stops oversubscribing the
+// host when NumNodes >> cores.
 func (c *Cluster[V, A]) ensureWorkers() {
 	if c.work != nil {
 		return
+	}
+	computeWidth := c.cfg.hostParallelism()
+	if computeWidth > c.cfg.NumNodes {
+		computeWidth = c.cfg.NumNodes
 	}
 	// Workers range over a captured local, never the c.work field: a worker
 	// that received no work before stopWorkers nils the field would otherwise
 	// race with that write (and could block forever on a nil channel).
 	work := make(chan *node[V, A], c.cfg.NumNodes)
 	c.work = work
-	for i := 0; i < c.cfg.NumNodes; i++ {
+	for i := 0; i < computeWidth; i++ {
 		go func() {
 			for nd := range work {
+				c.phaseFn(nd)
+				c.phaseWG.Done()
+			}
+		}()
+	}
+	if computeWidth == c.cfg.NumNodes {
+		c.workBarrier = work
+		return
+	}
+	workBarrier := make(chan *node[V, A], c.cfg.NumNodes)
+	c.workBarrier = workBarrier
+	for i := 0; i < c.cfg.NumNodes; i++ {
+		go func() {
+			for nd := range workBarrier {
 				c.phaseFn(nd)
 				c.phaseWG.Done()
 			}
@@ -400,8 +447,12 @@ func (c *Cluster[V, A]) ensureWorkers() {
 // demand.
 func (c *Cluster[V, A]) stopWorkers() {
 	if c.work != nil {
+		if c.workBarrier != nil && c.workBarrier != c.work {
+			close(c.workBarrier)
+		}
 		close(c.work)
 		c.work = nil
+		c.workBarrier = nil
 	}
 }
 
@@ -409,12 +460,26 @@ func (c *Cluster[V, A]) stopWorkers() {
 // phaseFn is written while all workers are parked (the previous phase's
 // Wait returned), and the channel sends publish it.
 func (c *Cluster[V, A]) runPhase(fn func(n *node[V, A])) {
+	c.runPhaseOn(fn, false)
+}
+
+// runBarrierPhase is runPhase on the full-width pool; only phases that
+// block until every alive node arrives (coord.EnterBarrier) may need it.
+func (c *Cluster[V, A]) runBarrierPhase(fn func(n *node[V, A])) {
+	c.runPhaseOn(fn, true)
+}
+
+func (c *Cluster[V, A]) runPhaseOn(fn func(n *node[V, A]), barrier bool) {
 	c.ensureWorkers()
 	alive := c.aliveNodes()
 	c.phaseFn = fn
 	c.phaseWG.Add(len(alive))
+	pool := c.work
+	if barrier {
+		pool = c.workBarrier
+	}
 	for _, n := range alive {
-		c.work <- n
+		pool <- n
 	}
 	c.phaseWG.Wait()
 }
@@ -443,7 +508,7 @@ func (c *Cluster[V, A]) eachAlive(fn func(n *node[V, A])) {
 // barrier has every alive node enter the coordination barrier and returns
 // the (shared) barrier state.
 func (c *Cluster[V, A]) barrier() coord.BarrierState {
-	c.runPhase(c.fnBarrier)
+	c.runBarrierPhase(c.fnBarrier)
 	alive := c.aliveNodes()
 	if len(alive) == 0 {
 		return coord.BarrierState{}

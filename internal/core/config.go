@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"imitator/internal/costmodel"
+	"imitator/internal/hostpar"
 	"imitator/internal/partition"
 )
 
@@ -315,13 +316,28 @@ type Config struct {
 	// survivors) instead of failing the job with ErrNoStandby. Requires
 	// FT.Enabled.
 	RebirthFallback bool
-	// WorkersPerNode is the width of each node's intra-node worker pool.
-	// Compute phases (gather/apply, sync encode, recovery reconstruction,
-	// checkpoint encode) shard the node's vertex array into this many
-	// contiguous chunks processed concurrently; results are reduced in chunk
-	// order so every byte stream and vertex value is identical for any pool
-	// width. Must be >= 1; DefaultConfig sets 1 (the paper's serial engine).
+	// WorkersPerNode is the width of each node's intra-node worker pool in
+	// the SIMULATION: compute phases (gather/apply, sync encode, recovery
+	// reconstruction, checkpoint encode) shard the node's vertex array into
+	// this many contiguous chunks, and the chunk count feeds the cost model
+	// (costmodel.ComputeTime), so it changes simulated seconds. Results are
+	// reduced in chunk order, so every byte stream and vertex value is
+	// identical for any pool width. Must be >= 1; DefaultConfig sets 1 (the
+	// paper's serial engine).
+	//
+	// WorkersPerNode does NOT control how many goroutines actually run:
+	// that is HostParallelism. A 64-node job with WorkersPerNode=8 simulates
+	// 512 workers but executes on min(64, HostParallelism) phase goroutines,
+	// each running its node's 8 chunks on at most HostParallelism chunk
+	// slots.
 	WorkersPerNode int
+	// HostParallelism caps the real goroutines the engine uses per phase —
+	// the node-level phase pool and the intra-node chunk execution slots.
+	// 0 (the default) means runtime.GOMAXPROCS(0). It has no effect on any
+	// simulated result: sim_seconds and every byte stream are identical for
+	// all values. Barrier phases are exempt from the cap, because every
+	// alive node must block in the coordination barrier concurrently.
+	HostParallelism int
 
 	Cost costmodel.Params
 	// Failures is the legacy synchronous crash schedule.
@@ -349,6 +365,18 @@ func (c *Config) Validate() error {
 	}
 	if c.WorkersPerNode < 1 {
 		return fmt.Errorf("core: WorkersPerNode must be >= 1, got %d (set it to 1 for the serial engine, or runtime.GOMAXPROCS(0) to use every core)", c.WorkersPerNode)
+	}
+	if c.HostParallelism < 0 {
+		return fmt.Errorf("core: HostParallelism must be >= 0, got %d (0 uses GOMAXPROCS)", c.HostParallelism)
+	}
+	// NumNodes*WorkersPerNode is the simulated task count per phase, not a
+	// goroutine count — execution is capped at HostParallelism — but an
+	// absurd product still costs NumNodes*WorkersPerNode stager structures
+	// and per-chunk merge work, so reject configurations that oversubscribe
+	// the simulation beyond any plausible host.
+	if c.NumNodes*c.WorkersPerNode > maxSimTasks {
+		return fmt.Errorf("core: NumNodes (%d) x WorkersPerNode (%d) = %d simulated tasks per phase exceeds %d; this oversubscription is almost certainly a mistake — the host executes at most HostParallelism (%d resolved) goroutines regardless",
+			c.NumNodes, c.WorkersPerNode, c.NumNodes*c.WorkersPerNode, maxSimTasks, c.hostParallelism())
 	}
 	if c.MaxRebirths < 0 {
 		return fmt.Errorf("core: MaxRebirths must be >= 0, got %d", c.MaxRebirths)
@@ -512,6 +540,19 @@ func (c *Config) validateChaosEvent(ev ChaosEvent) error {
 	default:
 		return fmt.Errorf("%w: unknown chaos kind %v", ErrInvalidSchedule, ev.Kind)
 	}
+}
+
+// maxSimTasks bounds NumNodes*WorkersPerNode. 16384 comfortably covers the
+// paper's 50-node cluster at hundreds of simulated workers per node while
+// catching runaway configurations.
+const maxSimTasks = 16384
+
+// hostParallelism resolves the effective host goroutine cap.
+func (c *Config) hostParallelism() int {
+	if c.HostParallelism > 0 {
+		return c.HostParallelism
+	}
+	return hostpar.Limit()
 }
 
 // DefaultConfig returns a ready-to-run configuration for the given mode.

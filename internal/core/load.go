@@ -7,8 +7,13 @@ import (
 	"sort"
 
 	"imitator/internal/graph"
+	"imitator/internal/hostpar"
 	"imitator/internal/partition"
 )
+
+// loadMinBlock is the smallest per-goroutine vertex block in the parallel
+// load phases.
+const loadMinBlock = 1 << 13
 
 // vertexPresence records where one vertex's replicas live (master node
 // excluded) and which of them exist only for fault tolerance.
@@ -59,15 +64,23 @@ func (c *Cluster[V, A]) load() error {
 	if err != nil {
 		return err
 	}
-	for v := 0; v < numV; v++ {
-		if c.ec != nil {
-			c.masterLoc[v] = int16(c.ec.Owner[v])
-		} else {
-			c.masterLoc[v] = int16(c.vcut.Master[v])
+	width := c.cfg.hostParallelism()
+	hostpar.Blocks(numV, loadMinBlock, width, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if c.ec != nil {
+				c.masterLoc[v] = int16(c.ec.Owner[v])
+			} else {
+				c.masterLoc[v] = int16(c.vcut.Master[v])
+			}
 		}
-	}
+	})
 
-	// 2. Computation-replica presence per vertex.
+	// 2. Computation-replica presence per vertex. Sharded over the vertex
+	// that OWNS the presence list: every append below goes to pres[v] for a
+	// v inside the worker's block, so blocks are write-disjoint. Per-vertex
+	// append order differs from the sequential edge sweep, but sortByNode
+	// canonicalizes the lists (hosts are deduplicated, hence unique), so the
+	// post-sort presence tables are identical for any worker count.
 	pres := make([]vertexPresence, numV)
 	addPresence := func(v graph.VertexID, n int16) {
 		if n == c.masterLoc[v] {
@@ -82,16 +95,27 @@ func (c *Cluster[V, A]) load() error {
 		pr.nodes = append(pr.nodes, n)
 		pr.ftOnly = append(pr.ftOnly, false)
 	}
-	if c.ec != nil {
-		for _, e := range c.g.Edges() {
-			addPresence(e.Src, int16(c.ec.Owner[e.Dst]))
+	hostpar.Blocks(numV, loadMinBlock, width, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			vid := graph.VertexID(v)
+			if c.ec != nil {
+				// An out-edge replicates its source onto the node owning the
+				// destination's master.
+				c.g.OutEdges(vid, func(_ int, e graph.Edge) {
+					addPresence(vid, int16(c.ec.Owner[e.Dst]))
+				})
+			} else {
+				// Vertex-cut: both endpoints are present wherever the edge
+				// lives.
+				c.g.OutEdges(vid, func(i int, _ graph.Edge) {
+					addPresence(vid, int16(c.vcut.EdgeOwner[i]))
+				})
+				c.g.InEdges(vid, func(i int, _ graph.Edge) {
+					addPresence(vid, int16(c.vcut.EdgeOwner[i]))
+				})
+			}
 		}
-	} else {
-		for i, e := range c.g.Edges() {
-			addPresence(e.Src, int16(c.vcut.EdgeOwner[i]))
-			addPresence(e.Dst, int16(c.vcut.EdgeOwner[i]))
-		}
-	}
+	})
 
 	// 3. Fault-tolerant replicas (§4.1): guarantee >= K replicas per vertex,
 	// placed greedily on the nodes with the fewest replicas so far.
@@ -191,7 +215,7 @@ func (c *Cluster[V, A]) load() error {
 		}
 	}
 	c.nodes = make([]*node[V, A], p)
-	for n := 0; n < p; n++ {
+	hostpar.For(p, width, func(n int) {
 		nd := &node[V, A]{
 			id:    n,
 			alive: true,
@@ -221,68 +245,98 @@ func (c *Cluster[V, A]) load() error {
 		for _, v := range perNodeReplicas[n] {
 			appendEntry(v, false)
 		}
-		c.initNodeScratch(nd)
 		c.nodes[n] = nd
+	})
+	for _, nd := range c.nodes {
+		// initNodeScratch touches cluster-wide state (aliveDirty), so it
+		// stays outside the parallel section.
+		c.initNodeScratch(nd)
 	}
 
-	// 6. Fill master positions and replica metadata.
-	for v := 0; v < numV; v++ {
-		vid := graph.VertexID(v)
-		mn := c.masterLoc[v]
-		mpos := c.nodes[mn].index[vid]
-		me := &c.nodes[mn].entries[mpos]
-		me.masterPos = mpos
-		pr := &pres[v]
-		me.replicaNodes = pr.nodes
-		me.replicaFTOnly = pr.ftOnly
-		me.mirrorOf = pr.mirrors
-		me.replicaPos = make([]int32, len(pr.nodes))
-		for i, rn := range pr.nodes {
-			rpos := c.nodes[rn].index[vid]
-			me.replicaPos[i] = rpos
-			re := &c.nodes[rn].entries[rpos]
-			re.masterPos = mpos
-			if pr.ftOnly[i] {
-				re.flags |= flagFTOnly
+	// 6. Fill master positions and replica metadata. Sharded by vertex:
+	// every write lands in vertex v's own entries (master plus replicas),
+	// which are disjoint across vertices; the index maps are read-only from
+	// here on.
+	hostpar.Blocks(numV, loadMinBlock, width, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			vid := graph.VertexID(v)
+			mn := c.masterLoc[v]
+			mpos := c.nodes[mn].index[vid]
+			me := &c.nodes[mn].entries[mpos]
+			me.masterPos = mpos
+			pr := &pres[v]
+			me.replicaNodes = pr.nodes
+			me.replicaFTOnly = pr.ftOnly
+			me.mirrorOf = pr.mirrors
+			me.replicaPos = make([]int32, len(pr.nodes))
+			for i, rn := range pr.nodes {
+				rpos := c.nodes[rn].index[vid]
+				me.replicaPos[i] = rpos
+				re := &c.nodes[rn].entries[rpos]
+				re.masterPos = mpos
+				if pr.ftOnly[i] {
+					re.flags |= flagFTOnly
+				}
+			}
+			for rank, idx := range pr.mirrors {
+				rn := pr.nodes[idx]
+				re := &c.nodes[rn].entries[me.replicaPos[idx]]
+				re.flags |= flagMirror
+				re.mirrorRank = int16(rank)
+				c.fillMirrorState(re, me, vid)
 			}
 		}
-		for rank, idx := range pr.mirrors {
-			rn := pr.nodes[idx]
-			re := &c.nodes[rn].entries[me.replicaPos[idx]]
-			re.flags |= flagMirror
-			re.mirrorRank = int16(rank)
-			c.fillMirrorState(re, me, vid)
+	})
+
+	// 7. Local topology. A stable counting sort groups the canonical edge
+	// indexes by owning node, then each node attaches its own group — in
+	// ascending canonical order, i.e. exactly the order the sequential sweep
+	// used, so the inNbr/inWt append order (and therefore every downstream
+	// floating-point reduction) is bit-identical. Writes stay inside the
+	// owning node's entries.
+	{
+		m := c.g.NumEdges()
+		ownerOf := func(i int, e graph.Edge) int32 {
+			if c.ec != nil {
+				return c.ec.Owner[e.Dst]
+			}
+			return c.vcut.EdgeOwner[i]
 		}
+		nodeOff := make([]int32, p+1)
+		c.g.EachEdge(func(i int, e graph.Edge) {
+			nodeOff[ownerOf(i, e)+1]++
+		})
+		for n := 0; n < p; n++ {
+			nodeOff[n+1] += nodeOff[n]
+		}
+		byNode := make([]int32, m)
+		cursor := make([]int32, p)
+		copy(cursor, nodeOff[:p])
+		c.g.EachEdge(func(i int, e graph.Edge) {
+			o := ownerOf(i, e)
+			byNode[cursor[o]] = int32(i)
+			cursor[o]++
+		})
+		hostpar.For(p, width, func(n int) {
+			nd := c.nodes[n]
+			for _, ei := range byNode[nodeOff[n]:nodeOff[n+1]] {
+				e := c.g.Edge(int(ei))
+				wpos := nd.index[e.Dst]
+				upos := nd.index[e.Src]
+				we := &nd.entries[wpos]
+				we.inNbr = append(we.inNbr, upos)
+				we.inWt = append(we.inWt, e.Weight)
+				nd.entries[upos].outNbr = append(nd.entries[upos].outNbr, wpos)
+				nd.localEdges++
+			}
+		})
 	}
 
-	// 7. Local topology.
-	if c.ec != nil {
-		for _, e := range c.g.Edges() {
-			nd := c.nodes[c.ec.Owner[e.Dst]]
-			wpos := nd.index[e.Dst]
-			upos := nd.index[e.Src]
-			we := &nd.entries[wpos]
-			we.inNbr = append(we.inNbr, upos)
-			we.inWt = append(we.inWt, e.Weight)
-			nd.entries[upos].outNbr = append(nd.entries[upos].outNbr, wpos)
-			nd.localEdges++
-		}
-	} else {
-		for i, e := range c.g.Edges() {
-			nd := c.nodes[c.vcut.EdgeOwner[i]]
-			wpos := nd.index[e.Dst]
-			upos := nd.index[e.Src]
-			we := &nd.entries[wpos]
-			we.inNbr = append(we.inNbr, upos)
-			we.inWt = append(we.inWt, e.Weight)
-			nd.entries[upos].outNbr = append(nd.entries[upos].outNbr, wpos)
-			nd.localEdges++
-		}
-	}
-
-	// 8. Initial values and activity.
+	// 8. Initial values and activity (per-node entries are write-disjoint;
+	// Program.Init is pure by the determinism rules).
 	always := c.prog.AlwaysActive()
-	for _, nd := range c.nodes {
+	hostpar.For(p, width, func(n int) {
+		nd := c.nodes[n]
 		for i := range nd.entries {
 			e := &nd.entries[i]
 			val, act := c.prog.Init(e.id, e.info())
@@ -291,7 +345,7 @@ func (c *Cluster[V, A]) load() error {
 			e.lastActivateIter = -1
 			e.lastTouchedIter = -1 // untouched; epoch-0 snapshot is full anyway
 		}
-	}
+	})
 
 	// 9. Edge-ckpt files for vertex-cut (§4.3): each node's local edges are
 	// partitioned into per-recovery-node files on the DFS, keyed by the

@@ -50,6 +50,63 @@ func TestChunkBoundsProperty(t *testing.T) {
 	}
 }
 
+// TestChunkBoundsEdgeCases pins the explicit boundary behaviors the
+// property test covers only probabilistically.
+func TestChunkBoundsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		n, p int
+		want [][2]int
+	}{
+		{"empty", 0, 4, nil},
+		{"empty one worker", 0, 1, nil},
+		{"fewer items than workers", 3, 8, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{"one worker", 5, 1, [][2]int{{0, 5}}},
+		{"zero workers clamps to one", 5, 0, [][2]int{{0, 5}}},
+		{"negative workers clamps to one", 5, -3, [][2]int{{0, 5}}},
+		{"single item", 1, 4, [][2]int{{0, 1}}},
+		{"remainder spread", 7, 3, [][2]int{{0, 3}, {3, 5}, {5, 7}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := chunkBounds(tc.n, tc.p)
+			if len(got) != len(tc.want) {
+				t.Fatalf("chunkBounds(%d, %d) = %v, want %v", tc.n, tc.p, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("chunkBounds(%d, %d) = %v, want %v", tc.n, tc.p, got, tc.want)
+				}
+			}
+		})
+	}
+	// appendChunkBounds reuses the destination slice without reallocating
+	// when capacity suffices.
+	scratch := make([][2]int, 0, 8)
+	out := appendChunkBounds(scratch, 10, 4)
+	if len(out) != 4 || &out[0] != &scratch[:1][0] {
+		t.Fatalf("appendChunkBounds did not reuse the scratch slice")
+	}
+}
+
+// TestRunChunksSlotInvariance checks that the slot cap is pure host
+// scheduling: every chunk runs exactly once with its own index for any
+// chunkSlots setting, including slots > chunks and slots = 0.
+func TestRunChunksSlotInvariance(t *testing.T) {
+	for _, slots := range []int{0, 1, 2, 3, 8, 64} {
+		for _, k := range []int{0, 1, 2, 7, 32} {
+			c := &Cluster[int32, int32]{chunkSlots: slots}
+			ran := make([]int32, k)
+			c.runChunks(k, func(w int) { ran[w]++ })
+			for w, cnt := range ran {
+				if cnt != 1 {
+					t.Fatalf("slots=%d k=%d: chunk %d ran %d times", slots, k, w, cnt)
+				}
+			}
+		}
+	}
+}
+
 // TestChunkedReductionProperty is the determinism argument in miniature:
 // for any entry count, worker count and per-entry destination assignment,
 // running the staged encoding through the pool and merging in chunk order
@@ -61,6 +118,9 @@ func TestChunkedReductionProperty(t *testing.T) {
 	prop := func(payload []byte, p8 uint8) bool {
 		n := len(payload)
 		c.cfg.WorkersPerNode = int(p8)%maxWorkers + 1
+		// Vary the host slot cap independently of the chunk count: the
+		// merged output must not depend on it.
+		c.chunkSlots = int(p8)/maxWorkers%4 + 1
 
 		// Sequential reference: entry i emits one record to dst i%numDst.
 		want := make([][]byte, numDst)

@@ -128,6 +128,63 @@ func TestWorkerCostModel(t *testing.T) {
 	}
 }
 
+// TestHostParallelismInvariance is the host-scheduling counterpart of
+// TestWorkerCountDeterminism: HostParallelism caps real goroutines (phase
+// pool + chunk slots) and must never change a simulated number. The sweep
+// covers a pool narrower than the cluster (1 < 6 nodes, which also splits
+// the barrier pool from the compute pool), equal, and wider, under a
+// mid-run crash so the recovery paths run on the capped pool too.
+func TestHostParallelismInvariance(t *testing.T) {
+	g := datasets.Tiny(600, 3600, 77)
+	for _, mode := range []core.Mode{core.EdgeCutMode, core.VertexCutMode} {
+		mode := mode
+		t.Run(map[core.Mode]string{core.EdgeCutMode: "edgecut", core.VertexCutMode: "vertexcut"}[mode], func(t *testing.T) {
+			t.Parallel()
+			base := ftConfig(mode, 6, 8, 1, core.RecoverRebirth)
+			base.WorkersPerNode = 4
+			base.Failures = failAt(4, core.FailBeforeBarrier, 2)
+
+			var ref *core.Result[float64]
+			for _, hp := range []int{0, 1, 2, 6, 16} {
+				cfg := base
+				cfg.HostParallelism = hp
+				res := runPR(t, cfg, g)
+				if ref == nil {
+					ref = res
+					continue
+				}
+				valuesEqual(t, "hostpar", res.Values, ref.Values, 0)
+				if res.SimSeconds != ref.SimSeconds {
+					t.Errorf("hostpar=%d: sim %v != %v", hp, res.SimSeconds, ref.SimSeconds)
+				}
+				if got, want := res.Metrics.TotalBytes(), ref.Metrics.TotalBytes(); got != want {
+					t.Errorf("hostpar=%d: total bytes %d != %d", hp, got, want)
+				}
+				if len(res.Recoveries) != len(ref.Recoveries) {
+					t.Errorf("hostpar=%d: %d recoveries != %d", hp, len(res.Recoveries), len(ref.Recoveries))
+				}
+			}
+		})
+	}
+}
+
+func TestValidateHostParallelism(t *testing.T) {
+	cfg := core.DefaultConfig(core.EdgeCutMode, 4)
+	cfg.HostParallelism = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("HostParallelism=-1 validated")
+	}
+	cfg.HostParallelism = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("HostParallelism=0 rejected: %v", err)
+	}
+	// Oversubscription is explicit: NumNodes x WorkersPerNode is capped.
+	cfg.WorkersPerNode = 8192
+	if err := cfg.Validate(); err == nil {
+		t.Error("4 nodes x 8192 workers (32768 sim tasks) validated")
+	}
+}
+
 func TestValidateWorkersPerNode(t *testing.T) {
 	cfg := core.DefaultConfig(core.EdgeCutMode, 4)
 	if cfg.WorkersPerNode != 1 {

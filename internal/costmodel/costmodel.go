@@ -130,6 +130,11 @@ func (p Params) SuspectBeats() int {
 // the parallel remainder is bounded by the slowest worker (Amdahl's law with
 // explicit load imbalance). With one worker slowest == total and the result
 // is exactly `total`, so single-worker figures match the paper's model.
+//
+// Both inputs are SIMULATED widths: they come from Config.WorkersPerNode
+// chunking, never from how many host goroutines actually executed the
+// chunks (Config.HostParallelism), so host scheduling cannot perturb the
+// simulated clock.
 func (p Params) ComputeTime(total, slowest float64) float64 {
 	if slowest >= total {
 		return total

@@ -31,6 +31,14 @@ type PowerLawConfig struct {
 	// GWeb and LJournal have >10% such vertices (Fig 3a).
 	SelfishFraction float64
 	Seed            uint64
+	// Workers selects the generation path. 0 keeps the original sequential
+	// emission, byte-compatible with every graph checked into benchmark
+	// baselines. Any value >= 1 switches to the sharded deterministic path
+	// (see parallel.go), whose output depends only on Seed — the same graph
+	// comes back for Workers 1, 2 or 64 — but differs from the Workers == 0
+	// graph because edges are planned per-vertex instead of drawn from one
+	// sequential stream.
+	Workers int
 }
 
 // PowerLaw generates a directed power-law graph.
@@ -43,6 +51,9 @@ func PowerLaw(cfg PowerLawConfig) (*graph.Graph, error) {
 	}
 	if cfg.SelfishFraction < 0 || cfg.SelfishFraction >= 1 {
 		return nil, fmt.Errorf("gen: selfish fraction %v outside [0,1)", cfg.SelfishFraction)
+	}
+	if cfg.Workers != 0 {
+		return powerLawParallel(cfg)
 	}
 	r := rng.New(cfg.Seed)
 	n := cfg.NumVertices
@@ -155,12 +166,18 @@ type RoadConfig struct {
 	WeightMu      float64
 	WeightSigma   float64
 	Seed          uint64
+	// Workers: 0 = sequential legacy path, >= 1 = deterministic parallel
+	// path (output independent of the worker count; see parallel.go).
+	Workers int
 }
 
 // Road generates a bidirectional lattice road network with weights.
 func Road(cfg RoadConfig) (*graph.Graph, error) {
 	if cfg.Width < 2 || cfg.Height < 2 {
 		return nil, fmt.Errorf("gen: road grid must be at least 2x2, got %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.Workers != 0 {
+		return roadParallel(cfg)
 	}
 	r := rng.New(cfg.Seed)
 	n := cfg.Width * cfg.Height
@@ -237,6 +254,9 @@ type CommunityConfig struct {
 	IntraDegree    float64 // expected intra-community out-degree per vertex
 	InterDegree    float64 // expected cross-community out-degree per vertex
 	Seed           uint64
+	// Workers: 0 = sequential legacy path, >= 1 = deterministic parallel
+	// path (output independent of the worker count; see parallel.go).
+	Workers int
 }
 
 // Community generates a community-structured graph.
@@ -246,6 +266,9 @@ func Community(cfg CommunityConfig) (*graph.Graph, error) {
 	}
 	if cfg.NumCommunities > cfg.NumVertices {
 		return nil, fmt.Errorf("gen: more communities (%d) than vertices (%d)", cfg.NumCommunities, cfg.NumVertices)
+	}
+	if cfg.Workers != 0 {
+		return communityParallel(cfg)
 	}
 	r := rng.New(cfg.Seed)
 	n := cfg.NumVertices
@@ -289,6 +312,27 @@ func Community(cfg CommunityConfig) (*graph.Graph, error) {
 	return graph.New(n, edges)
 }
 
+// UniformConfig parameterizes Erdős–Rényi generation for UniformGraph.
+type UniformConfig struct {
+	NumVertices int
+	NumEdges    int
+	Seed        uint64
+	// Workers: 0 = sequential legacy path (identical to Uniform), >= 1 =
+	// deterministic parallel path (output independent of the worker count).
+	Workers int
+}
+
+// UniformGraph is the config form of Uniform, adding the parallel path.
+func UniformGraph(cfg UniformConfig) (*graph.Graph, error) {
+	if cfg.Workers != 0 {
+		if cfg.NumVertices <= 1 {
+			return nil, fmt.Errorf("gen: uniform needs >= 2 vertices, got %d", cfg.NumVertices)
+		}
+		return uniformParallel(cfg)
+	}
+	return Uniform(cfg.NumVertices, cfg.NumEdges, cfg.Seed)
+}
+
 // Uniform generates a uniform random directed graph (Erdős–Rényi G(n, m)),
 // useful for tests where skew is unwanted.
 func Uniform(numVertices, numEdges int, seed uint64) (*graph.Graph, error) {
@@ -312,10 +356,17 @@ func Uniform(numVertices, numEdges int, seed uint64) (*graph.Graph, error) {
 // as the paper does for RoadCA.
 func WithLogNormalWeights(g *graph.Graph, mu, sigma float64, seed uint64) *graph.Graph {
 	r := rng.New(seed)
-	src := g.Edges()
-	edges := make([]graph.Edge, len(src))
-	for i, e := range src {
-		edges[i] = graph.Edge{Src: e.Src, Dst: e.Dst, Weight: r.LogNormal(mu, sigma)}
+	m := g.NumEdges()
+	src := make([]graph.VertexID, m)
+	dst := make([]graph.VertexID, m)
+	wt := make([]float64, m)
+	g.EachEdge(func(i int, e graph.Edge) {
+		src[i], dst[i] = e.Src, e.Dst
+		wt[i] = r.LogNormal(mu, sigma)
+	})
+	out, err := graph.NewFromSOA(g.NumVertices(), src, dst, wt)
+	if err != nil {
+		panic(err) // endpoints come from a valid graph
 	}
-	return graph.MustNew(g.NumVertices(), edges)
+	return out
 }

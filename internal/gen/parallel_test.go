@@ -1,0 +1,186 @@
+package gen
+
+import (
+	"testing"
+
+	"imitator/internal/graph"
+	"imitator/internal/rng"
+)
+
+// fingerprint hashes a graph's exact edge sequence (order-sensitive) and
+// weights, so two graphs compare equal only if they are identical.
+func fingerprint(g *graph.Graph) uint64 {
+	h := rng.Hash2(uint64(g.NumVertices()), uint64(g.NumEdges()))
+	g.EachEdge(func(i int, e graph.Edge) {
+		h = rng.Hash2(h, rng.Hash2(uint64(e.Src), uint64(e.Dst)))
+		if e.Weight != 1 {
+			// Weights are finite positives here; fold the bits in directly.
+			h = rng.Hash2(h, uint64(int64(e.Weight*1e9)))
+		}
+	})
+	return h
+}
+
+var workerSweep = []int{1, 2, 8}
+
+// TestParallelPowerLawDeterminism: the sharded path returns the identical
+// graph for every worker count, honors an exact edge target, and keeps the
+// sink (selfish) vertices edge-free.
+func TestParallelPowerLawDeterminism(t *testing.T) {
+	cfg := PowerLawConfig{
+		NumVertices: 5000, NumEdges: 40000, Alpha: 2.0,
+		SelfishFraction: 0.1, Seed: 42,
+	}
+	var want uint64
+	for i, workers := range workerSweep {
+		cfg.Workers = workers
+		g, err := PowerLaw(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if g.NumEdges() != cfg.NumEdges {
+			t.Fatalf("workers=%d: got %d edges, want exactly %d", workers, g.NumEdges(), cfg.NumEdges)
+		}
+		fp := fingerprint(g)
+		if i == 0 {
+			want = fp
+		} else if fp != want {
+			t.Fatalf("workers=%d graph differs from workers=1", workers)
+		}
+		if g.NumSelfish() < int(cfg.SelfishFraction*float64(cfg.NumVertices)) {
+			t.Fatalf("workers=%d: selfish count %d below configured fraction", workers, g.NumSelfish())
+		}
+	}
+	// A different seed must give a different graph.
+	cfg.Workers, cfg.Seed = 1, 43
+	g2, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(g2) == want {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestParallelRoadDeterminism(t *testing.T) {
+	cfg := RoadConfig{
+		Width: 120, Height: 80, ShortcutFrac: 0.05,
+		WeightMu: 0.4, WeightSigma: 1.2, Seed: 7,
+	}
+	var want uint64
+	var wantEdges int
+	for i, workers := range workerSweep {
+		cfg.Workers = workers
+		g, err := Road(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !g.Weighted() {
+			t.Fatalf("workers=%d: road graph lost its weights", workers)
+		}
+		fp := fingerprint(g)
+		if i == 0 {
+			want, wantEdges = fp, g.NumEdges()
+		} else if fp != want || g.NumEdges() != wantEdges {
+			t.Fatalf("workers=%d graph differs from workers=1", workers)
+		}
+	}
+}
+
+func TestParallelUniformDeterminism(t *testing.T) {
+	cfg := UniformConfig{NumVertices: 3000, NumEdges: 25000, Seed: 11}
+	var want uint64
+	for i, workers := range workerSweep {
+		cfg.Workers = workers
+		g, err := UniformGraph(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if g.NumEdges() != cfg.NumEdges {
+			t.Fatalf("workers=%d: got %d edges, want %d", workers, g.NumEdges(), cfg.NumEdges)
+		}
+		fp := fingerprint(g)
+		if i == 0 {
+			want = fp
+		} else if fp != want {
+			t.Fatalf("workers=%d graph differs from workers=1", workers)
+		}
+	}
+	// Workers == 0 dispatches to the legacy sequential generator.
+	cfg.Workers = 0
+	g, err := UniformGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Uniform(cfg.NumVertices, cfg.NumEdges, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(g) != fingerprint(legacy) {
+		t.Fatal("UniformGraph with Workers=0 differs from Uniform")
+	}
+}
+
+func TestParallelCommunityDeterminism(t *testing.T) {
+	cfg := CommunityConfig{
+		NumVertices: 4000, NumCommunities: 20,
+		IntraDegree: 6, InterDegree: 1.5, Seed: 5,
+	}
+	var want uint64
+	var wantEdges int
+	for i, workers := range workerSweep {
+		cfg.Workers = workers
+		g, err := Community(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fp := fingerprint(g)
+		if i == 0 {
+			want, wantEdges = fp, g.NumEdges()
+			if wantEdges == 0 {
+				t.Fatal("community graph came back empty")
+			}
+		} else if fp != want || g.NumEdges() != wantEdges {
+			t.Fatalf("workers=%d graph differs from workers=1", workers)
+		}
+	}
+}
+
+// TestParallelPowerLawEmergentEdges covers the NumEdges == 0 path, where
+// the count emerges from Alpha (~3|V|) and must still be worker-invariant.
+func TestParallelPowerLawEmergentEdges(t *testing.T) {
+	cfg := PowerLawConfig{NumVertices: 2000, Alpha: 2.1, Seed: 9}
+	var want uint64
+	var wantEdges int
+	for i, workers := range workerSweep {
+		cfg.Workers = workers
+		g, err := PowerLaw(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fp := fingerprint(g)
+		if i == 0 {
+			want, wantEdges = fp, g.NumEdges()
+			if wantEdges < cfg.NumVertices || wantEdges > 6*cfg.NumVertices {
+				t.Fatalf("emergent edge count %d implausible for alpha=%v", wantEdges, cfg.Alpha)
+			}
+		} else if fp != want || g.NumEdges() != wantEdges {
+			t.Fatalf("workers=%d graph differs from workers=1", workers)
+		}
+	}
+}
+
+// TestParallelPowerLawQuotaSqueeze drives the exact-target adjustment into
+// its second (floor 0) phase: fewer target edges than non-sink vertices.
+func TestParallelPowerLawQuotaSqueeze(t *testing.T) {
+	cfg := PowerLawConfig{
+		NumVertices: 1000, NumEdges: 300, Alpha: 2.0, Seed: 3, Workers: 2,
+	}
+	g, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != cfg.NumEdges {
+		t.Fatalf("got %d edges, want exactly %d", g.NumEdges(), cfg.NumEdges)
+	}
+}

@@ -4,14 +4,25 @@
 // partitioned views.
 //
 // Graphs are directed and optionally weighted. Vertices are dense integers
-// [0, NumVertices). Edges are stored as a flat edge list; compressed views
-// (CSR by destination and by source) are built on demand and cached.
+// [0, NumVertices). The canonical edge order is insertion order — edge i is
+// the i-th edge handed to the constructor — and every traversal (EachEdge,
+// InEdges, OutEdges) replays that order, which is what keeps downstream
+// floating-point reductions bit-identical across layout changes.
+//
+// Memory layout: endpoints live in structure-of-arrays form, width-reduced
+// to uint16 when the vertex count permits; weights are elided entirely for
+// unweighted graphs; and both compressed adjacencies (CSR by destination and
+// by source) index back into the canonical arrays. The legacy []Edge view is
+// materialized only on demand (Edges) — the engine paths never need it.
 package graph
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+
+	"imitator/internal/hostpar"
 )
 
 // VertexID identifies a vertex. Dense in [0, NumVertices).
@@ -24,21 +35,36 @@ type Edge struct {
 	Weight   float64
 }
 
-// Graph is an immutable directed graph. Build one with New and Finalize, or
-// via the generators in internal/gen.
+// narrowLimit is the vertex count at or below which endpoints fit uint16.
+const narrowLimit = 1 << 16
+
+// Graph is an immutable directed graph. Build one with New or NewFromSOA,
+// or via the generators in internal/gen.
 type Graph struct {
 	numVertices int
-	edges       []Edge
+	numEdges    int
 
-	// Lazily built indexes (Finalize builds them eagerly).
-	inCSR  *csr // edges grouped by Dst
-	outCSR *csr // edges grouped by Src
-	inDeg  []int32
-	outDeg []int32
+	// Canonical endpoint arrays in insertion order. Exactly one width is
+	// populated: the 16-bit pair when numVertices <= narrowLimit, else the
+	// 32-bit pair.
+	src32, dst32 []VertexID
+	src16, dst16 []uint16
+	// wt holds per-edge weights; nil when every weight is 1 (unweighted).
+	wt []float64
+
+	inCSR  csr // edges grouped by Dst
+	outCSR csr // edges grouped by Src
+
+	// edgesView is the legacy []Edge materialization, built lazily by
+	// Edges() for callers that want a flat slice; engine paths use EachEdge
+	// and the indexed accessors instead, so large graphs never pay for it.
+	edgesOnce sync.Once
+	edgesView []Edge
 }
 
 // csr is a compressed adjacency: offsets[v]..offsets[v+1] index into edgeIdx,
-// which points back into the flat edge list.
+// which points back into the canonical edge arrays. Degrees are derived from
+// offsets, so no separate degree arrays are kept.
 type csr struct {
 	offsets []int32
 	edgeIdx []int32
@@ -47,18 +73,50 @@ type csr struct {
 // ErrVertexOutOfRange reports an edge endpoint outside [0, NumVertices).
 var ErrVertexOutOfRange = errors.New("graph: vertex id out of range")
 
-// New builds a graph from an edge list. It validates endpoints and builds
-// both adjacency indexes. The edge slice is retained; callers must not
-// mutate it afterwards.
+// New builds a graph from an edge list. It validates endpoints, converts the
+// list into the compact layout and builds both adjacency indexes; the input
+// slice is not retained.
 func New(numVertices int, edges []Edge) (*Graph, error) {
 	if numVertices < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", numVertices)
 	}
-	g := &Graph{numVertices: numVertices, edges: edges}
 	for i, e := range edges {
 		if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
 			return nil, fmt.Errorf("%w: edge %d (%d->%d) with %d vertices",
 				ErrVertexOutOfRange, i, e.Src, e.Dst, numVertices)
+		}
+	}
+	g := &Graph{numVertices: numVertices, numEdges: len(edges)}
+	m := len(edges)
+	weighted := false
+	for i := range edges {
+		if edges[i].Weight != 1 {
+			weighted = true
+			break
+		}
+	}
+	if weighted {
+		g.wt = make([]float64, m)
+	}
+	if numVertices <= narrowLimit {
+		g.src16 = make([]uint16, m)
+		g.dst16 = make([]uint16, m)
+		for i := range edges {
+			g.src16[i] = uint16(edges[i].Src)
+			g.dst16[i] = uint16(edges[i].Dst)
+			if weighted {
+				g.wt[i] = edges[i].Weight
+			}
+		}
+	} else {
+		g.src32 = make([]VertexID, m)
+		g.dst32 = make([]VertexID, m)
+		for i := range edges {
+			g.src32[i] = edges[i].Src
+			g.dst32[i] = edges[i].Dst
+			if weighted {
+				g.wt[i] = edges[i].Weight
+			}
 		}
 	}
 	g.buildIndexes()
@@ -75,81 +133,261 @@ func MustNew(numVertices int, edges []Edge) *Graph {
 	return g
 }
 
-func (g *Graph) buildIndexes() {
-	n := g.numVertices
-	g.inDeg = make([]int32, n)
-	g.outDeg = make([]int32, n)
-	for _, e := range g.edges {
-		g.inDeg[e.Dst]++
-		g.outDeg[e.Src]++
+// NewFromSOA builds a graph directly from structure-of-arrays endpoint
+// slices, the form the parallel generators emit; it avoids ever
+// materializing the 16-bytes-per-edge []Edge list. wt may be nil (all
+// weights 1) or len(src) weights — a non-nil slice whose entries are all 1
+// is elided. Ownership of the slices transfers to the graph; callers must
+// not mutate them afterwards (the 32-bit pair is retained as-is when the
+// vertex count needs it).
+func NewFromSOA(numVertices int, src, dst []VertexID, wt []float64) (*Graph, error) {
+	if numVertices < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", numVertices)
 	}
-	g.inCSR = buildCSR(n, g.edges, func(e Edge) VertexID { return e.Dst })
-	g.outCSR = buildCSR(n, g.edges, func(e Edge) VertexID { return e.Src })
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("graph: src/dst length mismatch %d != %d", len(src), len(dst))
+	}
+	if wt != nil && len(wt) != len(src) {
+		return nil, fmt.Errorf("graph: weight length %d != edge count %d", len(wt), len(src))
+	}
+	m := len(src)
+	for i := 0; i < m; i++ {
+		if int(src[i]) >= numVertices || int(dst[i]) >= numVertices {
+			return nil, fmt.Errorf("%w: edge %d (%d->%d) with %d vertices",
+				ErrVertexOutOfRange, i, src[i], dst[i], numVertices)
+		}
+	}
+	if wt != nil {
+		weighted := false
+		for _, w := range wt {
+			if w != 1 {
+				weighted = true
+				break
+			}
+		}
+		if !weighted {
+			wt = nil
+		}
+	}
+	g := &Graph{numVertices: numVertices, numEdges: m, wt: wt}
+	if numVertices <= narrowLimit {
+		g.src16 = make([]uint16, m)
+		g.dst16 = make([]uint16, m)
+		for i := 0; i < m; i++ {
+			g.src16[i] = uint16(src[i])
+			g.dst16[i] = uint16(dst[i])
+		}
+	} else {
+		g.src32 = src
+		g.dst32 = dst
+	}
+	g.buildIndexes()
+	return g, nil
 }
 
-func buildCSR(n int, edges []Edge, key func(Edge) VertexID) *csr {
+func (g *Graph) buildIndexes() {
+	n := g.numVertices
+	if g.numVertices <= narrowLimit {
+		g.inCSR = buildCSRKeys(n, g.dst16)
+		g.outCSR = buildCSRKeys(n, g.src16)
+	} else {
+		g.inCSR = buildCSRKeys(n, g.dst32)
+		g.outCSR = buildCSRKeys(n, g.src32)
+	}
+}
+
+// csrMinShard is the smallest per-shard edge count worth a goroutine during
+// CSR construction.
+const csrMinShard = 1 << 19
+
+// buildCSRKeys is a stable parallel counting sort over the key array: the
+// resulting edgeIdx lists each vertex's edges in ascending canonical index,
+// exactly as the sequential two-pass build would. Shard s counts its slice,
+// a sequential sweep turns the per-shard counts into per-shard placement
+// cursors (cursor[s][v] = offsets[v] + sum of earlier shards' counts of v),
+// and the placement pass writes every edge to a position that depends only
+// on the input — so the output is identical for every shard count and
+// worker count.
+func buildCSRKeys[K uint16 | VertexID](n int, keys []K) csr {
+	m := len(keys)
 	offsets := make([]int32, n+1)
-	for _, e := range edges {
-		offsets[key(e)+1]++
+	if m == 0 {
+		return csr{offsets: offsets}
 	}
-	for i := 0; i < n; i++ {
-		offsets[i+1] += offsets[i]
+	shards := m / csrMinShard
+	if lim := hostpar.Limit(); shards > lim {
+		shards = lim
 	}
-	idx := make([]int32, len(edges))
-	cursor := make([]int32, n)
-	copy(cursor, offsets[:n])
-	for i, e := range edges {
-		k := key(e)
-		idx[cursor[k]] = int32(i)
-		cursor[k]++
+	if shards < 1 {
+		shards = 1
 	}
-	return &csr{offsets: offsets, edgeIdx: idx}
+	bounds := make([][2]int, shards)
+	base, rem := m/shards, m%shards
+	lo := 0
+	for s := range bounds {
+		hi := lo + base
+		if s < rem {
+			hi++
+		}
+		bounds[s] = [2]int{lo, hi}
+		lo = hi
+	}
+	counts := make([][]int32, shards)
+	hostpar.For(shards, shards, func(s int) {
+		cnt := make([]int32, n)
+		for _, k := range keys[bounds[s][0]:bounds[s][1]] {
+			cnt[k]++
+		}
+		counts[s] = cnt
+	})
+	// offsets[v] = start of v's run; counts[s][v] becomes shard s's write
+	// cursor for key v.
+	run := int32(0)
+	for v := 0; v < n; v++ {
+		offsets[v] = run
+		for s := 0; s < shards; s++ {
+			c := counts[s][v]
+			counts[s][v] = run
+			run += c
+		}
+	}
+	offsets[n] = run
+	idx := make([]int32, m)
+	hostpar.For(shards, shards, func(s int) {
+		cur := counts[s]
+		for i := bounds[s][0]; i < bounds[s][1]; i++ {
+			k := keys[i]
+			idx[cur[k]] = int32(i)
+			cur[k]++
+		}
+	})
+	return csr{offsets: offsets, edgeIdx: idx}
 }
 
 // NumVertices returns the vertex count.
 func (g *Graph) NumVertices() int { return g.numVertices }
 
 // NumEdges returns the edge count.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return g.numEdges }
 
-// Edges returns the underlying edge list. Callers must not mutate it.
-func (g *Graph) Edges() []Edge { return g.edges }
+// Weighted reports whether any edge weight differs from 1.
+func (g *Graph) Weighted() bool { return g.wt != nil }
+
+// EdgeSrc returns edge i's source without materializing an Edge value.
+func (g *Graph) EdgeSrc(i int) VertexID {
+	if g.src16 != nil {
+		return VertexID(g.src16[i])
+	}
+	return g.src32[i]
+}
+
+// EdgeDst returns edge i's destination.
+func (g *Graph) EdgeDst(i int) VertexID {
+	if g.dst16 != nil {
+		return VertexID(g.dst16[i])
+	}
+	return g.dst32[i]
+}
+
+// EdgeWeight returns edge i's weight (1 for unweighted graphs).
+func (g *Graph) EdgeWeight(i int) float64 {
+	if g.wt == nil {
+		return 1
+	}
+	return g.wt[i]
+}
 
 // Edge returns edge i.
-func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+func (g *Graph) Edge(i int) Edge {
+	return Edge{Src: g.EdgeSrc(i), Dst: g.EdgeDst(i), Weight: g.EdgeWeight(i)}
+}
 
-// InDegree returns the in-degree of v.
-func (g *Graph) InDegree(v VertexID) int { return int(g.inDeg[v]) }
-
-// OutDegree returns the out-degree of v.
-func (g *Graph) OutDegree(v VertexID) int { return int(g.outDeg[v]) }
-
-// InEdges calls fn for each edge whose Dst is v, passing the edge index.
-func (g *Graph) InEdges(v VertexID, fn func(edgeIndex int, e Edge)) {
-	lo, hi := g.inCSR.offsets[v], g.inCSR.offsets[v+1]
-	for _, ei := range g.inCSR.edgeIdx[lo:hi] {
-		fn(int(ei), g.edges[ei])
+// EachEdge calls fn for every edge in canonical (insertion) order. This is
+// the bulk traversal the engine and partitioners use; the loop is
+// specialized per endpoint width so the per-edge cost is one bounds-checked
+// load per array.
+func (g *Graph) EachEdge(fn func(i int, e Edge)) {
+	if g.src16 != nil {
+		for i := range g.src16 {
+			e := Edge{Src: VertexID(g.src16[i]), Dst: VertexID(g.dst16[i]), Weight: 1}
+			if g.wt != nil {
+				e.Weight = g.wt[i]
+			}
+			fn(i, e)
+		}
+		return
+	}
+	for i := range g.src32 {
+		e := Edge{Src: g.src32[i], Dst: g.dst32[i], Weight: 1}
+		if g.wt != nil {
+			e.Weight = g.wt[i]
+		}
+		fn(i, e)
 	}
 }
 
-// OutEdges calls fn for each edge whose Src is v, passing the edge index.
+// EachEdgeRange is EachEdge restricted to canonical indexes [lo, hi); the
+// parallel loaders shard on it.
+func (g *Graph) EachEdgeRange(lo, hi int, fn func(i int, e Edge)) {
+	for i := lo; i < hi; i++ {
+		fn(i, g.Edge(i))
+	}
+}
+
+// Edges returns a flat []Edge view of the graph, materializing (and caching)
+// it on first call. The engine never calls this; it exists for tests, small
+// examples and external tooling. Callers must not mutate the result. Prefer
+// EachEdge: on a large graph this view costs 16 bytes per edge on top of
+// the compact layout, and MemoryFootprint reports it separately.
+func (g *Graph) Edges() []Edge {
+	g.edgesOnce.Do(func() {
+		view := make([]Edge, g.numEdges)
+		g.EachEdge(func(i int, e Edge) { view[i] = e })
+		g.edgesView = view
+	})
+	return g.edgesView
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int {
+	return int(g.inCSR.offsets[v+1] - g.inCSR.offsets[v])
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.outCSR.offsets[v+1] - g.outCSR.offsets[v])
+}
+
+// InEdges calls fn for each edge whose Dst is v, passing the canonical edge
+// index, in ascending canonical order.
+func (g *Graph) InEdges(v VertexID, fn func(edgeIndex int, e Edge)) {
+	lo, hi := g.inCSR.offsets[v], g.inCSR.offsets[v+1]
+	for _, ei := range g.inCSR.edgeIdx[lo:hi] {
+		fn(int(ei), g.Edge(int(ei)))
+	}
+}
+
+// OutEdges calls fn for each edge whose Src is v, passing the canonical edge
+// index, in ascending canonical order.
 func (g *Graph) OutEdges(v VertexID, fn func(edgeIndex int, e Edge)) {
 	lo, hi := g.outCSR.offsets[v], g.outCSR.offsets[v+1]
 	for _, ei := range g.outCSR.edgeIdx[lo:hi] {
-		fn(int(ei), g.edges[ei])
+		fn(int(ei), g.Edge(int(ei)))
 	}
 }
 
 // IsSelfish reports whether v has no out-edges. The paper calls such
 // vertices "selfish": their value has no consumer, so Imitator never
 // synchronizes their FT replicas during normal execution (§4.4).
-func (g *Graph) IsSelfish(v VertexID) bool { return g.outDeg[v] == 0 }
+func (g *Graph) IsSelfish(v VertexID) bool {
+	return g.outCSR.offsets[v+1] == g.outCSR.offsets[v]
+}
 
 // NumSelfish counts vertices with no out-edges.
 func (g *Graph) NumSelfish() int {
 	n := 0
-	for _, d := range g.outDeg {
-		if d == 0 {
+	for v := 0; v < g.numVertices; v++ {
+		if g.outCSR.offsets[v+1] == g.outCSR.offsets[v] {
 			n++
 		}
 	}
@@ -160,8 +398,8 @@ func (g *Graph) NumSelfish() int {
 // hybrid-cut threshold heuristics.
 func (g *Graph) MaxDegree() int {
 	best := 0
-	for v := 0; v < g.numVertices; v++ {
-		if d := int(g.inDeg[v]) + int(g.outDeg[v]); d > best {
+	for v := VertexID(0); int(v) < g.numVertices; v++ {
+		if d := g.InDegree(v) + g.OutDegree(v); d > best {
 			best = d
 		}
 	}
@@ -172,8 +410,8 @@ func (g *Graph) MaxDegree() int {
 // distribution; used to validate power-law generators.
 func (g *Graph) DegreeHistogram() (degrees []int, counts []int) {
 	hist := make(map[int]int)
-	for _, d := range g.inDeg {
-		hist[int(d)]++
+	for v := VertexID(0); int(v) < g.numVertices; v++ {
+		hist[g.InDegree(v)]++
 	}
 	degrees = make([]int, 0, len(hist))
 	for d := range hist {
@@ -199,17 +437,57 @@ type Stats struct {
 
 // ComputeStats returns summary statistics.
 func (g *Graph) ComputeStats() Stats {
-	s := Stats{NumVertices: g.numVertices, NumEdges: len(g.edges), NumSelfish: g.NumSelfish()}
-	for v := 0; v < g.numVertices; v++ {
-		if d := int(g.inDeg[v]); d > s.MaxInDeg {
+	s := Stats{NumVertices: g.numVertices, NumEdges: g.numEdges, NumSelfish: g.NumSelfish()}
+	for v := VertexID(0); int(v) < g.numVertices; v++ {
+		if d := g.InDegree(v); d > s.MaxInDeg {
 			s.MaxInDeg = d
 		}
-		if d := int(g.outDeg[v]); d > s.MaxOutDeg {
+		if d := g.OutDegree(v); d > s.MaxOutDeg {
 			s.MaxOutDeg = d
 		}
 	}
 	if g.numVertices > 0 {
-		s.AvgDeg = float64(len(g.edges)) / float64(g.numVertices)
+		s.AvgDeg = float64(g.numEdges) / float64(g.numVertices)
 	}
 	return s
+}
+
+// Footprint itemizes the graph's resident bytes. LegacyBytes reconstructs
+// what the pre-compaction layout ([]Edge list + dual CSR edge indexes +
+// offset and degree arrays) would occupy for the same graph, so reports can
+// state the reduction without holding both layouts in memory.
+type Footprint struct {
+	EndpointBytes int64 // canonical src/dst arrays (2 or 4 bytes per endpoint)
+	WeightBytes   int64 // per-edge weights; 0 for unweighted graphs
+	CSRBytes      int64 // both adjacencies: offsets + edge indexes
+	EdgeViewBytes int64 // lazily materialized []Edge view; 0 until Edges()
+	TotalBytes    int64
+	BytesPerEdge  float64
+	LegacyBytes   int64
+}
+
+// MemoryFootprint accounts the graph's memory layout byte-exactly from the
+// slice shapes (not the Go allocator's view). Call it after construction;
+// it is not synchronized with a concurrent first Edges() call.
+func (g *Graph) MemoryFootprint() Footprint {
+	var f Footprint
+	const (
+		idxSize    = 4 // int32 CSR entries
+		edgeSize   = 16
+		vertexSize = 4
+	)
+	f.EndpointBytes = int64(len(g.src16)+len(g.dst16))*2 + int64(len(g.src32)+len(g.dst32))*4
+	f.WeightBytes = int64(len(g.wt)) * 8
+	f.CSRBytes = int64(len(g.inCSR.offsets)+len(g.outCSR.offsets)+len(g.inCSR.edgeIdx)+len(g.outCSR.edgeIdx)) * idxSize
+	f.EdgeViewBytes = int64(len(g.edgesView)) * edgeSize
+	f.TotalBytes = f.EndpointBytes + f.WeightBytes + f.CSRBytes + f.EdgeViewBytes
+	if g.numEdges > 0 {
+		f.BytesPerEdge = float64(f.TotalBytes) / float64(g.numEdges)
+	}
+	// Legacy layout: []Edge (16 B/edge, weights always resident), the same
+	// two CSRs, plus the separate int32 in/out degree arrays it kept.
+	m := int64(g.numEdges)
+	n := int64(g.numVertices)
+	f.LegacyBytes = m*edgeSize + f.CSRBytes + 2*n*vertexSize
+	return f
 }

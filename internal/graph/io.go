@@ -89,19 +89,13 @@ func ReadEdgeList(r io.Reader, numVertices int) (*Graph, error) {
 func (g *Graph) WriteEdgeList(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
-	weighted := false
-	for _, e := range g.edges {
-		if e.Weight != 1 {
-			weighted = true
-			break
-		}
-	}
-	for _, e := range g.edges {
+	weighted := g.Weighted()
+	g.EachEdge(func(_ int, e Edge) {
 		if weighted {
 			fmt.Fprintf(bw, "%d %d %g\n", e.Src, e.Dst, e.Weight)
 		} else {
 			fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
 		}
-	}
+	})
 	return bw.Flush()
 }

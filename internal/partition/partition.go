@@ -16,8 +16,14 @@ import (
 	"math/bits"
 
 	"imitator/internal/graph"
+	"imitator/internal/hostpar"
 	"imitator/internal/rng"
 )
+
+// parMinBlock is the smallest per-goroutine block for the hash-style
+// partitioners; every parallelized assignment below writes only its own
+// index, so results are identical for any worker count.
+const parMinBlock = 1 << 16
 
 // MaxNodes is the largest supported cluster size (replica masks are uint64).
 const MaxNodes = 64
@@ -48,9 +54,11 @@ func HashEdgeCut(g *graph.Graph, numNodes int) (*EdgeCut, error) {
 		return nil, err
 	}
 	owner := make([]int32, g.NumVertices())
-	for v := range owner {
-		owner[v] = int32(rng.Hash64(uint64(v)) % uint64(numNodes))
-	}
+	hostpar.Blocks(len(owner), parMinBlock, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			owner[v] = int32(rng.Hash64(uint64(v)) % uint64(numNodes))
+		}
+	})
 	return &EdgeCut{NumNodes: numNodes, Owner: owner}, nil
 }
 
@@ -140,9 +148,9 @@ func (ec *EdgeCut) Masks(g *graph.Graph) []uint64 {
 	for v := range masks {
 		masks[v] = 1 << uint(ec.Owner[v])
 	}
-	for _, e := range g.Edges() {
+	g.EachEdge(func(_ int, e graph.Edge) {
 		masks[e.Src] |= 1 << uint(ec.Owner[e.Dst])
-	}
+	})
 	return masks
 }
 
@@ -158,9 +166,11 @@ type VertexCut struct {
 
 func newVertexCut(g *graph.Graph, numNodes int) *VertexCut {
 	master := make([]int32, g.NumVertices())
-	for v := range master {
-		master[v] = int32(rng.Hash64(uint64(v)+0x9e37) % uint64(numNodes))
-	}
+	hostpar.Blocks(len(master), parMinBlock, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			master[v] = int32(rng.Hash64(uint64(v)+0x9e37) % uint64(numNodes))
+		}
+	})
 	return &VertexCut{
 		NumNodes:  numNodes,
 		EdgeOwner: make([]int32, g.NumEdges()),
@@ -174,9 +184,11 @@ func RandomVertexCut(g *graph.Graph, numNodes int) (*VertexCut, error) {
 		return nil, err
 	}
 	vc := newVertexCut(g, numNodes)
-	for i, e := range g.Edges() {
-		vc.EdgeOwner[i] = int32(rng.Hash2(uint64(e.Src), uint64(e.Dst)) % uint64(numNodes))
-	}
+	hostpar.Blocks(g.NumEdges(), parMinBlock, 0, func(lo, hi int) {
+		g.EachEdgeRange(lo, hi, func(i int, e graph.Edge) {
+			vc.EdgeOwner[i] = int32(rng.Hash2(uint64(e.Src), uint64(e.Dst)) % uint64(numNodes))
+		})
+	})
 	return vc, nil
 }
 
@@ -202,23 +214,27 @@ func GridVertexCut(g *graph.Graph, numNodes int) (*VertexCut, error) {
 		h := int(hashVertex(v) % uint64(numNodes))
 		return h / cols, h % cols
 	}
-	for i, e := range g.Edges() {
-		sr, sc := cell(e.Src)
-		dr, dc := cell(e.Dst)
-		var candidates []int
-		switch {
-		case sr == dr && sc == dc:
-			candidates = []int{sr*cols + sc}
-		case sr == dr: // same row: whole row is shared
-			candidates = []int{sr*cols + sc, sr*cols + dc}
-		case sc == dc: // same column
-			candidates = []int{sr*cols + sc, dr*cols + sc}
-		default: // two crossing cells
-			candidates = []int{sr*cols + dc, dr*cols + sc}
-		}
-		pick := rng.Hash2(uint64(e.Src), uint64(e.Dst)) % uint64(len(candidates))
-		vc.EdgeOwner[i] = int32(candidates[pick])
-	}
+	hostpar.Blocks(g.NumEdges(), parMinBlock, 0, func(lo, hi int) {
+		g.EachEdgeRange(lo, hi, func(i int, e graph.Edge) {
+			sr, sc := cell(e.Src)
+			dr, dc := cell(e.Dst)
+			var candidates [2]int
+			count := 2
+			switch {
+			case sr == dr && sc == dc:
+				candidates[0] = sr*cols + sc
+				count = 1
+			case sr == dr: // same row: whole row is shared
+				candidates[0], candidates[1] = sr*cols+sc, sr*cols+dc
+			case sc == dc: // same column
+				candidates[0], candidates[1] = sr*cols+sc, dr*cols+sc
+			default: // two crossing cells
+				candidates[0], candidates[1] = sr*cols+dc, dr*cols+sc
+			}
+			pick := rng.Hash2(uint64(e.Src), uint64(e.Dst)) % uint64(count)
+			vc.EdgeOwner[i] = int32(candidates[pick])
+		})
+	})
 	return vc, nil
 }
 
@@ -245,13 +261,15 @@ func HybridVertexCut(g *graph.Graph, numNodes int, cfg HybridCutConfig) (*Vertex
 		return nil, fmt.Errorf("partition: hybrid threshold must be positive, got %d", cfg.Threshold)
 	}
 	vc := newVertexCut(g, numNodes)
-	for i, e := range g.Edges() {
-		if g.InDegree(e.Dst) <= cfg.Threshold {
-			vc.EdgeOwner[i] = int32(rng.Hash64(uint64(e.Dst)) % uint64(numNodes))
-		} else {
-			vc.EdgeOwner[i] = int32(rng.Hash64(uint64(e.Src)) % uint64(numNodes))
-		}
-	}
+	hostpar.Blocks(g.NumEdges(), parMinBlock, 0, func(lo, hi int) {
+		g.EachEdgeRange(lo, hi, func(i int, e graph.Edge) {
+			if g.InDegree(e.Dst) <= cfg.Threshold {
+				vc.EdgeOwner[i] = int32(rng.Hash64(uint64(e.Dst)) % uint64(numNodes))
+			} else {
+				vc.EdgeOwner[i] = int32(rng.Hash64(uint64(e.Src)) % uint64(numNodes))
+			}
+		})
+	})
 	return vc, nil
 }
 
@@ -262,11 +280,11 @@ func (vc *VertexCut) Masks(g *graph.Graph) []uint64 {
 	for v := range masks {
 		masks[v] = 1 << uint(vc.Master[v])
 	}
-	for i, e := range g.Edges() {
+	g.EachEdge(func(i int, e graph.Edge) {
 		bit := uint64(1) << uint(vc.EdgeOwner[i])
 		masks[e.Src] |= bit
 		masks[e.Dst] |= bit
-	}
+	})
 	return masks
 }
 
@@ -334,9 +352,9 @@ func ComputeStats(g *graph.Graph, masks []uint64, edgesPerNode []int, numNodes i
 // Stats computes partitioning statistics for an edge-cut.
 func (ec *EdgeCut) Stats(g *graph.Graph) Stats {
 	edgesPerNode := make([]int, ec.NumNodes)
-	for _, e := range g.Edges() {
+	g.EachEdge(func(_ int, e graph.Edge) {
 		edgesPerNode[ec.Owner[e.Dst]]++
-	}
+	})
 	return ComputeStats(g, ec.Masks(g), edgesPerNode, ec.NumNodes)
 }
 

@@ -101,7 +101,10 @@ func ObliviousVertexCut(g *graph.Graph, numNodes int) (*VertexCut, error) {
 		}
 		return best
 	}
-	for i, e := range g.Edges() {
+	// Oblivious is a streaming greedy: each placement depends on all earlier
+	// ones, so the loop stays sequential (EachEdge avoids materializing the
+	// flat edge view).
+	g.EachEdge(func(i int, e graph.Edge) {
 		su, sv := present[e.Src], present[e.Dst]
 		var target int
 		switch {
@@ -124,6 +127,6 @@ func ObliviousVertexCut(g *graph.Graph, numNodes int) (*VertexCut, error) {
 		load[target]++
 		present[e.Src] |= 1 << uint(target)
 		present[e.Dst] |= 1 << uint(target)
-	}
+	})
 	return vc, nil
 }

@@ -48,6 +48,14 @@ func WithWorkers(n int) Option {
 	return func(c *Config) { c.WorkersPerNode = n }
 }
 
+// WithHostParallelism caps the real goroutines the engine uses to execute a
+// run at n (0 = GOMAXPROCS). This is pure host scheduling: unlike
+// WithWorkers it never changes simulated widths, costs or results — the
+// same run produces bit-identical output at every setting.
+func WithHostParallelism(n int) Option {
+	return func(c *Config) { c.HostParallelism = n }
+}
+
 // WithFT enables replication-based fault tolerance configured to survive k
 // simultaneous machine failures (the paper's K), keeping the selfish-vertex
 // optimization on.
