@@ -1,6 +1,6 @@
 // Command imitatorvet runs the repository's custom static analyzers —
-// determinism, bufown and wirebounds (see DESIGN.md "Static invariants") —
-// over Go packages. It supports two modes:
+// determinism, bufown, wirebounds, hotalloc, hostrace and narrowing (see
+// DESIGN.md "Static invariants") — over Go packages. It supports two modes:
 //
 // Standalone (what CI runs; loads and type-checks packages itself):
 //
@@ -33,6 +33,9 @@ import (
 	"imitator/internal/analysis"
 	"imitator/internal/analysis/bufown"
 	"imitator/internal/analysis/determinism"
+	"imitator/internal/analysis/hostrace"
+	"imitator/internal/analysis/hotalloc"
+	"imitator/internal/analysis/narrowing"
 	"imitator/internal/analysis/wirebounds"
 )
 
@@ -41,14 +44,19 @@ func analyzers() []*analysis.Analyzer {
 		determinism.New(determinism.DefaultSimPackages),
 		bufown.New(),
 		wirebounds.New(),
+		hotalloc.New(),
+		hostrace.New(),
+		narrowing.New(nil),
 	}
 }
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+// run is main minus process concerns: output goes to out so tests can
+// assert the JSON shape.
+func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("imitatorvet", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
 	flagsMode := fs.Bool("flags", false, "print flag descriptions (vet protocol)")
@@ -59,21 +67,21 @@ func run(args []string) int {
 	if *flagsMode {
 		// The go command interrogates vet tools for their flags; ours
 		// carries none it needs to forward.
-		fmt.Println("[]")
+		fmt.Fprintln(out, "[]")
 		return 0
 	}
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return unitcheck(rest[0], *jsonOut)
+		return unitcheck(rest[0], *jsonOut, out)
 	}
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return standalone(rest, *jsonOut)
+	return standalone(rest, *jsonOut, out)
 }
 
 // standalone loads packages via the go command and analyzes all of them.
-func standalone(patterns []string, jsonOut bool) int {
+func standalone(patterns []string, jsonOut bool, out io.Writer) int {
 	pkgs, err := analysis.Load(".", patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imitatorvet:", err)
@@ -91,7 +99,7 @@ func standalone(patterns []string, jsonOut bool) int {
 		emit(pkg.Fset, pkg.Path, diags, jsonOut, byPkg)
 	}
 	if jsonOut {
-		printJSON(byPkg)
+		printJSON(out, byPkg)
 	}
 	if total > 0 {
 		fmt.Fprintf(os.Stderr, "imitatorvet: %d diagnostic(s)\n", total)
@@ -118,7 +126,7 @@ type vetConfig struct {
 }
 
 // unitcheck analyzes one package described by a go vet config file.
-func unitcheck(cfgPath string, jsonOut bool) int {
+func unitcheck(cfgPath string, jsonOut bool, out io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imitatorvet:", err)
@@ -182,7 +190,7 @@ func unitcheck(cfgPath string, jsonOut bool) int {
 	byPkg := map[string]map[string][]jsonDiag{}
 	emit(fset, cfg.ID, diags, jsonOut, byPkg)
 	if jsonOut {
-		printJSON(byPkg)
+		printJSON(out, byPkg)
 		return 0
 	}
 	if len(diags) > 0 {
@@ -214,7 +222,7 @@ func emit(fset *token.FileSet, pkgID string, diags []analysis.Diagnostic, jsonOu
 	}
 }
 
-func printJSON(byPkg map[string]map[string][]jsonDiag) {
+func printJSON(out io.Writer, byPkg map[string]map[string][]jsonDiag) {
 	keys := make([]string, 0, len(byPkg))
 	for k := range byPkg {
 		keys = append(keys, k)
@@ -224,8 +232,8 @@ func printJSON(byPkg map[string]map[string][]jsonDiag) {
 	for _, k := range keys {
 		ordered[k] = byPkg[k]
 	}
-	out, _ := json.MarshalIndent(ordered, "", "\t")
-	fmt.Println(string(out))
+	data, _ := json.MarshalIndent(ordered, "", "\t")
+	fmt.Fprintln(out, string(data))
 }
 
 // versionFlag implements the -V=full handshake the go command uses to

@@ -33,6 +33,11 @@ type Analyzer struct {
 	// on (or immediately above) a flagged line suppresses this analyzer's
 	// diagnostics there. Empty means the analyzer cannot be suppressed.
 	Directive string
+	// Annotations lists additional bare //imitator:<key> comment keys the
+	// analyzer consumes that are not suppressions (hotalloc's "hotpath"
+	// scope marker). Run treats them as known when flagging misspelled
+	// directives.
+	Annotations []string
 	// Run performs the check on one package, reporting via pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -91,6 +96,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			})
 		}
 	}
+	out = append(out, checkUnknownKeys(pkg.Fset, files, analyzers)...)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -116,6 +122,46 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return out[i].Analyzer < out[j].Analyzer
 	})
 	return out, nil
+}
+
+// checkUnknownKeys flags //imitator: comments whose key is neither a
+// suppression key of a running analyzer nor a declared bare annotation: a
+// typo like //imitator:hotalloc-okay or //imitator:hotpaths would otherwise
+// silently suppress nothing (or scope nothing) and rot in place.
+func checkUnknownKeys(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	names := make([]string, 0, len(analyzers)*2)
+	for _, a := range analyzers {
+		if a.Directive != "" {
+			known[a.Directive+"-ok"] = true
+			names = append(names, a.Directive+"-ok")
+		}
+		for _, k := range a.Annotations {
+			known[k] = true
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				key, _, _ := strings.Cut(strings.TrimPrefix(c.Text, directivePrefix), " ")
+				if known[key] {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      c.Pos(),
+					Message:  fmt.Sprintf("unknown directive imitator:%s; known keys: %s", key, strings.Join(names, ", ")),
+					Analyzer: "directive",
+				})
+			}
+		}
+	}
+	return out
 }
 
 // directive is one parsed //imitator:<key>-ok comment.

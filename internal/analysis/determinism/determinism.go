@@ -45,6 +45,11 @@ var DefaultSimPackages = []string{
 	// The omission-fault layer draws per-link fates from internal/rng, so
 	// its state now feeds retransmit counts and simulated time too.
 	"imitator/internal/rng",
+	// The PR-7 parallel era: host scheduling must never consult wall
+	// clocks or global rand (bit-identity at every width depends on it),
+	// and the sharded generators derive every byte from seeded streams.
+	"imitator/internal/hostpar",
+	"imitator/internal/gen",
 }
 
 // New returns the determinism analyzer scoped to the given package paths

@@ -27,6 +27,8 @@ func TestDefaultScope(t *testing.T) {
 		"imitator/internal/ftlog":     true,
 		"imitator/internal/partition": true,
 		"imitator/internal/rng":       true,
+		"imitator/internal/hostpar":   true,
+		"imitator/internal/gen":       true,
 	}
 	if len(determinism.DefaultSimPackages) != len(want) {
 		t.Fatalf("DefaultSimPackages has %d entries, want %d", len(determinism.DefaultSimPackages), len(want))

@@ -1,0 +1,12 @@
+package hostrace_test
+
+import (
+	"testing"
+
+	"imitator/internal/analysis/analysistest"
+	"imitator/internal/analysis/hostrace"
+)
+
+func TestHostrace(t *testing.T) {
+	analysistest.Run(t, "testdata", hostrace.New(), "hostracetest")
+}

@@ -1,0 +1,13 @@
+// Package hostpar is a stub of the real scheduling primitives, just enough
+// for the hostrace fixtures to type-check against the real import path.
+package hostpar
+
+func For(n, width int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func Blocks(n, minBlock, width int, fn func(lo, hi int)) {
+	fn(0, n)
+}

@@ -1,0 +1,109 @@
+// Fixture for the hotalloc analyzer: an annotated hot root, an annotated
+// pre-bound body struct, call-graph propagation, and every allocation shape.
+package hotalloctest
+
+import "fmt"
+
+type engine struct {
+	scratch []int
+	bodies  bodies
+	sink    func()
+}
+
+// bodies holds pre-bound phase closures; literals assigned to its fields
+// are hot roots.
+//
+//imitator:hotpath
+type bodies struct {
+	compute func(lo, hi int)
+	commit  func()
+}
+
+// bind runs once at setup: the literal creations here are cold, but their
+// bodies are hot.
+func (e *engine) bind() {
+	e.bodies.compute = func(lo, hi int) {
+		tmp := make([]int, hi-lo) // want `make allocates per call`
+		_ = tmp
+		e.helper(lo) // pulls helper into the hot set
+	}
+	e.bodies.commit = func() {
+		e.scratch = e.scratch[:0] // reuse: fine
+	}
+}
+
+// helper is hot by reachability from the compute body.
+func (e *engine) helper(n int) {
+	var fresh []int
+	for i := 0; i < n; i++ {
+		fresh = append(fresh, i) // want `append to a slice that starts nil`
+	}
+	_ = fresh
+	e.scratch = append(e.scratch, n) // retained buffer: amortized-zero, fine
+}
+
+// superstep is a hot root by direct annotation.
+//
+//imitator:hotpath
+func (e *engine) superstep(name string, vals []any) {
+	go e.bodies.commit()                   // want `go statement spawns`
+	e.sink = func() { e.helper(0) }        // want `func literal allocates a closure`
+	fmt.Println(name)                      // want `fmt.Println allocates`
+	_ = name + "!"                         // want `string concatenation allocates`
+	_ = string([]byte{1, 2})               // want `string conversion copies`
+	consume(42)                            // want `passing concrete int as interface any boxes`
+	consume(vals[0])                       // already an interface: no box
+	func() { e.scratch = e.scratch[:0] }() // immediately invoked: no escape
+	e.lazyInit()
+}
+
+// lazyInit shows the suppression grammar on a guarded cold sub-path.
+func (e *engine) lazyInit() {
+	if e.scratch == nil {
+		//imitator:hotalloc-ok one-time lazy init, guarded by the nil check
+		e.scratch = make([]int, 0, 64)
+	}
+}
+
+func consume(v any) { _ = v }
+
+// The generic mirror of the engine: method calls on a generic receiver
+// resolve to instantiated *types.Func objects, and reachability must map
+// them back to their declarations (Origin) or the call-graph walk
+// dead-ends at the first c.method() call.
+
+// genBodies mirrors the real pre-bound phase structs, which are generic.
+//
+//imitator:hotpath
+type genBodies[T any] struct {
+	compute func(n int)
+}
+
+type genEngine[T any] struct {
+	bodies genBodies[T]
+}
+
+// genBind's literal is a root via the annotated generic struct's field.
+func (g *genEngine[T]) genBind() {
+	g.bodies.compute = func(n int) {
+		g.step(n) // instantiated method: must still pull step into the hot set
+	}
+}
+
+// genRun is a hot root; step is hot only through generic method calls.
+//
+//imitator:hotpath
+func (g *genEngine[T]) genRun(n int) {
+	g.step(n)
+}
+
+func (g *genEngine[T]) step(n int) {
+	tmp := make([]T, n) // want `make allocates per call`
+	_ = tmp
+}
+
+// cold is not reachable from any root: nothing here is flagged.
+func cold() []byte {
+	buf := make([]byte, 16)
+	return append(buf, fmt.Sprintf("%d", 7)...)
+}

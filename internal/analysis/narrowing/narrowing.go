@@ -1,0 +1,539 @@
+// Package narrowing flags integer conversions that can silently truncate a
+// size. In the packages that build the compact SoA/CSR layout (graph, gen,
+// partition, ftlog), a value that derives from len() or cap() — an element
+// count, a byte length, a loop index bounded by one — is "size-tainted";
+// converting a tainted value to a strictly narrower integer type (int →
+// int32, VertexID → uint16, int → uint32, ...) is reported unless a
+// dominating bound check clears it first:
+//
+//	if len(keys) > math.MaxInt32 {
+//		panic("csr: edge count overflows int32")
+//	}
+//	for i, k := range keys {
+//		idx[cur[k]] = int32(i) // ok: i is bounded by the checked len
+//	}
+//
+// At the paper's Twitter scale (1.47B edges) the edge count sits within
+// 1.5× of int32 overflow: an unchecked int32(i) over the edge array wraps
+// negative and corrupts the CSR silently instead of failing loudly. The
+// clearing patterns mirror wirebounds: a comparison of the tainted value
+// (or of len(container) itself) inside an if whose body diverges, a %
+// modular reduction, an & mask, or a min() clamp. Values that do not derive
+// from len/cap — hashes, configured constants, decoded fields — are never
+// flagged; wirebounds owns the wire-input side.
+//
+// Exceptions carry //imitator:narrowing-ok <reason>.
+package narrowing
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"imitator/internal/analysis"
+)
+
+// DefaultPackages are the import paths (suffix-matched like the determinism
+// allowlist) whose narrowing conversions feed the SoA/CSR layout.
+var DefaultPackages = []string{
+	"imitator/internal/graph",
+	"imitator/internal/gen",
+	"imitator/internal/partition",
+	"imitator/internal/ftlog",
+}
+
+// New returns the narrowing analyzer scoped to the given import paths
+// (exact or suffix match; nil means DefaultPackages).
+func New(pkgs []string) *analysis.Analyzer {
+	if pkgs == nil {
+		pkgs = DefaultPackages
+	}
+	a := &analysis.Analyzer{
+		Name:      "narrowing",
+		Directive: "narrowing",
+		Doc:       "require a dominating bound check before narrowing a len/cap-derived value to a smaller integer type",
+	}
+	a.Run = func(pass *analysis.Pass) error { return run(pass, pkgs) }
+	return a
+}
+
+func matches(path string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if path == p || strings.HasSuffix(path, strings.TrimPrefix(p, "imitator")) {
+			return true
+		}
+	}
+	return false
+}
+
+// sizes models the 64-bit targets the scale argument is about; on them a
+// plain int is 8 bytes, so int→int32 is a narrowing.
+var sizes = types.SizesFor("gc", "amd64")
+
+func run(pass *analysis.Pass, pkgs []string) error {
+	if pass.Pkg == nil || !matches(pass.Pkg.Path(), pkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{
+				pass:    pass,
+				tainted: map[*types.Var]bool{},
+				bounded: map[types.Object]bool{},
+			}
+			w.walkStmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	tainted map[*types.Var]bool
+	// bounded marks containers whose len was compared in a diverging if:
+	// after `if len(keys) > limit { return err }`, len(keys) and range
+	// indexes over keys are clean.
+	bounded map[types.Object]bool
+}
+
+// walkStmts interprets statements in order; branch bodies share state, as
+// in wirebounds (permissive by design — the guard idiom is straight-line).
+func (w *walker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *walker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.checkExprs(s.Rhs)
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					t := w.taintedExpr(s.Rhs[i])
+					if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+						t = t || w.taintedExpr(lhs)
+					}
+					w.setTaint(id, t)
+					w.setBounded(id, w.boundedExpr(s.Rhs[i]))
+				} else if w.taintedExpr(s.Rhs[i]) {
+					// A tainted element write taints the container, so
+					// taint survives round-trips through slices/arrays
+					// (bounds[s] = [2]int{lo, hi}; ... bounds[s][1]).
+					if obj, ok := rootObject(w.pass.TypesInfo, lhs).(*types.Var); ok {
+						w.tainted[obj] = true
+					}
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.checkExprs(vs.Values)
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							w.setTaint(name, w.taintedExpr(vs.Values[i]))
+							w.setBounded(name, w.boundedExpr(vs.Values[i]))
+						}
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.checkExpr(s.Cond)
+		w.walkStmts(s.Body.List)
+		if s.Else != nil {
+			w.walkStmt(s.Else)
+		}
+		if diverges(s.Body) {
+			w.clearCompared(s.Cond)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		// An induction variable racing to a tainted bound is itself a
+		// size: `for i := 0; i < n; i++` taints i when n is.
+		if s.Cond != nil {
+			w.checkExpr(s.Cond)
+			w.taintInduction(s.Cond)
+		}
+		w.walkStmts(s.Body.List)
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.checkExpr(s.X)
+		// A range index is bounded by len(X): tainted unless X's length
+		// was bound-checked (or X is itself an int range over a clean n).
+		keyTaint := w.rangeKeyTainted(s.X)
+		if id, ok := s.Key.(*ast.Ident); ok && s.Tok != token.ILLEGAL {
+			w.setTaint(id, keyTaint)
+		}
+		if id, ok := s.Value.(*ast.Ident); ok && s.Value != nil {
+			w.setTaint(id, false) // element values are data, not sizes
+		}
+		w.walkStmts(s.Body.List)
+	case *ast.ExprStmt:
+		w.checkExpr(s.X)
+	case *ast.ReturnStmt:
+		w.checkExprs(s.Results)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List)
+		}
+	case *ast.DeferStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List)
+		}
+	}
+}
+
+// taintInduction taints loop variables compared against a tainted bound.
+func (w *walker) taintInduction(cond ast.Expr) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || !isComparison(be.Op) {
+		return
+	}
+	if id, ok := ast.Unparen(be.X).(*ast.Ident); ok && w.taintedExpr(be.Y) {
+		w.setTaint(id, true)
+	}
+	if id, ok := ast.Unparen(be.Y).(*ast.Ident); ok && w.taintedExpr(be.X) {
+		w.setTaint(id, true)
+	}
+}
+
+// rangeKeyTainted decides whether the index of `range X` is size-tainted:
+// yes for slices/arrays/strings/maps whose len was never bound-checked, and
+// for integer ranges over a tainted n.
+func (w *walker) rangeKeyTainted(x ast.Expr) bool {
+	tv, ok := w.pass.TypesInfo.Types[x]
+	if ok {
+		if basic, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && basic.Info()&types.IsInteger != 0 {
+			return w.taintedExpr(x) // go1.22 `range n`
+		}
+	}
+	if obj := rootObject(w.pass.TypesInfo, x); obj != nil && w.bounded[obj] {
+		return false
+	}
+	return true
+}
+
+// checkExprs / checkExpr scan for narrowing conversions of tainted values.
+func (w *walker) checkExprs(exprs []ast.Expr) {
+	for _, e := range exprs {
+		w.checkExpr(e)
+	}
+}
+
+func (w *walker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := w.pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() || len(call.Args) != 1 {
+			return true
+		}
+		arg := call.Args[0]
+		if !w.narrows(tv.Type, arg) || !w.taintedExpr(arg) {
+			return true
+		}
+		w.pass.Reportf(call.Pos(),
+			"%s conversion narrows a len/cap-derived value and can overflow silently at scale; add a dominating bound check (compare it or len(...) against the target's max first) or annotate //imitator:narrowing-ok <reason>",
+			types.TypeString(tv.Type, types.RelativeTo(w.pass.Pkg)))
+		return true
+	})
+}
+
+// narrows reports whether converting arg to target loses integer width.
+func (w *walker) narrows(target types.Type, arg ast.Expr) bool {
+	tb, ok := target.Underlying().(*types.Basic)
+	if !ok || tb.Info()&types.IsInteger == 0 {
+		return false
+	}
+	av, ok := w.pass.TypesInfo.Types[arg]
+	if !ok {
+		return false
+	}
+	if av.Value != nil {
+		return false // constant-folded: the compiler checks the range
+	}
+	ab, ok := av.Type.Underlying().(*types.Basic)
+	if !ok || ab.Info()&types.IsInteger == 0 {
+		return false
+	}
+	return sizes.Sizeof(tb) < sizes.Sizeof(ab)
+}
+
+// boundedExpr reports whether an expression yields a container of known,
+// untainted size: make() with clean size args, a composite literal, a slice
+// of (or alias to) a bounded container. Range indexes over such containers
+// are not sizes worth guarding.
+func (w *walker) boundedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		obj := objectOf(w.pass.TypesInfo, e)
+		return obj != nil && w.bounded[obj]
+	case *ast.SliceExpr:
+		return w.boundedExpr(e.X)
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+		if !ok || b.Name() != "make" {
+			return false
+		}
+		for _, sz := range e.Args[1:] {
+			if w.taintedExpr(sz) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (w *walker) setBounded(id *ast.Ident, bounded bool) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := objectOf(w.pass.TypesInfo, id)
+	if obj == nil {
+		return
+	}
+	if bounded {
+		w.bounded[obj] = true
+	} else {
+		delete(w.bounded, obj)
+	}
+}
+
+func (w *walker) setTaint(id *ast.Ident, tainted bool) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := objectOf(w.pass.TypesInfo, id)
+	if obj == nil {
+		return
+	}
+	if tainted {
+		w.tainted[obj] = true
+	} else {
+		delete(w.tainted, obj)
+	}
+}
+
+// taintedExpr reports whether e's value derives from len() or cap().
+func (w *walker) taintedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := objectOf(w.pass.TypesInfo, e)
+		return obj != nil && w.tainted[obj]
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.REM, token.AND:
+			// x % m and x & mask are modular reductions: bounded by the
+			// (untainted) right operand.
+			if !w.taintedExpr(e.Y) {
+				return false
+			}
+		}
+		return w.taintedExpr(e.X) || w.taintedExpr(e.Y)
+	case *ast.UnaryExpr:
+		return w.taintedExpr(e.X)
+	case *ast.CallExpr:
+		return w.taintedCall(e)
+	case *ast.IndexExpr:
+		// Elements of a container that received tainted writes are
+		// tainted; the index itself is not part of the value.
+		return w.taintedExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if w.taintedExpr(el) {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := w.pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			return w.tainted[obj]
+		}
+	}
+	return false
+}
+
+func (w *walker) taintedCall(call *ast.CallExpr) bool {
+	// Conversions propagate the operand's taint.
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return w.taintedExpr(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap":
+				// The taint source — unless this container's length was
+				// already bound-checked.
+				if obj := rootObject(w.pass.TypesInfo, call.Args[0]); obj != nil && w.bounded[obj] {
+					return false
+				}
+				return true
+			case "min": // clamped: someone chose a ceiling
+				return false
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// clearCompared handles the diverging-if bound pattern: it untaints every
+// identifier compared in cond and records containers whose len/cap was
+// compared, so later len(X) and range-X indexes are clean.
+func (w *walker) clearCompared(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		// Only ordered comparisons establish a bound: `if m == 0 { return }`
+		// rules out zero but caps nothing.
+		if !ok || !isOrdered(be.Op) {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.Ident:
+					if obj := objectOf(w.pass.TypesInfo, m); obj != nil {
+						delete(w.tainted, obj)
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+						if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") && len(m.Args) == 1 {
+							if obj := rootObject(w.pass.TypesInfo, m.Args[0]); obj != nil {
+								w.bounded[obj] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ, token.EQL:
+		return true
+	}
+	return false
+}
+
+func isOrdered(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// diverges reports whether a block leaves normal control flow.
+func diverges(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func objectOf(info *types.Info, id *ast.Ident) *types.Var {
+	if obj, ok := info.Uses[id].(*types.Var); ok {
+		return obj
+	}
+	if obj, ok := info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}
+
+// rootObject resolves the base identifier of x (possibly behind selectors
+// or indexes) to its object, for bounded-container bookkeeping.
+func rootObject(info *types.Info, x ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			if obj, ok := info.Uses[e].(*types.Var); ok {
+				return obj
+			}
+			if obj, ok := info.Defs[e].(*types.Var); ok {
+				return obj
+			}
+			return nil
+		case *ast.SelectorExpr:
+			if obj, ok := info.Uses[e.Sel].(*types.Var); ok {
+				return obj
+			}
+			return nil
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package narrowing_test
+
+import (
+	"testing"
+
+	"imitator/internal/analysis/analysistest"
+	"imitator/internal/analysis/narrowing"
+)
+
+func TestNarrowing(t *testing.T) {
+	a := narrowing.New(nil)
+	analysistest.Run(t, "testdata", a, "imitator/internal/graph", "imitator/internal/other")
+}
+
+// TestDefaultScope pins the allowlist: exactly the packages that build or
+// serialize the SoA/CSR layout.
+func TestDefaultScope(t *testing.T) {
+	want := map[string]bool{
+		"imitator/internal/graph":     true,
+		"imitator/internal/gen":       true,
+		"imitator/internal/partition": true,
+		"imitator/internal/ftlog":     true,
+	}
+	if len(want) != len(narrowing.DefaultPackages) {
+		t.Fatalf("DefaultPackages has %d entries, want %d", len(narrowing.DefaultPackages), len(want))
+	}
+	for _, p := range narrowing.DefaultPackages {
+		if !want[p] {
+			t.Errorf("unexpected default package %q", p)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package other is outside the narrowing allowlist: the same unguarded
+// narrowing that fires in the graph fixture must stay silent here.
+package other
+
+func unguardedLen(payload []byte) uint32 {
+	return uint32(len(payload)) // no want: package not in scope
+}

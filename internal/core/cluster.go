@@ -17,7 +17,10 @@ import (
 // nodeBodies holds a node's pre-bound chunked phase bodies. They are built
 // once per node (initNodeScratch): a closure literal passed to chunked
 // escapes — the multi-worker path hands the body to goroutines — so literals
-// at the superstep call sites would heap-allocate every phase.
+// at the superstep call sites would heap-allocate every phase. The
+// annotation makes every literal bound to these fields a hotalloc root.
+//
+//imitator:hotpath
 type nodeBodies struct {
 	commit    func(st *stager, lo, hi int)
 	ecCompute func(st *stager, lo, hi int)
@@ -92,6 +95,30 @@ type failKey struct {
 	phase FailPhase
 }
 
+// phaseFns holds the cluster-level pre-bound phase functions, built once by
+// bindPhases and handed to runPhase by the superstep drivers. Pre-binding
+// keeps the steady-state loop from allocating a closure per phase, and the
+// annotation makes every literal assigned to these fields a hotalloc root —
+// the analyzer then walks exactly the code the zero-alloc discipline covers.
+//
+//imitator:hotpath
+type phaseFns[V, A any] struct {
+	barrier     func(*node[V, A])
+	flushSend   func(*node[V, A])
+	flushNotice func(*node[V, A])
+	commit      func(*node[V, A])
+	rollback    func(*node[V, A])
+	ecCompute   func(*node[V, A])
+	syncStage   func(*node[V, A]) // doubles as the vertex-cut R3 encode phase
+	ecRecv      func(*node[V, A])
+	vcR1Stage   func(*node[V, A])
+	vcR1Recv    func(*node[V, A])
+	vcGather    func(*node[V, A])
+	vcMerge     func(*node[V, A])
+	vcRecv      func(*node[V, A])
+	vcNotice    func(*node[V, A])
+}
+
 // Cluster is a running job: the simulated machines, interconnect, DFS,
 // coordination service and the loaded, partitioned graph.
 type Cluster[V, A any] struct {
@@ -135,25 +162,12 @@ type Cluster[V, A any] struct {
 	// model) is untouched — this is pure host scheduling.
 	chunkSlots int
 
-	// Pre-bound phase functions (built once by bindPhases) and the
-	// per-phase parameters they read.
-	fnBarrier     func(*node[V, A])
-	fnFlushSend   func(*node[V, A])
-	fnFlushNotice func(*node[V, A])
-	fnCommit      func(*node[V, A])
-	fnRollback    func(*node[V, A])
-	fnECCompute   func(*node[V, A])
-	fnSyncStage   func(*node[V, A])
-	fnECRecv      func(*node[V, A])
-	fnVCR1Stage   func(*node[V, A])
-	fnVCR1Recv    func(*node[V, A])
-	fnVCGather    func(*node[V, A])
-	fnVCMerge     func(*node[V, A])
-	fnVCRecv      func(*node[V, A])
-	fnVCNotice    func(*node[V, A])
-	flushKind     netsim.Kind
-	curIter       int
-	always        bool
+	// fns are the pre-bound phase functions (built once by bindPhases);
+	// flushKind/curIter/always are the per-phase parameters they read.
+	fns       phaseFns[V, A]
+	flushKind netsim.Kind
+	curIter   int
+	always    bool
 
 	// masterLoc mirrors the coordination service's master directory: the
 	// node currently hosting each vertex's master (updated by Migration).
@@ -293,10 +307,10 @@ func NewCluster[V, A any](cfg Config, g *graph.Graph, prog Program[V, A]) (*Clus
 
 // bindPhases builds the cluster-level pre-bound phase functions once.
 func (c *Cluster[V, A]) bindPhases() {
-	c.fnBarrier = func(nd *node[V, A]) {
+	c.fns.barrier = func(nd *node[V, A]) {
 		nd.barrierState = c.coord.EnterBarrier(nd.id)
 	}
-	c.fnFlushSend = func(nd *node[V, A]) {
+	c.fns.flushSend = func(nd *node[V, A]) {
 		for dst, buf := range nd.sendBuf {
 			if len(buf) == 0 {
 				continue
@@ -310,7 +324,7 @@ func (c *Cluster[V, A]) bindPhases() {
 			nd.sendBuf[dst] = nil
 		}
 	}
-	c.fnFlushNotice = func(nd *node[V, A]) {
+	c.fns.flushNotice = func(nd *node[V, A]) {
 		for dst, buf := range nd.noticeBuf {
 			if len(buf) == 0 {
 				continue
@@ -323,10 +337,10 @@ func (c *Cluster[V, A]) bindPhases() {
 			nd.noticeBuf[dst] = nil
 		}
 	}
-	c.fnCommit = func(nd *node[V, A]) {
+	c.fns.commit = func(nd *node[V, A]) {
 		c.chunked(nd, len(nd.entries), nd.bodies.commit)
 	}
-	c.fnRollback = func(nd *node[V, A]) {
+	c.fns.rollback = func(nd *node[V, A]) {
 		for i := range nd.entries {
 			nd.entries[i].clearPending()
 		}
@@ -417,9 +431,11 @@ func (c *Cluster[V, A]) ensureWorkers() {
 	// Workers range over a captured local, never the c.work field: a worker
 	// that received no work before stopWorkers nils the field would otherwise
 	// race with that write (and could block forever on a nil channel).
+	//imitator:hotalloc-ok one-time pool spawn, guarded by the c.work nil check above
 	work := make(chan *node[V, A], c.cfg.NumNodes)
 	c.work = work
 	for i := 0; i < computeWidth; i++ {
+		//imitator:hotalloc-ok one-time pool spawn, guarded by the c.work nil check above
 		go func() {
 			for nd := range work {
 				c.phaseFn(nd)
@@ -431,9 +447,11 @@ func (c *Cluster[V, A]) ensureWorkers() {
 		c.workBarrier = work
 		return
 	}
+	//imitator:hotalloc-ok one-time pool spawn, guarded by the c.work nil check above
 	workBarrier := make(chan *node[V, A], c.cfg.NumNodes)
 	c.workBarrier = workBarrier
 	for i := 0; i < c.cfg.NumNodes; i++ {
+		//imitator:hotalloc-ok one-time pool spawn, guarded by the c.work nil check above
 		go func() {
 			for nd := range workBarrier {
 				c.phaseFn(nd)
@@ -500,7 +518,7 @@ func (c *Cluster[V, A]) aliveNodes() []*node[V, A] {
 }
 
 // eachAlive runs fn concurrently for every alive node and waits. Cold paths
-// pass closure literals; hot paths pass the pre-bound fn* fields.
+// pass closure literals; hot paths pass the pre-bound fns fields.
 func (c *Cluster[V, A]) eachAlive(fn func(n *node[V, A])) {
 	c.runPhase(fn)
 }
@@ -508,7 +526,7 @@ func (c *Cluster[V, A]) eachAlive(fn func(n *node[V, A])) {
 // barrier has every alive node enter the coordination barrier and returns
 // the (shared) barrier state.
 func (c *Cluster[V, A]) barrier() coord.BarrierState {
-	c.runBarrierPhase(c.fnBarrier)
+	c.runBarrierPhase(c.fns.barrier)
 	alive := c.aliveNodes()
 	if len(alive) == 0 {
 		return coord.BarrierState{}
@@ -537,14 +555,14 @@ func (c *Cluster[V, A]) injectFailures(nodes []int) {
 // the network; the receive side returns payloads to the pool after decode.
 func (c *Cluster[V, A]) flushSendRound(kind netsim.Kind) float64 {
 	c.flushKind = kind
-	c.runPhase(c.fnFlushSend)
+	c.runPhase(c.fns.flushSend)
 	return c.finishRound()
 }
 
 // flushNoticeRound transmits the staged activation notices as their own
 // messaging round.
 func (c *Cluster[V, A]) flushNoticeRound() float64 {
-	c.runPhase(c.fnFlushNotice)
+	c.runPhase(c.fns.flushNotice)
 	return c.finishRound()
 }
 
@@ -594,14 +612,14 @@ func (n *node[V, A]) stageNotice(dst int, encode func(buf []byte) []byte) {
 // scatter flags and the next superstep's active set (Algorithm 1 line 14).
 func (c *Cluster[V, A]) commit(iter int) {
 	c.curIter = iter
-	c.runPhase(c.fnCommit)
+	c.runPhase(c.fns.commit)
 }
 
 // rollback discards staged state and undelivered messages on every alive
 // node (Algorithm 1 line 9: the iteration will re-execute). Staged buffers
 // go back to the pool.
 func (c *Cluster[V, A]) rollback() {
-	c.runPhase(c.fnRollback)
+	c.runPhase(c.fns.rollback)
 }
 
 // Run executes the job to MaxIter supersteps, injecting scheduled failures

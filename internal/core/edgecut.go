@@ -16,39 +16,41 @@ import (
 //
 // All phases run through pre-bound functions and bodies (bindEdgeCutPhases,
 // bindEdgeCutBodies) so the steady-state loop allocates nothing.
+//
+//imitator:hotpath
 func (c *Cluster[V, A]) superstepEdgeCut(iter int) error {
 	c.curIter = iter
 
 	// Compute phase (Algorithm 1 line 5). Each chunk writes only the staged
 	// fields of its own masters; cross-chunk scatter activation goes through
 	// the stager's position list.
-	c.runPhase(c.fnECCompute)
+	c.runPhase(c.fns.ecCompute)
 	c.advanceComputeSpan()
 
 	// Send phase (line 6): one sync record per (computed master, replica),
 	// encoded chunk-parallel and merged in chunk order.
-	c.runPhase(c.fnSyncStage)
+	c.runPhase(c.fns.syncStage)
 	c.flushSendRound(netsim.KindSync)
 
 	// Receive phase: replicas stage the new value and propagate scatter
 	// activation to their local out-targets. Messages decode in parallel —
 	// every replica position is synced by exactly one master, so the staged
 	// writes are position-disjoint across messages.
-	c.runPhase(c.fnECRecv)
+	c.runPhase(c.fns.ecRecv)
 	return nil
 }
 
 // bindEdgeCutPhases builds the cluster-level edge-cut phase functions.
-// fnSyncStage doubles as the vertex-cut R3 encode phase.
+// fns.syncStage doubles as the vertex-cut R3 encode phase.
 func (c *Cluster[V, A]) bindEdgeCutPhases() {
-	c.fnECCompute = func(nd *node[V, A]) {
+	c.fns.ecCompute = func(nd *node[V, A]) {
 		nd.phaseCost = c.chunked(nd, len(nd.entries), nd.bodies.ecCompute)
 	}
-	c.fnSyncStage = func(nd *node[V, A]) {
+	c.fns.syncStage = func(nd *node[V, A]) {
 		c.routeReady(nd)
 		c.chunked(nd, len(nd.entries), nd.bodies.syncStage)
 	}
-	c.fnECRecv = func(nd *node[V, A]) {
+	c.fns.ecRecv = func(nd *node[V, A]) {
 		nd.recvMsgs = c.net.Receive(nd.id)
 		if c.flog != nil {
 			c.flogCapture(nd)

@@ -151,6 +151,7 @@ func (c *Cluster[V, A]) runChunks(k int, run func(w int)) {
 	var wg sync.WaitGroup
 	wg.Add(slots - 1)
 	for s := 1; s < slots; s++ {
+		//imitator:hotalloc-ok multi-slot path only; the capped steady state (slots <= 1) runs chunks inline above
 		go func() {
 			defer wg.Done()
 			for {
@@ -198,6 +199,7 @@ func (c *Cluster[V, A]) chunked(nd *node[V, A], n int, body func(st *stager, lo,
 		// closure is built (keeps the workers=1 steady state alloc-free).
 		body(sts[0], bounds[0][0], bounds[0][1])
 	} else {
+		//imitator:hotalloc-ok multi-chunk path only; the single-chunk steady state takes the inline branch above
 		c.runChunks(len(bounds), func(w int) {
 			body(sts[w], bounds[w][0], bounds[w][1])
 		})

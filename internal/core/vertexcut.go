@@ -17,6 +17,7 @@ type gatherPartial[A any] struct {
 // backing array when capacity allows.
 func ensurePartials[A any](p []gatherPartial[A], n int) []gatherPartial[A] {
 	if cap(p) < n {
+		//imitator:hotalloc-ok grows monotonically to the peak entry count, then reused every superstep
 		return make([]gatherPartial[A], n)
 	}
 	p = p[:n]
@@ -39,45 +40,47 @@ func ensurePartials[A any](p []gatherPartial[A], n int) []gatherPartial[A] {
 // All phases run through pre-bound functions and bodies so the steady-state
 // loop allocates nothing; the gather scratch (localPart/mergedPart) is
 // retained on the node and cleared per superstep.
+//
+//imitator:hotpath
 func (c *Cluster[V, A]) superstepVertexCut(iter int) error {
 	c.curIter = iter
 
 	// R1: activation broadcast.
 	if !c.always {
-		c.runPhase(c.fnVCR1Stage)
+		c.runPhase(c.fns.vcR1Stage)
 		c.flushSendRound(netsim.KindActivation)
-		c.runPhase(c.fnVCR1Recv)
+		c.runPhase(c.fns.vcR1Recv)
 	}
 
 	// R2 gather: local partials; replicas ship them to masters.
-	c.runPhase(c.fnVCGather)
+	c.runPhase(c.fns.vcGather)
 	c.advanceComputeSpan()
 	c.flushSendRound(netsim.KindGather)
 
 	// Merge + apply on masters.
-	c.runPhase(c.fnVCMerge)
+	c.runPhase(c.fns.vcMerge)
 	c.advanceComputeSpan()
 
 	// R3 sync: masters broadcast new values + scatter bits. Encode is
 	// chunk-parallel; decode parallelizes over messages (replica positions
 	// are disjoint across senders).
-	c.runPhase(c.fnSyncStage)
+	c.runPhase(c.fns.syncStage)
 	c.flushSendRound(netsim.KindSync)
-	c.runPhase(c.fnVCRecv)
+	c.runPhase(c.fns.vcRecv)
 
 	// R4 activation notices to the masters of activated vertices.
 	c.flushNoticeRound()
-	c.runPhase(c.fnVCNotice)
+	c.runPhase(c.fns.vcNotice)
 	return nil
 }
 
 // bindVertexCutPhases builds the cluster-level vertex-cut phase functions.
 func (c *Cluster[V, A]) bindVertexCutPhases() {
-	c.fnVCR1Stage = func(nd *node[V, A]) {
+	c.fns.vcR1Stage = func(nd *node[V, A]) {
 		c.routeReady(nd)
 		c.chunked(nd, len(nd.entries), nd.bodies.vcR1Stage)
 	}
-	c.fnVCR1Recv = func(nd *node[V, A]) {
+	c.fns.vcR1Recv = func(nd *node[V, A]) {
 		c.chunked(nd, len(nd.entries), nd.bodies.vcR1Reset)
 		msgs := c.net.Receive(nd.id)
 		for _, m := range msgs {
@@ -90,11 +93,11 @@ func (c *Cluster[V, A]) bindVertexCutPhases() {
 		}
 		c.recycleMsgs(msgs)
 	}
-	c.fnVCGather = func(nd *node[V, A]) {
+	c.fns.vcGather = func(nd *node[V, A]) {
 		nd.localPart = ensurePartials(nd.localPart, len(nd.entries))
 		nd.phaseCost = c.chunked(nd, len(nd.entries), nd.bodies.vcGather)
 	}
-	c.fnVCMerge = func(nd *node[V, A]) {
+	c.fns.vcMerge = func(nd *node[V, A]) {
 		// Contributions merge in ascending sender-id order, with the
 		// master's own local partial taking its node's slot, so
 		// floating-point folds are deterministic.
@@ -129,7 +132,7 @@ func (c *Cluster[V, A]) bindVertexCutPhases() {
 		// chunk writes only its own masters' staged state.
 		nd.phaseCost = c.chunked(nd, len(nd.entries), nd.bodies.vcApply)
 	}
-	c.fnVCRecv = func(nd *node[V, A]) {
+	c.fns.vcRecv = func(nd *node[V, A]) {
 		nd.recvMsgs = c.net.Receive(nd.id)
 		if c.flog != nil {
 			c.flogCapture(nd)
@@ -138,7 +141,7 @@ func (c *Cluster[V, A]) bindVertexCutPhases() {
 		c.recycleMsgs(nd.recvMsgs)
 		nd.recvMsgs = nil
 	}
-	c.fnVCNotice = func(nd *node[V, A]) {
+	c.fns.vcNotice = func(nd *node[V, A]) {
 		msgs := c.net.Receive(nd.id)
 		for _, m := range msgs {
 			buf := m.Payload

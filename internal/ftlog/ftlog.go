@@ -29,6 +29,7 @@ package ftlog
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Log-file kinds.
@@ -88,11 +89,18 @@ func AppendRecordPrefix(buf []byte, pos uint32, flags byte, stamp int32) ([]byte
 // PatchValLen records that the value bytes run from the valLen slot's end
 // to the current end of buf.
 func PatchValLen(buf []byte, at int) {
-	binary.LittleEndian.PutUint32(buf[at:at+4], uint32(len(buf)-at-4))
+	n := len(buf) - at - 4
+	if int64(n) > math.MaxUint32 {
+		panic("ftlog: value length overflows the u32 length field")
+	}
+	binary.LittleEndian.PutUint32(buf[at:at+4], uint32(n))
 }
 
 // AppendMessage appends one length-prefixed message payload.
 func AppendMessage(buf, payload []byte) []byte {
+	if len(payload) > math.MaxUint32 {
+		panic("ftlog: message payload overflows the u32 length prefix")
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	return append(buf, payload...)
 }

@@ -19,6 +19,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -73,12 +74,45 @@ type csr struct {
 // ErrVertexOutOfRange reports an edge endpoint outside [0, NumVertices).
 var ErrVertexOutOfRange = errors.New("graph: vertex id out of range")
 
+// ErrGraphTooLarge reports a graph that does not fit the compact layout:
+// more edges than the int32 CSR indexes can address, or more vertices than
+// the uint32 endpoint arrays can name. At the paper's Twitter scale (1.47B
+// edges) |E| sits within 1.5× of the int32 limit, so the constructors must
+// reject the overflow loudly rather than let a narrowing conversion wrap.
+var ErrGraphTooLarge = errors.New("graph: graph exceeds the compact layout's index width")
+
+const (
+	// maxEdges is the largest edge count the int32 CSR offset/index arrays
+	// can address.
+	maxEdges = math.MaxInt32
+	// maxVertices is the largest vertex count the uint32 endpoint arrays can
+	// name: ids are dense in [0, NumVertices), so NumVertices may reach 1<<32.
+	maxVertices = 1 << 32
+)
+
+// checkSize validates the counts against the layout limits before any
+// allocation; both constructors call it first.
+func checkSize(numVertices, numEdges int) error {
+	if int64(numVertices) > maxVertices {
+		return fmt.Errorf("%w: %d vertices exceed the uint32 endpoint width (max %d)",
+			ErrGraphTooLarge, numVertices, int64(maxVertices))
+	}
+	if int64(numEdges) > maxEdges {
+		return fmt.Errorf("%w: %d edges exceed the int32 CSR index width (max %d)",
+			ErrGraphTooLarge, numEdges, int64(maxEdges))
+	}
+	return nil
+}
+
 // New builds a graph from an edge list. It validates endpoints, converts the
 // list into the compact layout and builds both adjacency indexes; the input
 // slice is not retained.
 func New(numVertices int, edges []Edge) (*Graph, error) {
 	if numVertices < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", numVertices)
+	}
+	if err := checkSize(numVertices, len(edges)); err != nil {
+		return nil, err
 	}
 	for i, e := range edges {
 		if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
@@ -143,6 +177,9 @@ func MustNew(numVertices int, edges []Edge) *Graph {
 func NewFromSOA(numVertices int, src, dst []VertexID, wt []float64) (*Graph, error) {
 	if numVertices < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", numVertices)
+	}
+	if err := checkSize(numVertices, len(src)); err != nil {
+		return nil, err
 	}
 	if len(src) != len(dst) {
 		return nil, fmt.Errorf("graph: src/dst length mismatch %d != %d", len(src), len(dst))
@@ -210,6 +247,12 @@ const csrMinShard = 1 << 19
 // worker count.
 func buildCSRKeys[K uint16 | VertexID](n int, keys []K) csr {
 	m := len(keys)
+	// Backstop for the int32 index width: the public constructors already
+	// reject |E| > MaxInt32 (ErrGraphTooLarge), so this can only fire for a
+	// future internal caller that skips them — fail loudly, never wrap.
+	if int64(m) > maxEdges {
+		panic("graph: edge count overflows the int32 CSR index width")
+	}
 	offsets := make([]int32, n+1)
 	if m == 0 {
 		return csr{offsets: offsets}

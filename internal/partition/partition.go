@@ -314,7 +314,10 @@ func ComputeStats(g *graph.Graph, masks []uint64, edgesPerNode []int, numNodes i
 		presences += c
 		if c == 1 {
 			s.NoReplicaTotal++
-			if g.IsSelfish(graph.VertexID(v)) {
+			// masks has one slot per vertex, and the graph constructors
+			// reject |V| beyond the uint32 endpoint width (ErrGraphTooLarge),
+			// so the index always fits VertexID.
+			if g.IsSelfish(graph.VertexID(v)) { //imitator:narrowing-ok |V| bounded by graph's ErrGraphTooLarge guard
 				s.NoReplicaSelfish++
 			}
 		}
