@@ -48,6 +48,20 @@ type benchEntry struct {
 	SurvivorReplayIters int     `json:"survivor_replay_iters,omitempty"`
 	LogReplaySteps      int     `json:"log_replay_supersteps,omitempty"`
 
+	// Serve probe (serve/* entries): a deterministic live-query stream
+	// against a running job — fault-free vs a mid-run crash (failover).
+	// Latency percentiles are host wall-clock milliseconds; max_staleness
+	// is the largest epoch lag any answer declared.
+	QueriesIssued   int     `json:"queries_issued,omitempty"`
+	QueriesAnswered int     `json:"queries_answered,omitempty"`
+	ReplicaReads    int     `json:"replica_reads,omitempty"`
+	Unavailable     int     `json:"unavailable,omitempty"`
+	P50Ms           float64 `json:"p50_ms,omitempty"`
+	P99Ms           float64 `json:"p99_ms,omitempty"`
+	MaxMs           float64 `json:"max_ms,omitempty"`
+	QPS             float64 `json:"qps,omitempty"`
+	MaxStaleness    int     `json:"max_staleness,omitempty"`
+
 	// Scale tier (scale/* entries): the synthetic graph's dimensions,
 	// parallel-generation wall clock keyed by worker count (the graph is
 	// bit-identical across the sweep), and the compact layout's measured
@@ -142,6 +156,18 @@ func runJSON(opts experiments.Options, fl jsonFlags) error {
 				ID: fig.id, WallSeconds: wall, Allocs: allocs, AllocBytes: bytes,
 			})
 			fmt.Fprintf(os.Stderr, "bench: %s wall=%.2fs allocs=%d\n", fig.id, wall, allocs)
+		}
+	}
+
+	if fl.serve {
+		serveEntries, err := serveProbe(opts)
+		if err != nil {
+			return err
+		}
+		for _, e := range serveEntries {
+			report.Results = append(report.Results, e)
+			fmt.Fprintf(os.Stderr, "bench: %s p50=%.3fms p99=%.3fms qps=%.0f replica_reads=%d staleness<=%d\n",
+				e.ID, e.P50Ms, e.P99Ms, e.QPS, e.ReplicaReads, e.MaxStaleness)
 		}
 	}
 
@@ -325,12 +351,12 @@ func superstepProbe(mode core.Mode, opts experiments.Options) (benchEntry, error
 		return benchEntry{}, fmt.Errorf("%s: %w", id, err)
 	}
 	return benchEntry{
-		ID:                 id,
-		WallSeconds:        longWall,
-		Allocs:             longAllocs,
-		SimSeconds:         long.SimSeconds,
-		MsgBytes:           long.Metrics.TotalBytes(),
-		Supersteps: span,
+		ID:          id,
+		WallSeconds: longWall,
+		Allocs:      longAllocs,
+		SimSeconds:  long.SimSeconds,
+		MsgBytes:    long.Metrics.TotalBytes(),
+		Supersteps:  span,
 		// Signed delta: when the steady state is alloc-free, GC noise can
 		// leave the long run a hair under the short one, and an unsigned
 		// subtraction would wrap to 2^64.

@@ -31,6 +31,7 @@ func main() {
 type jsonFlags struct {
 	path, basePath string
 	probesOnly     bool
+	serve          bool
 	scale          bool
 	scaleVertices  int
 	scaleEdges     int
@@ -52,6 +53,7 @@ func run(args []string) error {
 		basePath = fs.String("baseline", "", "embed a previous -json report for side-by-side comparison")
 
 		probesOnly = fs.Bool("probes-only", false, "-json mode: skip the fig7/fig13 workloads, keep the probes (CI smoke)")
+		serve      = fs.Bool("serve", false, "-json mode: add the serve-mode latency probe (fault-free vs mid-run crash failover)")
 		scale      = fs.Bool("scale", false, "-json mode: add the paper-scale tier (parallel generation + compact-layout footprint + PageRank probe)")
 		scaleVerts = fs.Int("scale-vertices", 640_000, "scale tier |V|")
 		scaleEdges = fs.Int("scale-edges", 22_400_000, "scale tier |E| (default 10x the largest catalog graph)")
@@ -96,6 +98,7 @@ func run(args []string) error {
 			path:           *jsonPath,
 			basePath:       *basePath,
 			probesOnly:     *probesOnly,
+			serve:          *serve,
 			scale:          *scale,
 			scaleVertices:  *scaleVerts,
 			scaleEdges:     *scaleEdges,

@@ -117,12 +117,12 @@ func scaleProbe(opts experiments.Options, nVerts, nEdges int) (benchEntry, error
 		saved = 100 * (1 - float64(fp.TotalBytes)/float64(fp.LegacyBytes))
 	}
 	return benchEntry{
-		ID:                 id,
-		WallSeconds:        longWall,
-		Allocs:             longAllocs,
-		SimSeconds:         long.SimSeconds,
-		MsgBytes:           long.Metrics.TotalBytes(),
-		Supersteps: span,
+		ID:          id,
+		WallSeconds: longWall,
+		Allocs:      longAllocs,
+		SimSeconds:  long.SimSeconds,
+		MsgBytes:    long.Metrics.TotalBytes(),
+		Supersteps:  span,
 		// Signed for the same reason as superstepProbe: an alloc-free steady
 		// state plus GC noise must not wrap to 2^64.
 		AllocsPerSuperstep: (float64(longAllocs) - float64(shortAllocs)) / span,

@@ -11,15 +11,19 @@
 //	imitator -dataset wiki -algo pagerank -ft logged -compact-every 4 -fail-iter 5
 //	imitator -dataset wiki -algo pagerank -ft migration -chaos 'crash@3b=1|crashrec@migration:repair=4|slow@2=0>3x8'
 //	imitator -dataset wiki -algo pagerank -chaos 'drop@1=0>2x0.3|part@2~5=1' -chaos-seed 42
+//	imitator -dataset gweb -algo pagerank -serve -queries 2000 -chaos 'crash@3b=1'
+//	imitator -dataset gweb -algo pagerank -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"imitator/internal/serveload"
 	"imitator/pkg/imitator"
 )
 
@@ -43,7 +47,6 @@ func run(args []string) error {
 		ftMode      = fs.String("ft", "replication", "fault-tolerance strategy: replication (rebirth), migration, checkpoint, logged, none")
 		k           = fs.Int("k", 1, "replication/migration: number of simultaneous failures to tolerate")
 		selfish     = fs.Bool("selfish-opt", true, "replication/migration: enable the selfish-vertex optimization")
-		recovery    = fs.String("recovery", "", "deprecated alias for -ft (overrides it when set)")
 		ckptIvl     = fs.Int("ckpt-interval", 1, "checkpoint: snapshot interval in iterations")
 		compactIvl  = fs.Int("compact-every", 0, "logged: write a full log record every n supersteps to bound replay (0 = never)")
 		failIter    = fs.Int("fail-iter", -1, "iteration at which to crash nodes (-1 = no failure)")
@@ -52,6 +55,12 @@ func run(args []string) error {
 		chaosSeed   = fs.Uint64("chaos-seed", 0, "seed for the deterministic per-link omission-fault generators (drop/dup/reorder)")
 		input       = fs.String("input", "", "edge-list file to load instead of -dataset (src dst [weight] per line)")
 		tcp         = fs.Bool("tcp", false, "run the protocol over a loopback TCP mesh instead of in-memory delivery")
+		serve       = fs.Bool("serve", false, "serve mode: run with the live-query layer attached and drive a seeded query load while the job executes")
+		queries     = fs.Int("queries", 1024, "serve: number of load-generator queries to issue")
+		querySeed   = fs.Uint64("query-seed", 1, "serve: seed of the deterministic query stream")
+		topk        = fs.Int("topk", 10, "serve: K for top-K queries in the load mix")
+		staleness   = fs.Int("staleness", 0, "serve: bound answers to at most this many epochs behind the frontier (0 = unbounded)")
+		jsonOut     = fs.Bool("json", false, "emit the report as JSON instead of text")
 		timeline    = fs.Bool("timeline", false, "render the execution timeline")
 		list        = fs.Bool("list", false, "list datasets and exit")
 	)
@@ -87,13 +96,16 @@ func run(args []string) error {
 		}
 		opts = append(opts, imitator.WithPartitioner(p))
 	}
-	strat, err := buildStrategy(*ftMode, *recovery, *k, *selfish, *ckptIvl, *compactIvl)
+	strat, err := buildStrategy(*ftMode, *k, *selfish, *ckptIvl, *compactIvl)
 	if err != nil {
 		return err
 	}
 	opts = append(opts, imitator.WithFTStrategy(strat))
 	if *tcp {
 		opts = append(opts, imitator.WithTransport(imitator.TransportTCP))
+	}
+	if *serve {
+		opts = append(opts, imitator.WithServe(imitator.ServeStalenessBound(*staleness)))
 	}
 	if *failIter >= 0 {
 		var crash []int
@@ -119,30 +131,55 @@ func run(args []string) error {
 	cfg := imitator.New(opts...)
 
 	w := imitator.Workload{Algo: *algo, Dataset: *dataset, Iters: *iters}
-	var s imitator.RunSummary
+	var g *imitator.Graph
 	if *input != "" {
 		f, err := os.Open(*input)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		g, err := imitator.ReadEdgeList(f, 0)
+		g, err = imitator.ReadEdgeList(f, 0)
+		f.Close()
 		if err != nil {
 			return err
 		}
 		w.Dataset = *input
-		s, err = imitator.RunWorkloadOn(w, g, cfg)
-		if err != nil {
-			return err
-		}
 	} else {
-		var err error
-		s, err = imitator.RunWorkload(w, cfg)
+		g, err = imitator.LoadDataset(*dataset)
 		if err != nil {
 			return err
 		}
 	}
-	report(w, cfg, s)
+
+	var s imitator.RunSummary
+	var load *serveload.Stats
+	if *serve {
+		srv, err := imitator.ServeOn(w, g, cfg)
+		if err != nil {
+			return err
+		}
+		st, err := serveload.Run(serveload.Config{
+			Queries:        *queries,
+			Seed:           *querySeed,
+			NumVertices:    g.NumVertices(),
+			TopK:           *topk,
+			StalenessBound: *staleness,
+			Done:           srv.Done(),
+		}, srv.Query)
+		if err != nil {
+			return err
+		}
+		load = &st
+		if s, err = srv.Wait(); err != nil {
+			return err
+		}
+	} else if s, err = imitator.RunWorkloadOn(w, g, cfg); err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		return writeJSON(os.Stdout, w, cfg, s, load)
+	}
+	report(w, cfg, s, load)
 	if *timeline {
 		fmt.Println("timeline:")
 		imitator.RenderTimeline(os.Stdout, s.Trace, imitator.TimelineOptions{})
@@ -151,13 +188,9 @@ func run(args []string) error {
 	return nil
 }
 
-// buildStrategy maps the -ft name (or the deprecated -recovery alias, which
-// wins when set) plus the per-strategy refinement flags onto one typed
-// FTStrategy.
-func buildStrategy(name, legacy string, k int, selfish bool, ckptIvl, compactIvl int) (imitator.FTStrategy, error) {
-	if legacy != "" {
-		name = legacy
-	}
+// buildStrategy maps the -ft name plus the per-strategy refinement flags
+// onto one typed FTStrategy.
+func buildStrategy(name string, k int, selfish bool, ckptIvl, compactIvl int) (imitator.FTStrategy, error) {
 	switch name {
 	case "replication", "rebirth":
 		return imitator.Replication(
@@ -199,7 +232,38 @@ func parsePartitioner(s string) (imitator.Partitioner, error) {
 	}
 }
 
-func report(w imitator.Workload, cfg imitator.Config, s imitator.RunSummary) {
+// jsonReport is the machine-readable run report: the same facts as the
+// text report, with the uniform Strategy/Buffers/Omission/Serve sections
+// always present under stable keys.
+type jsonReport struct {
+	Algo        string              `json:"algo"`
+	Dataset     string              `json:"dataset"`
+	Mode        string              `json:"mode"`
+	Partitioner string              `json:"partitioner"`
+	Nodes       int                 `json:"nodes"`
+	Workers     int                 `json:"workers"`
+	Iters       int                 `json:"iters"`
+	Summary     imitator.RunSummary `json:"summary"`
+	Load        *serveload.Stats    `json:"load,omitempty"`
+}
+
+func writeJSON(w *os.File, wl imitator.Workload, cfg imitator.Config, s imitator.RunSummary, load *serveload.Stats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{
+		Algo:        wl.Algo,
+		Dataset:     wl.Dataset,
+		Mode:        fmt.Sprint(cfg.Mode),
+		Partitioner: fmt.Sprint(cfg.Partitioner),
+		Nodes:       cfg.NumNodes,
+		Workers:     cfg.WorkersPerNode,
+		Iters:       wl.Iters,
+		Summary:     s,
+		Load:        load,
+	})
+}
+
+func report(w imitator.Workload, cfg imitator.Config, s imitator.RunSummary, load *serveload.Stats) {
 	fmt.Printf("job: %s on %s (%s, %v, %d nodes x %d workers)\n",
 		w.Algo, w.Dataset, cfg.Mode, cfg.Partitioner, cfg.NumNodes, cfg.WorkersPerNode)
 	fmt.Printf("graph: %d vertices, %d edges; replication factor %.2f (%d FT replicas added)\n",
@@ -209,6 +273,9 @@ func report(w imitator.Workload, cfg imitator.Config, s imitator.RunSummary) {
 	fmt.Printf("traffic: %d messages, %.2f MB total; memory max-node %.1f MB, total %.1f MB\n",
 		s.Metrics.TotalMsgs(), float64(s.Metrics.TotalBytes())/1e6,
 		float64(s.MaxMemory)/1e6, float64(s.TotalMemory)/1e6)
+	if b := s.Buffers; b.Gets > 0 {
+		fmt.Printf("buffers: %d gets, %d misses (reuse %.3f)\n", b.Gets, b.Misses, b.ReuseFraction())
+	}
 	if s.CheckpointCount > 0 {
 		fmt.Printf("checkpoints: %d written, %.3f s total\n", s.CheckpointCount, s.CheckpointSeconds)
 	}
@@ -221,6 +288,14 @@ func report(w imitator.Workload, cfg imitator.Config, s imitator.RunSummary) {
 		fmt.Printf("omission: %d retransmits (%.2f KB, %.2f KB acks), %d dups dropped, %d reordered, %d parked, %d fenced\n",
 			o.Retransmits, float64(o.RetransmitBytes)/1e3, float64(o.AckBytes)/1e3,
 			o.DuplicatesDropped, o.Reordered, o.Parked, o.Fenced)
+	}
+	if sv := s.Serve; sv != nil {
+		fmt.Printf("serve: %d queries (%d from replicas, %d stale-rejected, %d unavailable), max staleness %d\n",
+			sv.Queries, sv.FromReplica, sv.StaleRejected, sv.Unavailable, sv.MaxStaleness)
+	}
+	if load != nil {
+		fmt.Printf("load: %d issued, %d answered at %.0f qps; latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+			load.Issued, load.Answered, load.QPS, load.P50, load.P95, load.P99, load.Max)
 	}
 	for _, r := range s.Recoveries {
 		fmt.Printf("recovery: %s\n", r)

@@ -66,7 +66,6 @@ func TestBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-mode", "diagonal"},
 		{"-ft", "prayer"},
-		{"-recovery", "prayer"},
 		{"-partitioner", "vibes"},
 		{"-dataset", "nope", "-iters", "1"},
 		{"-fail-iter", "1", "-fail-nodes", "x"},
@@ -78,6 +77,27 @@ func TestBadFlags(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestServeFlag(t *testing.T) {
+	err := run([]string{
+		"-dataset", "dblp", "-algo", "pagerank", "-nodes", "6", "-iters", "5",
+		"-serve", "-queries", "200", "-query-seed", "7", "-topk", "5",
+		"-chaos", "crash@2b=1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONFlag(t *testing.T) {
+	err := run([]string{
+		"-dataset", "dblp", "-algo", "pagerank", "-nodes", "4", "-iters", "2",
+		"-json", "-serve", "-queries", "50",
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -107,8 +127,7 @@ func TestInputFile(t *testing.T) {
 func TestTCPFlag(t *testing.T) {
 	err := run([]string{
 		"-dataset", "dblp", "-algo", "pagerank", "-nodes", "3", "-iters", "2",
-		"-tcp", "-recovery", "rebirth", "-fail-iter", "1", // -recovery: the deprecated alias still routes
-
+		"-tcp", "-ft", "rebirth", "-fail-iter", "1",
 	})
 	if err != nil {
 		t.Fatal(err)

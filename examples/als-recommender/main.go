@@ -27,7 +27,7 @@ func main() {
 	cfg := imitator.New(
 		imitator.WithNodes(4),
 		imitator.WithIterations(10),
-		imitator.WithFailure(4, imitator.FailBeforeBarrier, 3),
+		imitator.WithFailures(imitator.Crash(4, imitator.FailBeforeBarrier, 3)),
 	)
 
 	res, err := imitator.Run(cfg, g, prog)

@@ -80,7 +80,7 @@ func main() {
 		imitator.WithFTStrategy(imitator.Migration(
 			imitator.ReplicationK(2), imitator.ReplicationSelfish(false))),
 		imitator.WithIterations(12),
-		imitator.WithFailure(6, imitator.FailBeforeBarrier, 1, 4),
+		imitator.WithFailures(imitator.Crash(6, imitator.FailBeforeBarrier, 1, 4)),
 	)
 
 	res, err := imitator.Run(cfg, g, prog)

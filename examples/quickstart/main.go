@@ -21,7 +21,7 @@ func main() {
 	cfg := imitator.New(
 		imitator.WithNodes(4),
 		imitator.WithIterations(10),
-		imitator.WithFailure(5, imitator.FailBeforeBarrier, 2),
+		imitator.WithFailures(imitator.Crash(5, imitator.FailBeforeBarrier, 2)),
 	)
 
 	// 3. Run PageRank.

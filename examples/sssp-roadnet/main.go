@@ -24,7 +24,7 @@ func main() {
 		imitator.WithFTStrategy(imitator.Migration(
 			imitator.ReplicationK(2), imitator.ReplicationSelfish(false))),
 		imitator.WithIterations(400), // road networks have large diameters
-		imitator.WithFailure(40, imitator.FailBeforeBarrier, 2, 4),
+		imitator.WithFailures(imitator.Crash(40, imitator.FailBeforeBarrier, 2, 4)),
 	)
 
 	res, err := imitator.Run(cfg, g, imitator.NewSSSP(source))

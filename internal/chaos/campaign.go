@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -98,7 +99,13 @@ type Report struct {
 	// Strategies counts runs per FT strategy name; crash scenarios cycle
 	// through all four, so a long campaign covers the full matrix.
 	Strategies map[string]int
-	Failures   []RoundFailure
+	// Queries counts live serve-mode reads answered while rounds were still
+	// executing their fault schedules; every one was validated against the
+	// fault-free trajectory at its declared epoch. ReplicaReads counts the
+	// answers served from an FT replica because the master was down.
+	Queries      int
+	ReplicaReads int
+	Failures     []RoundFailure
 }
 
 // RoundFailure is one failed round with a deterministic repro line.
@@ -157,25 +164,30 @@ func (c Campaign) Run() (*Report, error) {
 	g := datasets.Tiny(c.Vertices, c.Edges, rng.Hash64(c.Seed))
 	// Fault-free baselines, one per mode: recovery settings and chaos
 	// schedules must not change converged values, so one baseline serves
-	// every round of the mode.
+	// every round of the mode. The baseline runs with serve history on so
+	// the rounds' live queries can be checked against the trajectory at
+	// whatever epoch each answer declares.
 	baselines := make([][]float64, len(c.Modes))
+	truths := make([]map[int][]float64, len(c.Modes))
 	for i, mode := range c.Modes {
 		cfg := c.baseConfig(mode)
 		cfg.Recovery = core.RecoverRebirth
-		res, err := runPageRank(cfg, g)
+		baseline, truth, err := runBaseline(cfg, g)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: fault-free baseline (%v): %w", mode, err)
 		}
-		baselines[i] = res.Values
+		baselines[i], truths[i] = baseline, truth
 	}
 	for round := 0; round < c.Rounds; round++ {
 		for i, mode := range c.Modes {
 			rep.Runs++
-			out := c.runRound(round, mode, g, baselines[i])
+			out := c.runRound(round, mode, g, baselines[i], truths[i])
 			rep.DuringRecovery += out.duringRecovery
 			rep.Exhaustion += out.exhaustion
 			rep.Lossy += out.lossy
 			rep.Fenced += out.fenced
+			rep.Queries += out.queries
+			rep.ReplicaReads += out.replicaReads
 			rep.Strategies[out.ft]++
 			if out.err != nil {
 				rep.Failures = append(rep.Failures, RoundFailure{
@@ -197,12 +209,15 @@ type roundOutcome struct {
 	exhaustion     int
 	lossy          int
 	fenced         int
+	queries        int
+	replicaReads   int
 }
 
 // runRound generates round's schedule from its seed and runs it against
-// the baseline. g and baseline must come from the same campaign
-// dimensions (Replay re-derives both).
-func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []float64) roundOutcome {
+// the baseline, serving a seeded stream of live queries while the fault
+// schedule plays out. g, baseline and truth must come from the same
+// campaign dimensions (Replay re-derives all three).
+func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []float64, truth map[int][]float64) roundOutcome {
 	r := rng.New(c.Seed ^ rng.Hash2(uint64(round), uint64(mode)+1))
 	scenario := round % numScenarios
 	strat := campaignStrategies[(round/numScenarios)%len(campaignStrategies)]
@@ -305,22 +320,108 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 		})
 	}
 	cfg.Chaos = sched
+	cfg.Serve = core.ServeConfig{Enabled: true}
+	// Odd rounds disable the selfish-vertices optimization so FT replicas
+	// stay synced: recovery-window reads on a dead master's vertices are
+	// then served from replicas instead of honestly refused.
+	if cfg.FT.Enabled && round%2 == 1 {
+		cfg.FT.SelfishOpt = false
+	}
+	// Draw the query seeds after the schedule is complete so the schedule
+	// streams stay identical to a query-free campaign.
+	qr := rng.New(r.Uint64())
+	hr := rng.New(r.Uint64())
 
 	out := roundOutcome{
 		ft: cfg.Recovery.String(),
 		repro: fmt.Sprintf("chaos seed=%d round=%d mode=%s ft=%s sched=%s",
 			c.Seed, round, mode, cfg.Recovery, FormatEvents(sched)),
 	}
-	res, err := runPageRank(cfg, g)
-	if err != nil {
-		out.err = err
-		return out
-	}
 	// Vertex-cut migrations merge gather partials in a recovered order;
 	// everything else must be bit-identical to the fault-free run.
 	tol := 0.0
 	if mode == core.VertexCutMode && migrationInvolved {
 		tol = 1e-9
+	}
+	cl, err := newPageRank(cfg, g)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	// Pin one read inside every recovery window: the hook fires between
+	// recovery phases, exactly where serving must keep answering while the
+	// engine rebuilds the failed node.
+	type liveRead struct {
+		ans core.Answer
+		err error
+	}
+	var hookReads []liveRead
+	cl.SetRecoveryHook(func(phase string) {
+		q := core.Query{Kind: core.QueryValue, Vertex: graph.VertexID(hr.Intn(len(baseline)))}
+		ans, err := cl.Query(q)
+		hookReads = append(hookReads, liveRead{ans, err})
+	})
+	// Run the fault schedule in the background and serve a deterministic
+	// query stream against the live cluster: reads land before, during and
+	// after the crash/partition windows, and every answer must match the
+	// fault-free trajectory at the epoch it declares.
+	done := make(chan struct{})
+	var res *core.Result[float64]
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = cl.Run()
+	}()
+	for i := 0; i < roundQueries; i++ {
+		q := core.Query{Kind: core.QueryValue, Vertex: graph.VertexID(qr.Intn(len(baseline)))}
+		if i%8 == 7 {
+			q = core.Query{Kind: core.QueryTopK, K: 5}
+		}
+		ans, qerr := cl.Query(q)
+		if qerr != nil {
+			// An honest refusal — the master is down and its replicas are
+			// selfish or dead — is allowed; a wrong answer is not.
+			if errors.Is(qerr, core.ErrVertexUnavailable) {
+				continue
+			}
+			out.err = fmt.Errorf("live query %d: %w", i, qerr)
+			break
+		}
+		if verr := checkLiveAnswer(ans, truth, tol); verr != nil {
+			out.err = fmt.Errorf("live query %d: %w", i, verr)
+			break
+		}
+		out.queries++
+		if ans.FromReplica {
+			out.replicaReads++
+		}
+	}
+	<-done
+	if runErr != nil {
+		out.err = runErr
+		return out
+	}
+	if out.err != nil {
+		return out
+	}
+	// hookReads is written only on the engine goroutine; the done channel
+	// orders it before these reads.
+	for i, rd := range hookReads {
+		if rd.err != nil {
+			if errors.Is(rd.err, core.ErrVertexUnavailable) {
+				continue
+			}
+			out.err = fmt.Errorf("recovery-window query %d: %w", i, rd.err)
+			return out
+		}
+		if verr := checkLiveAnswer(rd.ans, truth, tol); verr != nil {
+			out.err = fmt.Errorf("recovery-window query %d: %w", i, verr)
+			return out
+		}
+		out.queries++
+		if rd.ans.FromReplica {
+			out.replicaReads++
+		}
 	}
 	if err := valuesMatch(res.Values, baseline, tol); err != nil {
 		out.err = err
@@ -419,23 +520,82 @@ func (c Campaign) Replay(repro string) error {
 	g := datasets.Tiny(c.Vertices, c.Edges, rng.Hash64(c.Seed))
 	cfg := c.baseConfig(mode)
 	cfg.Recovery = core.RecoverRebirth
-	base, err := runPageRank(cfg, g)
+	baseline, truth, err := runBaseline(cfg, g)
 	if err != nil {
 		return err
 	}
-	return c.runRound(round, mode, g, base.Values).err
+	return c.runRound(round, mode, g, baseline, truth).err
 }
 
 // coreGraph aliases the graph type to keep signatures short here.
 type coreGraph = graph.Graph
 
-// runPageRank runs one PageRank job.
-func runPageRank(cfg core.Config, g *coreGraph) (*core.Result[float64], error) {
-	cl, err := core.NewCluster[float64, float64](cfg, g, algorithms.NewPageRank(g.NumVertices()))
+// roundQueries is the fixed number of live queries issued per round. The
+// stream is a pure function of the round seed; only the epoch each answer
+// observes depends on where the run happens to be when the read lands.
+const roundQueries = 48
+
+// newPageRank builds one PageRank cluster.
+func newPageRank(cfg core.Config, g *coreGraph) (*core.Cluster[float64, float64], error) {
+	return core.NewCluster[float64, float64](cfg, g, algorithms.NewPageRank(g.NumVertices()))
+}
+
+// runBaseline runs the fault-free job with serve history retained and
+// returns the converged values plus the per-epoch trajectory that the
+// rounds' live answers are validated against.
+func runBaseline(cfg core.Config, g *coreGraph) ([]float64, map[int][]float64, error) {
+	cfg.Serve = core.ServeConfig{Enabled: true, KeepHistory: true}
+	cl, err := newPageRank(cfg, g)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return cl.Run()
+	res, err := cl.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	truth := make(map[int][]float64)
+	for _, e := range cl.PublishedEpochs() {
+		truth[e] = cl.EpochValues(e)
+	}
+	return res.Values, truth, nil
+}
+
+// checkLiveAnswer validates one mid-run answer against the fault-free
+// trajectory at the epoch the answer declares: the snapshot must be a
+// committed superstep (never a torn one), at most PublishEvery behind the
+// frontier, and its values must match the baseline's at that epoch.
+func checkLiveAnswer(ans core.Answer, truth map[int][]float64, tol float64) error {
+	if s := ans.Staleness(); s < 0 || s > 1 {
+		return fmt.Errorf("staleness %d outside [0, 1] (epoch %d, frontier %d)",
+			s, ans.Epoch, ans.Frontier)
+	}
+	want, ok := truth[ans.Epoch]
+	if !ok {
+		return fmt.Errorf("answer epoch %d was never committed by the fault-free run", ans.Epoch)
+	}
+	switch ans.Kind {
+	case core.QueryValue:
+		if int(ans.Vertex) >= len(want) {
+			return fmt.Errorf("vertex %d outside baseline (%d vertices)", ans.Vertex, len(want))
+		}
+		if err := valueMatch(ans.Value, want[ans.Vertex], tol); err != nil {
+			return fmt.Errorf("vertex %d at epoch %d: %w", ans.Vertex, ans.Epoch, err)
+		}
+	case core.QueryTopK:
+		for i, e := range ans.TopK {
+			if int(e.Vertex) >= len(want) {
+				return fmt.Errorf("top-k vertex %d outside baseline (%d vertices)", e.Vertex, len(want))
+			}
+			if err := valueMatch(e.Value, want[e.Vertex], tol); err != nil {
+				return fmt.Errorf("top-k entry %d (vertex %d) at epoch %d: %w", i, e.Vertex, ans.Epoch, err)
+			}
+			if i > 0 && ans.TopK[i-1].Value < e.Value-tol*(1+math.Abs(e.Value)) {
+				return fmt.Errorf("top-k not descending at entry %d: %v < %v",
+					i, ans.TopK[i-1].Value, e.Value)
+			}
+		}
+	}
+	return nil
 }
 
 // pickPhase draws a crash phase.
@@ -465,15 +625,24 @@ func valuesMatch(got, want []float64, tol float64) error {
 		return fmt.Errorf("value count %d != baseline %d", len(got), len(want))
 	}
 	for v := range want {
-		if tol == 0 {
-			if got[v] != want[v] && !(math.IsNaN(got[v]) && math.IsNaN(want[v])) {
-				return fmt.Errorf("vertex %d: %v != baseline %v (exact)", v, got[v], want[v])
-			}
-			continue
+		if err := valueMatch(got[v], want[v], tol); err != nil {
+			return fmt.Errorf("vertex %d: %w", v, err)
 		}
-		if math.Abs(got[v]-want[v]) > tol*(1+math.Abs(want[v])) {
-			return fmt.Errorf("vertex %d: %v != baseline %v (tol %g)", v, got[v], want[v], tol)
+	}
+	return nil
+}
+
+// valueMatch compares one value against its baseline under valuesMatch's
+// criterion.
+func valueMatch(got, want, tol float64) error {
+	if tol == 0 {
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			return fmt.Errorf("%v != baseline %v (exact)", got, want)
 		}
+		return nil
+	}
+	if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+		return fmt.Errorf("%v != baseline %v (tol %g)", got, want, tol)
 	}
 	return nil
 }

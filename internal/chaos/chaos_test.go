@@ -118,8 +118,13 @@ func TestCampaign(t *testing.T) {
 			t.Fatalf("campaign fenced no healed partition (runs=%d)", rep.Runs)
 		}
 	}
-	t.Logf("campaign: %d runs, %d during-recovery, %d exhaustion, %d lossy, %d fenced, 0 failures",
-		rep.Runs, rep.DuringRecovery, rep.Exhaustion, rep.Lossy, rep.Fenced)
+	if rep.Queries == 0 {
+		t.Fatalf("campaign answered no live queries during its rounds (runs=%d)", rep.Runs)
+	}
+	t.Logf("campaign: %d runs, %d during-recovery, %d exhaustion, %d lossy, %d fenced, "+
+		"%d live queries (%d from replicas), 0 failures",
+		rep.Runs, rep.DuringRecovery, rep.Exhaustion, rep.Lossy, rep.Fenced,
+		rep.Queries, rep.ReplicaReads)
 }
 
 // TestCampaignStrategyMatrix: one full cycle of scenarios x FT strategies,

@@ -225,6 +225,10 @@ type Cluster[V, A any] struct {
 	// fault-free runs never touch it (bit-identical timing either way).
 	chaos *chaosRuntime
 
+	// serve is the live-query runtime, nil unless Config.Serve.Enabled; the
+	// run loop publishes committed snapshots into it (serve.go).
+	serve *serveState[V]
+
 	// testHook, when set, runs between recovery phases (failure-injection
 	// tests for §5.3.2).
 	testHook func(phase string)
@@ -298,6 +302,12 @@ func NewCluster[V, A any](cfg Config, g *graph.Graph, prog Program[V, A]) (*Clus
 	if err := c.load(); err != nil {
 		c.stopWorkers()
 		return nil, err
+	}
+	if cfg.Serve.Enabled {
+		if err := c.serveInit(); err != nil {
+			c.stopWorkers()
+			return nil, err
+		}
 	}
 	// Park the phase workers until Run; a cluster that is built but never
 	// run must not leak goroutines.
@@ -655,6 +665,7 @@ func (c *Cluster[V, A]) Run() (*Result[V], error) {
 	for c.iter < c.cfg.MaxIter {
 		iter := c.iter
 		c.curIter = iter
+		c.serveFrontier(iter + 1)
 		maybeInject(iter, FailBeforeBarrier)
 		c.chaosIterStart(iter)
 
@@ -679,6 +690,7 @@ func (c *Cluster[V, A]) Run() (*Result[V], error) {
 		c.commit(iter)
 		c.trace = append(c.trace, TraceEvent{Iter: iter, Kind: "iteration", Start: start, End: c.clock.Now()})
 		c.iter++
+		c.servePublish(false)
 		c.coord.Set("iter", int64(c.iter))
 		if c.replayWatch != nil && c.iter >= c.replayWatch.target {
 			c.recoveries[c.replayWatch.recIdx].ReplaySeconds = c.clock.Now() - c.replayWatch.start
@@ -696,6 +708,7 @@ func (c *Cluster[V, A]) Run() (*Result[V], error) {
 			}
 		}
 	}
+	c.servePublish(true)
 	return c.result(), nil
 }
 
@@ -724,6 +737,10 @@ func (c *Cluster[V, A]) recover(failed []int, iter int) error {
 			return err
 		}
 		if len(more) == 0 {
+			// Recovery reshaped the master directory and replica tables;
+			// republish the routing view so queries stop falling back from
+			// the old master locations.
+			c.serveRefreshRoute()
 			return nil
 		}
 		seen := map[int]bool{}

@@ -339,6 +339,12 @@ type Config struct {
 	// alive node must block in the coordination barrier concurrently.
 	HostParallelism int
 
+	// Serve enables the epoch-consistent live-query layer (see serve.go):
+	// committed snapshots published per superstep, answered from masters or
+	// FT replicas with bounded staleness. Host-side only — simulated
+	// results are bit-identical with serving on or off.
+	Serve ServeConfig
+
 	Cost costmodel.Params
 	// Failures is the legacy synchronous crash schedule.
 	//
@@ -412,6 +418,12 @@ func (c *Config) Validate() error {
 	}
 	if err := validateStrategy(c); err != nil {
 		return err
+	}
+	if c.Serve.PublishEvery < 0 {
+		return fmt.Errorf("core: Serve.PublishEvery must be >= 0, got %d (0 publishes every superstep)", c.Serve.PublishEvery)
+	}
+	if c.Serve.StalenessBound < 0 {
+		return fmt.Errorf("core: Serve.StalenessBound must be >= 0, got %d (0 is unbounded)", c.Serve.StalenessBound)
 	}
 	for _, f := range c.Failures {
 		if f.Iteration < 0 || f.Iteration >= c.MaxIter {

@@ -53,11 +53,6 @@ type RecoveryReport struct {
 	Bytes int64
 }
 
-// RecoveryStats is the pre-chaos name of RecoveryReport.
-//
-// Deprecated: use RecoveryReport.
-type RecoveryStats = RecoveryReport
-
 // TotalSeconds is the full recovery duration.
 func (r RecoveryReport) TotalSeconds() float64 {
 	return r.ReloadSeconds + r.ReconstructSeconds + r.ReplaySeconds
@@ -123,6 +118,10 @@ type Result[V any] struct {
 	// dedup hits, fenced stale-epoch frames, ...), nil for runs whose
 	// schedule contained no omission events.
 	Omission *OmissionStats
+
+	// Serve is the live-query layer's accounting, nil unless
+	// Config.Serve.Enabled.
+	Serve *metrics.Serve
 }
 
 // OmissionStats re-exports the netsim omission counters at the engine's
@@ -176,6 +175,7 @@ func (c *Cluster[V, A]) result() *Result[V] {
 	if stats, ok := c.net.OmissionStats(); ok {
 		res.Omission = &stats
 	}
+	res.Serve = c.ServeStats()
 	return res
 }
 

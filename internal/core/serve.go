@@ -1,0 +1,515 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"imitator/internal/graph"
+	"imitator/internal/metrics"
+)
+
+// This file is the serving layer's epoch-consistent read seam. The engine
+// publishes an immutable snapshot of the committed vertex values after each
+// superstep's global barrier (and only then), so concurrent readers never
+// observe a torn superstep: staged pendingValue state, rollback, and
+// checkpoint replay all happen strictly between publishes. Queries are a
+// host-side read path — they advance no simulated time and touch no wire
+// buffers, so enabling Serve leaves sim_seconds and msg_bytes bit-identical.
+//
+// Staleness contract: the frontier is the superstep the engine is currently
+// executing (in epochs, where epoch N = "N supersteps committed"). An
+// answer's staleness is frontier - Epoch: 0 when the engine is idle or
+// converged, and at most ServeConfig.PublishEvery while a superstep or a
+// recovery pass is in flight — recovery re-executes the in-flight superstep,
+// so the frontier does not advance during rebirth/migration and serving
+// continues from the last committed epoch instead of blocking.
+
+// ServeConfig controls the live-query serving layer (Config.Serve).
+type ServeConfig struct {
+	// Enabled keeps an epoch-stamped snapshot of committed vertex values
+	// published for concurrent Query calls. Requires a program whose vertex
+	// value is float64 or int32 (PageRank, SSSP, CD). Serving is host-side
+	// only: simulated time and message bytes are unchanged.
+	Enabled bool
+	// PublishEvery publishes a fresh snapshot every N committed supersteps
+	// (plus once after load and once at run end). Larger values trade
+	// staleness for publish work. 0 means 1.
+	PublishEvery int
+	// StalenessBound is the default per-query bound on frontier - epoch;
+	// queries whose snapshot lags further return ErrStaleRead. 0 means
+	// unbounded (answers always carry their actual staleness).
+	StalenessBound int
+	// KeepHistory retains every published value snapshot, indexed by epoch
+	// (EpochValues). Validation harnesses use it as per-epoch ground truth;
+	// costs one []float64 per published epoch.
+	KeepHistory bool
+}
+
+// QueryKind selects what a Query asks for.
+type QueryKind uint8
+
+// Query kinds.
+const (
+	// QueryValue asks for one vertex's committed value (PageRank rank,
+	// SSSP distance, ...).
+	QueryValue QueryKind = iota + 1
+	// QueryTopK asks for the K highest-valued vertices.
+	QueryTopK
+	// QueryNeighbors asks for a vertex's out-neighborhood (capped at K
+	// entries when K > 0).
+	QueryNeighbors
+)
+
+// String implements fmt.Stringer.
+func (k QueryKind) String() string {
+	switch k {
+	case QueryValue:
+		return "value"
+	case QueryTopK:
+		return "topk"
+	case QueryNeighbors:
+		return "neighbors"
+	default:
+		return fmt.Sprintf("query(%d)", int(k))
+	}
+}
+
+// Query is one read request against a serving cluster.
+type Query struct {
+	Kind   QueryKind
+	Vertex graph.VertexID // QueryValue, QueryNeighbors
+	// K is the result-size parameter: required >= 1 for QueryTopK, and an
+	// optional cap for QueryNeighbors (0 = full neighborhood).
+	K int
+	// StalenessBound bounds frontier - epoch for this query: 0 inherits
+	// ServeConfig.StalenessBound, > 0 overrides it, < 0 is explicitly
+	// unbounded.
+	StalenessBound int
+}
+
+// RankEntry is one QueryTopK result row.
+type RankEntry struct {
+	Vertex graph.VertexID
+	Value  float64
+}
+
+// Answer is the epoch-stamped response to a Query.
+type Answer struct {
+	Kind   QueryKind
+	Vertex graph.VertexID
+
+	// Value is the committed scalar at Epoch (QueryValue).
+	Value float64
+	// TopK holds the K highest-valued vertices at Epoch, descending, ties
+	// broken by ascending vertex id (QueryTopK).
+	TopK []RankEntry
+	// Neighbors is the vertex's out-neighborhood (QueryNeighbors).
+	Neighbors []graph.VertexID
+
+	// Epoch is the number of committed supersteps the answered snapshot
+	// reflects; Frontier is the superstep the engine was executing when the
+	// answer was read. Frontier - Epoch is the answer's staleness.
+	Epoch    int
+	Frontier int
+	// StalenessBound is the bound this answer was admitted under (0 =
+	// unbounded); Staleness() never exceeds it when it is positive.
+	StalenessBound int
+
+	// Node is the simulated node that served the read: the vertex's master,
+	// or — when the master is dead or suspected — a surviving replica host
+	// (FromReplica). -1 for aggregate answers with no single home (TopK).
+	Node        int
+	FromReplica bool
+}
+
+// Staleness returns the answer's epoch lag behind the engine's frontier.
+func (a Answer) Staleness() int { return a.Frontier - a.Epoch }
+
+// Serving errors.
+var (
+	// ErrServeDisabled reports a Query against a cluster whose
+	// Config.Serve.Enabled is false.
+	ErrServeDisabled = errors.New("core: serving disabled (set Config.Serve.Enabled)")
+	// ErrBadQuery reports a malformed query (unknown kind, K < 1 for TopK).
+	ErrBadQuery = errors.New("core: bad query")
+	// ErrUnknownVertex reports a vertex id outside the loaded graph.
+	ErrUnknownVertex = errors.New("core: unknown vertex")
+	// ErrStaleRead reports a snapshot lagging past the query's staleness
+	// bound (the engine is mid-superstep or mid-recovery and the caller
+	// asked for fresher state than the last committed publish).
+	ErrStaleRead = errors.New("core: stale read")
+	// ErrVertexUnavailable reports that no live, unsuspected node holds
+	// synced state for the vertex — its master is down and its surviving
+	// replicas are FT-only replicas of a selfish vertex, which the §4.4
+	// optimization never syncs.
+	ErrVertexUnavailable = errors.New("core: vertex unavailable")
+)
+
+// serveSnapshot is one published epoch: immutable after Store.
+type serveSnapshot struct {
+	epoch int64
+	vals  []float64
+}
+
+// serveRoute is the published routing view: where each vertex's master
+// lives and which hosts hold replicas (flattened, in replica-rank order).
+// Rebuilt after load and after every completed recovery pass; liveness and
+// suspicion are checked against the coordinator at query time, so a stale
+// view between rebuilds only ever routes away from more nodes, never onto
+// a dead one.
+type serveRoute struct {
+	masterLoc []int16
+	start     []int32
+	hosts     []int16
+	ftOnly    []bool
+}
+
+// serveState is the cluster's serving runtime. The engine goroutine is the
+// only writer (publishes happen at barrier-committed points); queries run
+// on arbitrary goroutines and read exclusively through the atomic pointers
+// and counters.
+type serveState[V any] struct {
+	cfg    ServeConfig
+	scalar func(*V) float64
+
+	snap     atomic.Pointer[serveSnapshot]
+	route    atomic.Pointer[serveRoute]
+	frontier atomic.Int64
+
+	queries       atomic.Int64
+	fromReplica   atomic.Int64
+	staleRejected atomic.Int64
+	unavailable   atomic.Int64
+	maxStaleness  atomic.Int64
+
+	// mu guards the KeepHistory trajectory (engine appends, harnesses read).
+	mu         sync.Mutex
+	histEpochs []int
+	hist       [][]float64
+}
+
+// serveScalar resolves V's scalar projection once per cluster; the
+// per-entry extraction is a pointer interface assertion (no boxing).
+func serveScalar[V any]() (func(*V) float64, bool) {
+	var z V
+	switch any(&z).(type) {
+	case *float64:
+		return func(p *V) float64 { return *any(p).(*float64) }, true
+	case *int32:
+		return func(p *V) float64 { return float64(*any(p).(*int32)) }, true
+	default:
+		return nil, false
+	}
+}
+
+// serveInit builds the serving runtime and publishes the post-load epoch-0
+// snapshot. Called from NewCluster after load succeeds.
+func (c *Cluster[V, A]) serveInit() error {
+	scalar, ok := serveScalar[V]()
+	if !ok {
+		var z V
+		return fmt.Errorf("core: Serve.Enabled requires a float64 or int32 vertex value, got %T", z)
+	}
+	c.serve = &serveState[V]{cfg: c.cfg.Serve, scalar: scalar}
+	if c.serve.cfg.PublishEvery < 1 {
+		c.serve.cfg.PublishEvery = 1
+	}
+	c.servePublish(true)
+	c.serveRefreshRoute()
+	return nil
+}
+
+// serveFrontier advances the published frontier to epoch f (monotonic);
+// the run loop calls it with iter+1 when it starts executing superstep
+// iter. Readers see staleness frontier - snapshot epoch.
+func (c *Cluster[V, A]) serveFrontier(f int) {
+	if c.serve == nil {
+		return
+	}
+	if int64(f) > c.serve.frontier.Load() {
+		c.serve.frontier.Store(int64(f))
+	}
+}
+
+// servePublish snapshots the committed master values at the current epoch
+// (c.iter = supersteps committed). Publishes are monotonic in epoch — a
+// checkpoint-recovery replay re-commits earlier iterations without
+// regressing the served view — and skipped off the PublishEvery grid
+// unless forced (load, run end).
+func (c *Cluster[V, A]) servePublish(force bool) {
+	s := c.serve
+	if s == nil {
+		return
+	}
+	if !force && c.iter%s.cfg.PublishEvery != 0 {
+		return
+	}
+	epoch := int64(c.iter)
+	if cur := s.snap.Load(); cur != nil && cur.epoch >= epoch {
+		return
+	}
+	vals := make([]float64, c.g.NumVertices())
+	for _, nd := range c.aliveNodes() {
+		for i := range nd.entries {
+			if e := &nd.entries[i]; e.isMaster() {
+				vals[e.id] = s.scalar(&e.value)
+			}
+		}
+	}
+	s.snap.Store(&serveSnapshot{epoch: epoch, vals: vals})
+	if epoch > s.frontier.Load() {
+		s.frontier.Store(epoch)
+	}
+	if s.cfg.KeepHistory {
+		s.mu.Lock()
+		s.histEpochs = append(s.histEpochs, int(epoch))
+		s.hist = append(s.hist, vals)
+		s.mu.Unlock()
+	}
+}
+
+// serveRefreshRoute republishes the routing view from the current master
+// directory and replica tables. Called after load and after every
+// completed recovery pass (rebirth, migration, checkpoint rebuild and
+// logged replay all reshape the tables).
+func (c *Cluster[V, A]) serveRefreshRoute() {
+	s := c.serve
+	if s == nil {
+		return
+	}
+	nv := c.g.NumVertices()
+	start := make([]int32, nv+1)
+	for _, nd := range c.aliveNodes() {
+		for i := range nd.entries {
+			if e := &nd.entries[i]; e.isMaster() {
+				start[int(e.id)+1] = int32(len(e.replicaNodes))
+			}
+		}
+	}
+	for v := 0; v < nv; v++ {
+		start[v+1] += start[v]
+	}
+	total := int(start[nv])
+	rv := &serveRoute{
+		masterLoc: append([]int16(nil), c.masterLoc...),
+		start:     start,
+		hosts:     make([]int16, total),
+		ftOnly:    make([]bool, total),
+	}
+	for _, nd := range c.aliveNodes() {
+		for i := range nd.entries {
+			e := &nd.entries[i]
+			if !e.isMaster() {
+				continue
+			}
+			base := start[e.id]
+			copy(rv.hosts[base:], e.replicaNodes)
+			copy(rv.ftOnly[base:], e.replicaFTOnly)
+		}
+	}
+	s.route.Store(rv)
+}
+
+// serveRouteFor picks the node to serve vertex v: its master when alive and
+// unsuspected, otherwise the first live, unsuspected replica host in rank
+// order. FT-only replicas of selfish vertices are skipped when the §4.4
+// optimization is on — they were never synced and hold no current value.
+func (c *Cluster[V, A]) serveRouteFor(rv *serveRoute, v graph.VertexID) (node int, fromReplica, ok bool) {
+	mn := int(rv.masterLoc[v])
+	if mn >= 0 && c.coord.Alive(mn) && !c.coord.Suspected(mn) {
+		return mn, false, true
+	}
+	selfish := c.selfishOptOn && c.g.IsSelfish(v)
+	for k := rv.start[v]; k < rv.start[int(v)+1]; k++ {
+		h := int(rv.hosts[k])
+		if h == mn || !c.coord.Alive(h) || c.coord.Suspected(h) {
+			continue
+		}
+		if rv.ftOnly[k] && selfish {
+			continue
+		}
+		return h, true, true
+	}
+	return -1, false, false
+}
+
+// serveAggregator picks the lowest live, unsuspected node for aggregate
+// answers (TopK), or -1 when none qualifies.
+func (c *Cluster[V, A]) serveAggregator() int {
+	for id := 0; id < c.cfg.NumNodes; id++ {
+		if c.coord.Alive(id) && !c.coord.Suspected(id) {
+			return id
+		}
+	}
+	return -1
+}
+
+// Query answers one read from the last published epoch-consistent
+// snapshot. Safe for concurrent use from any goroutine while the engine
+// runs (and after Run returns); it never blocks on the superstep loop.
+func (c *Cluster[V, A]) Query(q Query) (Answer, error) {
+	s := c.serve
+	if s == nil {
+		return Answer{}, ErrServeDisabled
+	}
+	// Read the frontier BEFORE the snapshot: a concurrent commit between
+	// the two loads then only makes the snapshot newer than the frontier
+	// (clamped below), never spuriously staler.
+	frontier := s.frontier.Load()
+	snap := s.snap.Load()
+	rv := s.route.Load()
+	if snap == nil || rv == nil {
+		return Answer{}, ErrServeDisabled
+	}
+	s.queries.Add(1)
+
+	bound := q.StalenessBound
+	if bound == 0 {
+		bound = s.cfg.StalenessBound
+	}
+	if bound < 0 {
+		bound = 0 // explicitly unbounded
+	}
+	if frontier < snap.epoch {
+		frontier = snap.epoch
+	}
+	stale := frontier - snap.epoch
+	for {
+		m := s.maxStaleness.Load()
+		if stale <= m || s.maxStaleness.CompareAndSwap(m, stale) {
+			break
+		}
+	}
+	if bound > 0 && stale > int64(bound) {
+		s.staleRejected.Add(1)
+		return Answer{}, fmt.Errorf("%w: staleness %d exceeds bound %d (epoch %d, frontier %d)",
+			ErrStaleRead, stale, bound, snap.epoch, frontier)
+	}
+
+	ans := Answer{
+		Kind:           q.Kind,
+		Vertex:         q.Vertex,
+		Epoch:          int(snap.epoch),
+		Frontier:       int(frontier),
+		StalenessBound: bound,
+		Node:           -1,
+	}
+	switch q.Kind {
+	case QueryValue, QueryNeighbors:
+		v := q.Vertex
+		if int64(v) >= int64(len(rv.masterLoc)) {
+			return Answer{}, fmt.Errorf("%w: vertex %d outside [0, %d)", ErrUnknownVertex, v, len(rv.masterLoc))
+		}
+		node, fromReplica, ok := c.serveRouteFor(rv, v)
+		if !ok {
+			s.unavailable.Add(1)
+			return Answer{}, fmt.Errorf("%w: vertex %d has no live synced replica", ErrVertexUnavailable, v)
+		}
+		ans.Node, ans.FromReplica = node, fromReplica
+		if fromReplica {
+			s.fromReplica.Add(1)
+		}
+		if q.Kind == QueryValue {
+			ans.Value = snap.vals[v]
+		} else {
+			limit := q.K
+			if limit <= 0 || limit > c.g.OutDegree(v) {
+				limit = c.g.OutDegree(v)
+			}
+			ans.Neighbors = make([]graph.VertexID, 0, limit)
+			c.g.OutEdges(v, func(_ int, e graph.Edge) {
+				if len(ans.Neighbors) < limit {
+					ans.Neighbors = append(ans.Neighbors, e.Dst)
+				}
+			})
+		}
+	case QueryTopK:
+		if q.K < 1 {
+			return Answer{}, fmt.Errorf("%w: top-k needs K >= 1, got %d", ErrBadQuery, q.K)
+		}
+		ans.TopK = topRanks(snap.vals, q.K)
+		ans.Node = c.serveAggregator()
+	default:
+		return Answer{}, fmt.Errorf("%w: unknown kind %d", ErrBadQuery, int(q.Kind))
+	}
+	return ans, nil
+}
+
+// rankBetter orders descending by value, ascending by id on ties.
+func rankBetter(a, b RankEntry) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.Vertex < b.Vertex
+}
+
+// topRanks selects the K best entries of vals (O(V log K)).
+func topRanks(vals []float64, k int) []RankEntry {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	top := make([]RankEntry, 0, k)
+	for v, val := range vals {
+		e := RankEntry{Vertex: graph.VertexID(v), Value: val}
+		if len(top) == k {
+			if !rankBetter(e, top[k-1]) {
+				continue
+			}
+			top = top[:k-1]
+		}
+		i := sort.Search(len(top), func(i int) bool { return !rankBetter(top[i], e) })
+		top = append(top, RankEntry{})
+		copy(top[i+1:], top[i:])
+		top[i] = e
+	}
+	return top
+}
+
+// ServeStats returns the serving counters so far, or nil when serving is
+// disabled.
+func (c *Cluster[V, A]) ServeStats() *metrics.Serve {
+	s := c.serve
+	if s == nil {
+		return nil
+	}
+	return &metrics.Serve{
+		Queries:       s.queries.Load(),
+		FromReplica:   s.fromReplica.Load(),
+		StaleRejected: s.staleRejected.Load(),
+		Unavailable:   s.unavailable.Load(),
+		MaxStaleness:  s.maxStaleness.Load(),
+	}
+}
+
+// PublishedEpochs returns the epochs retained by Serve.KeepHistory, in
+// publish order.
+func (c *Cluster[V, A]) PublishedEpochs() []int {
+	s := c.serve
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.histEpochs...)
+}
+
+// EpochValues returns the scalar values published at the given epoch when
+// Serve.KeepHistory retained them, or nil. The returned slice is the
+// published snapshot itself: callers must not mutate it.
+func (c *Cluster[V, A]) EpochValues(epoch int) []float64 {
+	s := c.serve
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range s.histEpochs {
+		if e == epoch {
+			return s.hist[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"imitator/internal/datasets"
+	"imitator/internal/graph"
+)
+
+// selfishPR is fakePR with the §4.4 optimization allowed (Apply ignores the
+// previous value, so selfish recomputation is sound).
+type selfishPR struct{ fakePR }
+
+func (selfishPR) CanRecomputeSelfish() bool { return true }
+
+func serveTestCluster(t *testing.T, cfg Config, g *graph.Graph) *Cluster[float64, float64] {
+	t.Helper()
+	cl, err := NewCluster[float64, float64](cfg, g, selfishPR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func serveFTConfig(mode Mode, numNodes, iters, k int, recovery RecoveryKind) Config {
+	cfg := DefaultConfig(mode, numNodes)
+	cfg.MaxIter = iters
+	cfg.FT.K = k
+	cfg.Recovery = recovery
+	cfg.MaxRebirths = 8
+	cfg.Serve = ServeConfig{Enabled: true}
+	return cfg
+}
+
+// TestServeRoutesAwaySuspected: a merely *suspected* master (advisory
+// first-stage detection) is already avoided — the answer comes from a
+// replica host, without waiting for the failure to be confirmed.
+func TestServeRoutesAwaySuspected(t *testing.T) {
+	g := datasets.Tiny(300, 1800, 41)
+	cl := serveTestCluster(t, serveFTConfig(EdgeCutMode, 5, 4, 1, RecoverRebirth), g)
+	defer cl.net.Close()
+
+	// Pick a non-selfish vertex (it has computation replicas to fall back to).
+	var v graph.VertexID
+	for v = 0; int(v) < g.NumVertices(); v++ {
+		if !g.IsSelfish(v) {
+			break
+		}
+	}
+	mn := int(cl.masterLoc[v])
+	before, err := cl.Query(Query{Kind: QueryValue, Vertex: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Node != mn || before.FromReplica {
+		t.Fatalf("healthy master should serve: node=%d fromReplica=%v (master %d)", before.Node, before.FromReplica, mn)
+	}
+
+	cl.coord.Suspect(mn)
+	after, err := cl.Query(Query{Kind: QueryValue, Vertex: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Node == mn || !after.FromReplica {
+		t.Fatalf("suspected master still serving: node=%d fromReplica=%v", after.Node, after.FromReplica)
+	}
+	if after.Value != before.Value || after.Epoch != before.Epoch {
+		t.Fatalf("replica answer diverged: %v@%d vs %v@%d", after.Value, after.Epoch, before.Value, before.Epoch)
+	}
+}
+
+// TestServeSelfishUnavailable: when the §4.4 optimization is on, a selfish
+// vertex's FT-only replicas are never synced, so with its master down the
+// honest answer is ErrVertexUnavailable — not a stale fabrication.
+func TestServeSelfishUnavailable(t *testing.T) {
+	g := datasets.Tiny(300, 1200, 41)
+	var selfish graph.VertexID
+	found := false
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.IsSelfish(graph.VertexID(v)) {
+			selfish, found = graph.VertexID(v), true
+			break
+		}
+	}
+	if !found {
+		t.Skip("dataset has no selfish vertex")
+	}
+	cfg := serveFTConfig(EdgeCutMode, 5, 4, 1, RecoverRebirth)
+	cl := serveTestCluster(t, cfg, g)
+	defer cl.net.Close()
+	if !cl.selfishOptOn {
+		t.Fatal("selfish optimization should be on")
+	}
+
+	mn := int(cl.masterLoc[selfish])
+	cl.coord.Suspect(mn)
+	if _, err := cl.Query(Query{Kind: QueryValue, Vertex: selfish}); !errors.Is(err, ErrVertexUnavailable) {
+		t.Fatalf("selfish vertex with suspected master: %v", err)
+	}
+
+	// With the optimization off, FT-only replicas are synced and may serve.
+	cfg2 := cfg
+	cfg2.FT.SelfishOpt = false
+	cl2 := serveTestCluster(t, cfg2, g)
+	defer cl2.net.Close()
+	mn2 := int(cl2.masterLoc[selfish])
+	cl2.coord.Suspect(mn2)
+	ans, err := cl2.Query(Query{Kind: QueryValue, Vertex: selfish})
+	if err != nil {
+		t.Fatalf("without selfish opt the FT replica should serve: %v", err)
+	}
+	if !ans.FromReplica || ans.Node == mn2 {
+		t.Fatalf("expected replica answer, got node=%d fromReplica=%v", ans.Node, ans.FromReplica)
+	}
+}
+
+// TestServeMidRebirthRouting: while a rebirth pass is rebuilding the failed
+// node, queries for vertices mastered there are answered by surviving
+// replica hosts from the last committed epoch — never by the dead node,
+// never torn.
+func TestServeMidRebirthRouting(t *testing.T) {
+	for _, mode := range []Mode{EdgeCutMode, VertexCutMode} {
+		g := datasets.Tiny(400, 2400, 43)
+		cfg := serveFTConfig(mode, 6, 8, 2, RecoverRebirth)
+		cfg.Failures = []FailureSpec{{Iteration: 3, Phase: FailBeforeBarrier, Nodes: []int{1}}}
+		cl := serveTestCluster(t, cfg, g)
+
+		checked := 0
+		var hookErr error
+		cl.SetRecoveryHook(func(phase string) {
+			if hookErr != nil || !strings.HasPrefix(phase, "rebirth:") {
+				return
+			}
+			for v := 0; v < g.NumVertices() && checked < 200; v++ {
+				if int(cl.masterLoc[v]) != 1 {
+					continue
+				}
+				ans, err := cl.Query(Query{Kind: QueryValue, Vertex: graph.VertexID(v)})
+				if err != nil {
+					if errors.Is(err, ErrVertexUnavailable) && cl.g.IsSelfish(graph.VertexID(v)) {
+						continue // honest §4.4 refusal
+					}
+					hookErr = err
+					return
+				}
+				// The dead node must not serve while it is down; once the
+				// rebirth joins it back, it is alive and legitimate again.
+				if ans.Node == 1 && !cl.coord.Alive(1) {
+					hookErr = errors.New("dead node served a query")
+					return
+				}
+				if ans.Staleness() > 1 {
+					hookErr = errors.New("mid-rebirth staleness above one epoch")
+					return
+				}
+				checked++
+			}
+		})
+		if _, err := cl.Run(); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if hookErr != nil {
+			t.Fatalf("%v: %v", mode, hookErr)
+		}
+		if checked == 0 {
+			t.Fatalf("%v: no mid-rebirth queries exercised", mode)
+		}
+	}
+}
+
+// TestServePartitionFencedRouting: a partitioned node is suspected,
+// confirmed failed, and its masters migrate to survivors. Queries issued
+// while the fenced node is still confirmed-dead (mid-promotion, before the
+// routing view refreshes) must divert to replicas; after recovery and heal,
+// the moved masters serve directly and the fenced node never reappears in
+// answers.
+func TestServePartitionFencedRouting(t *testing.T) {
+	g := datasets.Tiny(400, 2400, 47)
+	cfg := serveFTConfig(EdgeCutMode, 6, 8, 2, RecoverMigration)
+	cfg.Chaos = []ChaosEvent{{Kind: ChaosPartition, Iteration: 3, Nodes: []int{2}, HealIter: 6}}
+	cfg.ChaosSeed = 7
+	cl := serveTestCluster(t, cfg, g)
+
+	var wasMastered []graph.VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if int(cl.masterLoc[v]) == 2 {
+			wasMastered = append(wasMastered, graph.VertexID(v))
+		}
+	}
+	if len(wasMastered) == 0 {
+		t.Fatal("no vertices mastered on the partitioned node")
+	}
+
+	checked := 0
+	var hookErr error
+	cl.SetRecoveryHook(func(phase string) {
+		if hookErr != nil || phase != "migration:promote" || cl.coord.Alive(2) {
+			return
+		}
+		for _, v := range wasMastered {
+			if checked >= 200 {
+				break
+			}
+			ans, err := cl.Query(Query{Kind: QueryValue, Vertex: v})
+			if err != nil {
+				if errors.Is(err, ErrVertexUnavailable) && cl.g.IsSelfish(v) {
+					continue
+				}
+				hookErr = err
+				return
+			}
+			if ans.Node == 2 {
+				hookErr = errors.New("fenced node served a query")
+				return
+			}
+			if !ans.FromReplica {
+				hookErr = errors.New("mid-promotion answer not marked FromReplica")
+				return
+			}
+			checked++
+		}
+	})
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hookErr != nil {
+		t.Fatal(hookErr)
+	}
+	if checked == 0 {
+		t.Fatal("no queries exercised during the partition window")
+	}
+	// After migration the moved masters serve directly again — and never
+	// from the permanently-dead partitioned node.
+	for _, v := range wasMastered[:min(20, len(wasMastered))] {
+		ans, err := cl.Query(Query{Kind: QueryValue, Vertex: v})
+		if err != nil {
+			if errors.Is(err, ErrVertexUnavailable) && cl.g.IsSelfish(v) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if ans.Node == 2 {
+			t.Fatal("dead node still named as serving node after migration")
+		}
+		if ans.FromReplica {
+			t.Fatalf("vertex %d still served by fallback after the routing refresh", v)
+		}
+	}
+}
+
+// TestServeStalenessBound: with sparse publishes, a recovery window lags
+// more than one epoch; bounded queries are refused with ErrStaleRead while
+// unbounded ones are served with the staleness surfaced.
+func TestServeStalenessBound(t *testing.T) {
+	g := datasets.Tiny(300, 1800, 49)
+	cfg := serveFTConfig(EdgeCutMode, 5, 8, 1, RecoverRebirth)
+	cfg.Serve.PublishEvery = 3
+	cfg.Failures = []FailureSpec{{Iteration: 4, Phase: FailBeforeBarrier, Nodes: []int{1}}}
+	cl := serveTestCluster(t, cfg, g)
+
+	sawReject, sawServed := false, false
+	var hookErr error
+	cl.SetRecoveryHook(func(phase string) {
+		if hookErr != nil {
+			return
+		}
+		// Frontier is 5 (executing superstep 4), last publish was epoch 3.
+		if _, err := cl.Query(Query{Kind: QueryValue, Vertex: 0, StalenessBound: 1}); errors.Is(err, ErrStaleRead) {
+			sawReject = true
+		} else if err != nil {
+			hookErr = err
+			return
+		}
+		ans, err := cl.Query(Query{Kind: QueryValue, Vertex: 0, StalenessBound: -1})
+		if err != nil {
+			hookErr = err
+			return
+		}
+		if ans.Epoch != 3 || ans.Staleness() != 2 {
+			hookErr = errors.New("expected epoch 3 with staleness 2 during recovery")
+			return
+		}
+		sawServed = true
+	})
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookErr != nil {
+		t.Fatal(hookErr)
+	}
+	if !sawReject || !sawServed {
+		t.Fatalf("bounded/unbounded mid-recovery queries not exercised: reject=%v served=%v", sawReject, sawServed)
+	}
+	if res.Serve.StaleRejected == 0 || res.Serve.MaxStaleness < 2 {
+		t.Fatalf("serve stats missed the stale window: %+v", res.Serve)
+	}
+	// The final forced publish closes the gap even off the PublishEvery grid.
+	ans, err := cl.Query(Query{Kind: QueryValue, Vertex: 0, StalenessBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Epoch != cfg.MaxIter || ans.Staleness() != 0 {
+		t.Fatalf("converged answer epoch=%d staleness=%d", ans.Epoch, ans.Staleness())
+	}
+}

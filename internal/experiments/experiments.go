@@ -103,13 +103,18 @@ type RunSummary struct {
 	TotalMemory          int64
 	Metrics              metrics.Node
 	Strategy             core.StrategyStats
-	Recoveries           []core.RecoveryStats
+	Recoveries           []core.RecoveryReport
 	Trace                []core.TraceEvent
 	NumVertices          int
 	NumEdges             int
+	// Buffers is the wire-buffer pool accounting for the whole run.
+	Buffers metrics.Buffers
 	// Omission is the reliable-delivery layer's wire accounting, nil for
 	// runs whose failure schedule had no omission events.
 	Omission *core.OmissionStats
+	// Serve is the live-query layer's accounting, nil unless the run had
+	// Config.Serve.Enabled.
+	Serve *metrics.Serve
 }
 
 func summarize[V any](res *core.Result[V], rf float64, g *graph.Graph) RunSummary {
@@ -130,7 +135,9 @@ func summarize[V any](res *core.Result[V], rf float64, g *graph.Graph) RunSummar
 		Trace:                res.Trace,
 		NumVertices:          g.NumVertices(),
 		NumEdges:             g.NumEdges(),
+		Buffers:              res.Buffers,
 		Omission:             res.Omission,
+		Serve:                res.Serve,
 	}
 }
 
@@ -295,9 +302,9 @@ func nFailures(iters, n int) []core.FailureSpec {
 }
 
 // lastRecovery returns the final recovery's stats or a zero value.
-func lastRecovery(s RunSummary) core.RecoveryStats {
+func lastRecovery(s RunSummary) core.RecoveryReport {
 	if len(s.Recoveries) == 0 {
-		return core.RecoveryStats{}
+		return core.RecoveryReport{}
 	}
 	return s.Recoveries[len(s.Recoveries)-1]
 }

@@ -241,18 +241,18 @@ func Fig8SelfishOptimization(o Options) (*Table, error) {
 
 // recoveryTimes runs one workload under each recovery strategy and returns
 // (ckpt, rebirth, migration) total recovery seconds.
-func recoveryTimes(o Options, w Workload, mode core.Mode) (ck, reb, mig core.RecoveryStats, err error) {
+func recoveryTimes(o Options, w Workload, mode core.Mode) (ck, reb, mig core.RecoveryReport, err error) {
 	mk := func() core.Config {
 		if mode == core.EdgeCutMode {
 			return baseEdgeCut(o)
 		}
 		return baseVertexCut(o)
 	}
-	run := func(cfg core.Config) (core.RecoveryStats, error) {
+	run := func(cfg core.Config) (core.RecoveryReport, error) {
 		cfg.Failures = oneFailure(w.Iters)
 		s, err := RunWorkload(w, cfg)
 		if err != nil {
-			return core.RecoveryStats{}, err
+			return core.RecoveryReport{}, err
 		}
 		return lastRecovery(s), nil
 	}

@@ -153,6 +153,26 @@ func (b Buffers) ReuseFraction() float64 {
 	return float64(b.Gets-b.Misses) / float64(b.Gets)
 }
 
+// Serve reports the live-query layer's activity: how many reads ran, how
+// many were diverted from a dead or suspected master to a surviving
+// replica, how many were refused, and the worst epoch lag any answer
+// carried.
+type Serve struct {
+	// Queries counts all Query calls (including rejected ones).
+	Queries int64
+	// FromReplica counts answers served by a replica host because the
+	// vertex's master was dead or suspected.
+	FromReplica int64
+	// StaleRejected counts queries refused because the snapshot lagged
+	// past their staleness bound.
+	StaleRejected int64
+	// Unavailable counts queries refused because no live, unsuspected node
+	// held synced state for the vertex.
+	Unavailable int64
+	// MaxStaleness is the largest frontier-epoch lag observed by any query.
+	MaxStaleness int64
+}
+
 // Cluster aggregates per-node metrics.
 type Cluster struct {
 	Nodes []Node

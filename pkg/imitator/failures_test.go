@@ -15,8 +15,7 @@ func TestFailureScheduleBuilders(t *testing.T) {
 	cfg := imitator.New(
 		imitator.WithNodes(6),
 		imitator.WithIterations(8),
-		imitator.WithFT(2),
-		imitator.WithRecovery(imitator.RecoverMigration),
+		imitator.WithFTStrategy(imitator.Migration(imitator.ReplicationK(2))),
 		imitator.WithFailures(
 			imitator.Crash(3, imitator.FailBeforeBarrier, 1),
 			imitator.CrashDuringRecoveryAt("migration:repair", 4),
@@ -43,8 +42,7 @@ func TestFailureScheduleBuilders(t *testing.T) {
 	clean := imitator.New(
 		imitator.WithNodes(6),
 		imitator.WithIterations(8),
-		imitator.WithFT(2),
-		imitator.WithRecovery(imitator.RecoverMigration),
+		imitator.WithFTStrategy(imitator.Migration(imitator.ReplicationK(2))),
 	)
 	want, err := imitator.Run(clean, g, imitator.NewPageRank(g.NumVertices()))
 	if err != nil {
@@ -66,8 +64,7 @@ func TestOmissionBuilders(t *testing.T) {
 		return append([]imitator.Option{
 			imitator.WithNodes(6),
 			imitator.WithIterations(8),
-			imitator.WithFT(2),
-			imitator.WithRecovery(imitator.RecoverRebirth),
+			imitator.WithFTStrategy(imitator.Replication(imitator.ReplicationK(2))),
 			imitator.WithMaxRebirths(8),
 		}, extra...)
 	}
@@ -116,15 +113,15 @@ func TestOmissionBuilders(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWithFailure: the legacy option still works and now rides
-// the chaos path.
-func TestDeprecatedWithFailure(t *testing.T) {
-	cfg := imitator.New(imitator.WithFailure(4, imitator.FailAfterBarrier, 2))
+// TestCrashRidesChaosPath: Crash events land in the chaos schedule, never
+// the legacy Failures list (removed from the option surface in v1).
+func TestCrashRidesChaosPath(t *testing.T) {
+	cfg := imitator.New(imitator.WithFailures(imitator.Crash(4, imitator.FailAfterBarrier, 2)))
 	if len(cfg.Failures) != 0 {
-		t.Fatalf("WithFailure still fills the legacy schedule: %+v", cfg.Failures)
+		t.Fatalf("Crash filled the legacy schedule: %+v", cfg.Failures)
 	}
 	if len(cfg.Chaos) != 1 || cfg.Chaos[0].Iteration != 4 {
-		t.Fatalf("WithFailure chaos event wrong: %+v", cfg.Chaos)
+		t.Fatalf("Crash chaos event wrong: %+v", cfg.Chaos)
 	}
 }
 
@@ -136,8 +133,7 @@ func TestTypedErrors(t *testing.T) {
 	exhausted := imitator.New(
 		imitator.WithNodes(4),
 		imitator.WithIterations(6),
-		imitator.WithFT(1),
-		imitator.WithRecovery(imitator.RecoverRebirth),
+		imitator.WithFTStrategy(imitator.Replication(imitator.ReplicationK(1))),
 		imitator.WithMaxRebirths(0),
 		imitator.WithFailures(imitator.Crash(2, imitator.FailBeforeBarrier, 1)),
 	)
@@ -149,8 +145,7 @@ func TestTypedErrors(t *testing.T) {
 	beyondK := imitator.New(
 		imitator.WithNodes(4),
 		imitator.WithIterations(6),
-		imitator.WithFT(1),
-		imitator.WithRecovery(imitator.RecoverRebirth),
+		imitator.WithFTStrategy(imitator.Replication(imitator.ReplicationK(1))),
 		imitator.WithFailures(imitator.Crash(2, imitator.FailBeforeBarrier, 1, 2)),
 	)
 	_, err = imitator.Run(beyondK, g, imitator.NewPageRank(g.NumVertices()))
@@ -175,8 +170,7 @@ func TestRebirthFallbackOption(t *testing.T) {
 	cfg := imitator.New(
 		imitator.WithNodes(5),
 		imitator.WithIterations(6),
-		imitator.WithFT(1),
-		imitator.WithRecovery(imitator.RecoverRebirth),
+		imitator.WithFTStrategy(imitator.Replication(imitator.ReplicationK(1))),
 		imitator.WithMaxRebirths(0),
 		imitator.WithRebirthFallback(),
 		imitator.WithFailures(imitator.Crash(2, imitator.FailBeforeBarrier, 1)),

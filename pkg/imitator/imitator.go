@@ -22,6 +22,15 @@
 // Replication (rebirth), Migration, Checkpoint, LoggedRecovery — each with
 // typed sub-options; Result.Strategy reports their overheads uniformly.
 //
+// Long-lived serving (v1): add WithServe() and run the job through Serve /
+// ServeOn to keep the graph resident and answer live reads — vertex
+// values, top-K ranks, neighborhoods — from epoch-consistent snapshots
+// while the engine executes and recovers:
+//
+//	srv, err := imitator.Serve(imitator.Workload{Algo: "pagerank", Dataset: "gweb", Iters: 10},
+//		imitator.New(imitator.WithServe(imitator.ServeStalenessBound(2))))
+//	ans, err := srv.Query(imitator.Query{Kind: imitator.QueryTopK, K: 10})
+//
 // Everything reachable from this package is supported API; callers never
 // need to import imitator/internal/... directly.
 package imitator
@@ -68,11 +77,6 @@ type TraceEvent = core.TraceEvent
 // nodes lost, per-phase simulated seconds, and replayed traffic. A run's
 // reports are in Result.Recoveries.
 type RecoveryReport = core.RecoveryReport
-
-// RecoveryStats breaks one recovery down by phase.
-//
-// Deprecated: use RecoveryReport.
-type RecoveryStats = core.RecoveryStats
 
 // WorkerTimes holds one node's per-worker busy seconds (intra-node pool).
 type WorkerTimes = metrics.WorkerTimes

@@ -67,12 +67,13 @@ func TestOptions(t *testing.T) {
 		imitator.WithNodes(6),
 		imitator.WithIterations(17),
 		imitator.WithWorkers(4),
-		imitator.WithFT(2),
-		imitator.WithSelfishOpt(false),
-		imitator.WithRecovery(imitator.RecoverMigration),
+		imitator.WithFTStrategy(imitator.Migration(
+			imitator.ReplicationK(2), imitator.ReplicationSelfish(false))),
 		imitator.WithMaxRebirths(9),
-		imitator.WithFailure(3, imitator.FailBeforeBarrier, 1, 4),
-		imitator.WithFailure(5, imitator.FailAfterBarrier, 2),
+		imitator.WithFailures(
+			imitator.Crash(3, imitator.FailBeforeBarrier, 1, 4),
+			imitator.Crash(5, imitator.FailAfterBarrier, 2),
+		),
 	)
 	if cfg.Mode != imitator.VertexCutMode || cfg.NumNodes != 6 || cfg.MaxIter != 17 {
 		t.Errorf("mode/nodes/iters wrong: %+v", cfg)
@@ -97,20 +98,21 @@ func TestOptions(t *testing.T) {
 }
 
 func TestCheckpointOptions(t *testing.T) {
-	cfg := imitator.New(imitator.WithRecovery(imitator.RecoverCheckpoint))
-	if !cfg.Checkpoint.Enabled || cfg.Checkpoint.Interval != 1 {
-		t.Errorf("WithRecovery(checkpoint) left checkpointing off: %+v", cfg.Checkpoint)
-	}
-	cfg = imitator.New(imitator.WithCheckpoint(3))
+	cfg := imitator.New(imitator.WithFTStrategy(imitator.Checkpoint(3)))
 	if cfg.Recovery != imitator.RecoverCheckpoint || cfg.Checkpoint.Interval != 3 {
-		t.Errorf("WithCheckpoint(3) wrong: %+v", cfg)
+		t.Errorf("Checkpoint(3) wrong: %+v", cfg)
 	}
 	if cfg.FT.Enabled {
-		t.Error("WithCheckpoint left replication FT on")
+		t.Error("Checkpoint strategy left replication FT on")
 	}
-	cfg = imitator.New(imitator.WithCheckpoint(2), imitator.WithFT(1))
-	if !cfg.FT.Enabled || !cfg.Checkpoint.Enabled {
-		t.Errorf("checkpoint+FT combination lost a side: %+v", cfg)
+	// Strategies compose in order: snapshots from an earlier Checkpoint
+	// survive a later Replication (which only reconfigures the FT layer).
+	cfg = imitator.New(
+		imitator.WithFTStrategy(imitator.Checkpoint(2)),
+		imitator.WithFTStrategy(imitator.Replication(imitator.ReplicationK(1))),
+	)
+	if !cfg.FT.Enabled || !cfg.Checkpoint.Enabled || cfg.Recovery != imitator.RecoverRebirth {
+		t.Errorf("checkpoint+replication combination lost a side: %+v", cfg)
 	}
 }
 
@@ -123,9 +125,8 @@ func TestRunEndToEnd(t *testing.T) {
 		imitator.WithNodes(4),
 		imitator.WithIterations(8),
 		imitator.WithWorkers(2),
-		imitator.WithFT(1),
-		imitator.WithRecovery(imitator.RecoverRebirth),
-		imitator.WithFailure(4, imitator.FailBeforeBarrier, 2),
+		imitator.WithFTStrategy(imitator.Replication(imitator.ReplicationK(1))),
+		imitator.WithFailures(imitator.Crash(4, imitator.FailBeforeBarrier, 2)),
 	)
 	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
 	if err != nil {
@@ -158,8 +159,8 @@ func TestRunMatchesCore(t *testing.T) {
 		imitator.WithMode(imitator.VertexCutMode),
 		imitator.WithNodes(4),
 		imitator.WithIterations(6),
-		imitator.WithRecovery(imitator.RecoverMigration),
-		imitator.WithFailure(3, imitator.FailBeforeBarrier, 1),
+		imitator.WithFTStrategy(imitator.Migration()),
+		imitator.WithFailures(imitator.Crash(3, imitator.FailBeforeBarrier, 1)),
 	)
 	facade, err := imitator.Run(cfg, g, imitator.NewSSSP(0))
 	if err != nil {
@@ -188,7 +189,7 @@ func TestWorkloadAndTimeline(t *testing.T) {
 	cfg := imitator.New(
 		imitator.WithNodes(4),
 		imitator.WithIterations(3),
-		imitator.WithFailure(1, imitator.FailBeforeBarrier, 1),
+		imitator.WithFailures(imitator.Crash(1, imitator.FailBeforeBarrier, 1)),
 	)
 	s, err := imitator.RunWorkload(imitator.Workload{Algo: "cd", Dataset: "dblp", Iters: 3}, cfg)
 	if err != nil {

@@ -3,6 +3,21 @@ package imitator
 import "imitator/internal/core"
 
 // Option mutates a job configuration being assembled by New.
+//
+// The option set is grouped into four families:
+//
+//   - Engine options shape the simulated cluster and execution engine:
+//     WithMode, WithNodes, WithIterations, WithWorkers,
+//     WithHostParallelism, WithPartitioner, WithTransport.
+//   - FT options pin the fault-tolerance story: WithFTStrategy with the
+//     typed constructors (Replication, Migration, Checkpoint,
+//     LoggedRecovery, NoRecovery), plus WithMaxRebirths and
+//     WithRebirthFallback.
+//   - Chaos options inject faults: WithFailures with the event builders
+//     (Crash, CrashDuringRecovery, SlowLink, DelayBurst, Drop, Duplicate,
+//     Reorder, Partition) and WithChaosSeed.
+//   - Serve options turn the run into a long-lived queryable service:
+//     WithServe and its sub-options (see serve.go).
 type Option func(*Config)
 
 // New assembles a Config from options on top of the engine defaults:
@@ -25,6 +40,8 @@ func New(opts ...Option) Config {
 	}
 	return cfg
 }
+
+// ---- Engine options ---------------------------------------------------
 
 // WithMode selects the execution engine: EdgeCutMode or VertexCutMode.
 func WithMode(m Mode) Option {
@@ -56,71 +73,26 @@ func WithHostParallelism(n int) Option {
 	return func(c *Config) { c.HostParallelism = n }
 }
 
-// WithFT enables replication-based fault tolerance configured to survive k
-// simultaneous machine failures (the paper's K), keeping the selfish-vertex
-// optimization on.
-func WithFT(k int) Option {
-	return func(c *Config) {
-		c.FT.Enabled = true
-		c.FT.K = k
-	}
-}
-
-// WithoutFT disables replication-based fault tolerance (baseline runs and
-// checkpoint-only configurations).
-func WithoutFT() Option {
-	return func(c *Config) { c.FT = core.FTConfig{} }
-}
-
-// WithSelfishOpt toggles the selfish-vertex optimization (§4.4): vertices
-// with no out-edges skip FT replication and are recomputed on demand.
-func WithSelfishOpt(on bool) Option {
-	return func(c *Config) { c.FT.SelfishOpt = on }
-}
-
-// WithRecovery selects the recovery strategy by kind, keeping the
-// replication/checkpoint layers as previously configured (checkpoint
-// recovery auto-enables snapshots at interval 1 if none are configured).
-//
-// Deprecated: use WithFTStrategy with a typed constructor — Replication(),
-// Migration(), Checkpoint(...), LoggedRecovery() — which configures the
-// recovery kind and the persistence machinery it depends on in one option.
-func WithRecovery(r Recovery) Option {
-	return WithFTStrategy(legacyStrategy(r))
-}
-
-// WithCheckpoint configures the checkpoint-based baseline: periodic
-// snapshots every interval iterations, checkpoint recovery, and
-// replication FT off (apply WithFT afterwards to combine them).
-//
-// Deprecated: use WithFTStrategy(Checkpoint(interval, ...)), which also
-// takes the in-memory and incremental sub-options.
-func WithCheckpoint(interval int) Option {
-	return WithFTStrategy(Checkpoint(interval))
-}
-
 // WithPartitioner overrides the mode's default graph partitioner.
 func WithPartitioner(p Partitioner) Option {
 	return func(c *Config) { c.Partitioner = p }
-}
-
-// WithFailure schedules a crash of the given nodes at iteration iter in
-// the given phase. Repeat the option to inject several failures.
-//
-// Deprecated: use WithFailures with the Crash builder, which routes the
-// crash through the heartbeat failure detector (same timing and results)
-// and composes with the other failure-event kinds.
-func WithFailure(iter int, phase FailPhase, nodes ...int) Option {
-	return WithFailures(Crash(iter, phase, nodes...))
-}
-
-// WithMaxRebirths bounds how many standby rebirths the cluster can perform.
-func WithMaxRebirths(n int) Option {
-	return func(c *Config) { c.MaxRebirths = n }
 }
 
 // WithTransport selects message delivery: in-memory (default) or a
 // loopback TCP mesh.
 func WithTransport(t Transport) Option {
 	return func(c *Config) { c.Transport = t }
+}
+
+// ---- FT options -------------------------------------------------------
+//
+// The strategy constructors live in strategy.go; WithFTStrategy is the one
+// entry point. The former piecemeal toggles (WithFT, WithoutFT,
+// WithSelfishOpt, WithRecovery, WithCheckpoint) were removed in v1 — their
+// replacements are Replication(ReplicationK(k), ReplicationSelfish(on)),
+// NoRecovery(), and Checkpoint(interval, ...).
+
+// WithMaxRebirths bounds how many standby rebirths the cluster can perform.
+func WithMaxRebirths(n int) Option {
+	return func(c *Config) { c.MaxRebirths = n }
 }

@@ -17,8 +17,9 @@ type FTStrategy func(*Config)
 //	imitator.WithFTStrategy(imitator.Checkpoint(4, imitator.CheckpointInMemory()))
 //	imitator.WithFTStrategy(imitator.LoggedRecovery(imitator.LoggedCompactEvery(4)))
 //
-// Later options still win: WithFT / WithoutFT / WithSelfishOpt applied after
-// a strategy refine or override its replication layer.
+// Options apply in order, so a later WithFTStrategy replaces an earlier
+// one; refine the replication layer with the strategy's own sub-options
+// (ReplicationK, ReplicationSelfish, ...).
 func WithFTStrategy(s FTStrategy) Option {
 	return func(c *Config) { s(c) }
 }
@@ -80,7 +81,7 @@ type CheckpointOption func(*Config)
 // Checkpoint is the checkpoint baseline (Imitator-CKPT): periodic snapshots
 // to the DFS every interval iterations, and on failure the whole cluster
 // reloads the last snapshot and re-executes the lost supersteps.
-// Replication FT is turned off (apply WithFT afterwards to combine them).
+// Replication FT is turned off; the checkpoint baseline runs replica-free.
 func Checkpoint(interval int, opts ...CheckpointOption) FTStrategy {
 	return func(c *Config) {
 		c.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: interval}
@@ -114,7 +115,7 @@ type LoggedOption func(*Config)
 // received sync payloads at superstep end, and on failure only the reborn
 // nodes replay their own log chains — survivors perform zero recomputation.
 // Needs neither replicas nor cluster-wide snapshots; replication FT is
-// turned off (apply WithFT afterwards to combine them).
+// turned off, so reborn nodes rebuild purely from their own log chains.
 func LoggedRecovery(opts ...LoggedOption) FTStrategy {
 	return func(c *Config) {
 		c.Logged = core.LoggedConfig{Enabled: true}
@@ -161,20 +162,5 @@ func FTStrategyByName(name string) (FTStrategy, bool) {
 		return NoRecovery(), true
 	default:
 		return nil, false
-	}
-}
-
-// legacyStrategy preserves WithRecovery's historical semantics: select the
-// recovery kind without reconfiguring the replication layer, enabling
-// checkpointing (interval 1) only when checkpoint recovery needs it.
-func legacyStrategy(r Recovery) FTStrategy {
-	return func(c *Config) {
-		c.Recovery = r
-		if r == core.RecoverCheckpoint && !c.Checkpoint.Enabled {
-			c.Checkpoint = core.CheckpointConfig{Enabled: true, Interval: 1}
-		}
-		if r == core.RecoverLogged {
-			c.Logged.Enabled = true
-		}
 	}
 }

@@ -102,28 +102,16 @@ func TestFTStrategyByName(t *testing.T) {
 	}
 }
 
-// TestDeprecatedOptionsForward: the deprecated recovery options produce the
-// exact configs they always did, now by forwarding through WithFTStrategy.
-func TestDeprecatedOptionsForward(t *testing.T) {
-	oldCkpt := imitator.New(imitator.WithCheckpoint(3))
-	newCkpt := imitator.New(imitator.WithFTStrategy(imitator.Checkpoint(3)))
-	if !reflect.DeepEqual(oldCkpt, newCkpt) {
-		t.Errorf("WithCheckpoint(3) != WithFTStrategy(Checkpoint(3)):\n%+v\n%+v", oldCkpt, newCkpt)
-	}
-
-	// WithRecovery keeps its historical semantics: kind only, replication
-	// layer untouched (the default FT stays on for rebirth/migration).
-	cfg := imitator.New(imitator.WithFT(2), imitator.WithRecovery(imitator.RecoverMigration))
-	if cfg.Recovery != imitator.RecoverMigration || cfg.FT.K != 2 {
-		t.Errorf("WithRecovery clobbered FT: %+v", cfg)
-	}
-	cfg = imitator.New(imitator.WithRecovery(imitator.RecoverCheckpoint))
-	if !cfg.Checkpoint.Enabled || cfg.Checkpoint.Interval != 1 || !cfg.FT.Enabled {
-		t.Errorf("WithRecovery(checkpoint) auto-enable broken: %+v", cfg)
-	}
-	cfg = imitator.New(imitator.WithRecovery(imitator.RecoverLogged))
-	if !cfg.Logged.Enabled {
-		t.Errorf("WithRecovery(logged) left logging off: %+v", cfg)
+// TestStrategyIdempotent: applying the same strategy twice is a no-op, so
+// CLI layers can safely re-apply a resolved strategy.
+func TestStrategyIdempotent(t *testing.T) {
+	once := imitator.New(imitator.WithFTStrategy(imitator.Checkpoint(3)))
+	twice := imitator.New(
+		imitator.WithFTStrategy(imitator.Checkpoint(3)),
+		imitator.WithFTStrategy(imitator.Checkpoint(3)),
+	)
+	if !reflect.DeepEqual(once, twice) {
+		t.Errorf("Checkpoint(3) not idempotent:\n%+v\n%+v", once, twice)
 	}
 }
 
@@ -135,7 +123,7 @@ func TestLoggedRecoveryEndToEnd(t *testing.T) {
 		imitator.WithNodes(4),
 		imitator.WithIterations(8),
 		imitator.WithFTStrategy(imitator.LoggedRecovery(imitator.LoggedCompactEvery(3))),
-		imitator.WithFailure(5, imitator.FailBeforeBarrier, 2),
+		imitator.WithFailures(imitator.Crash(5, imitator.FailBeforeBarrier, 2)),
 	)
 	res, err := imitator.Run(cfg, g, imitator.NewPageRank(g.NumVertices()))
 	if err != nil {
