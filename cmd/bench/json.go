@@ -62,6 +62,15 @@ type benchEntry struct {
 	QPS             float64 `json:"qps,omitempty"`
 	MaxStaleness    int     `json:"max_staleness,omitempty"`
 
+	// Membership probe (membership/* entries): detector-only failure
+	// detection at scale. sim_seconds is the crash->confirmed detection
+	// latency seen by the observer, msg_bytes the detector's total wire
+	// bytes — both deterministic invariants like every other entry's.
+	DetectionPeriods int   `json:"detection_periods,omitempty"`
+	FalseSuspicions  int   `json:"false_suspicions,omitempty"`
+	FalseConfirms    int   `json:"false_confirms,omitempty"`
+	DetectorMessages int64 `json:"detector_messages,omitempty"`
+
 	// Scale tier (scale/* entries): the synthetic graph's dimensions,
 	// parallel-generation wall clock keyed by worker count (the graph is
 	// bit-identical across the sweep), and the compact layout's measured
@@ -168,6 +177,17 @@ func runJSON(opts experiments.Options, fl jsonFlags) error {
 			report.Results = append(report.Results, e)
 			fmt.Fprintf(os.Stderr, "bench: %s p50=%.3fms p99=%.3fms qps=%.0f replica_reads=%d staleness<=%d\n",
 				e.ID, e.P50Ms, e.P99Ms, e.QPS, e.ReplicaReads, e.MaxStaleness)
+		}
+	}
+
+	if fl.membership {
+		memEntries, err := membershipProbe(fl.membershipSizes)
+		if err != nil {
+			return err
+		}
+		for _, e := range memEntries {
+			report.Results = append(report.Results, e)
+			reportMembership(e)
 		}
 	}
 

@@ -15,6 +15,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"imitator/internal/experiments"
@@ -29,14 +31,36 @@ func main() {
 
 // jsonFlags bundles the -json mode knobs threaded into runJSON.
 type jsonFlags struct {
-	path, basePath string
-	probesOnly     bool
-	serve          bool
-	scale          bool
-	scaleVertices  int
-	scaleEdges     int
-	maxWallRegress float64
-	checkIdentity  bool
+	path, basePath  string
+	probesOnly      bool
+	serve           bool
+	membership      bool
+	membershipSizes []int
+	scale           bool
+	scaleVertices   int
+	scaleEdges      int
+	maxWallRegress  float64
+	checkIdentity   bool
+}
+
+// parseSizes parses the -membership-sizes list ("8,128,1024").
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 4 {
+			return nil, fmt.Errorf("membership-sizes: bad cluster size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("membership-sizes: empty list")
+	}
+	return sizes, nil
 }
 
 func run(args []string) error {
@@ -54,6 +78,8 @@ func run(args []string) error {
 
 		probesOnly = fs.Bool("probes-only", false, "-json mode: skip the fig7/fig13 workloads, keep the probes (CI smoke)")
 		serve      = fs.Bool("serve", false, "-json mode: add the serve-mode latency probe (fault-free vs mid-run crash failover)")
+		membership = fs.Bool("membership", false, "-json mode: add the detector-only membership probe (gossip vs centralized detection latency and false suspicions)")
+		memSizes   = fs.String("membership-sizes", "8,128,1024", "-membership: comma-separated simulated cluster sizes")
 		scale      = fs.Bool("scale", false, "-json mode: add the paper-scale tier (parallel generation + compact-layout footprint + PageRank probe)")
 		scaleVerts = fs.Int("scale-vertices", 640_000, "scale tier |V|")
 		scaleEdges = fs.Int("scale-edges", 22_400_000, "scale tier |E| (default 10x the largest catalog graph)")
@@ -94,16 +120,22 @@ func run(args []string) error {
 	}
 
 	if *jsonPath != "" {
+		sizes, err := parseSizes(*memSizes)
+		if err != nil {
+			return err
+		}
 		return runJSON(opts, jsonFlags{
-			path:           *jsonPath,
-			basePath:       *basePath,
-			probesOnly:     *probesOnly,
-			serve:          *serve,
-			scale:          *scale,
-			scaleVertices:  *scaleVerts,
-			scaleEdges:     *scaleEdges,
-			maxWallRegress: *maxRegress,
-			checkIdentity:  *checkIdent,
+			path:            *jsonPath,
+			basePath:        *basePath,
+			probesOnly:      *probesOnly,
+			serve:           *serve,
+			membership:      *membership,
+			membershipSizes: sizes,
+			scale:           *scale,
+			scaleVertices:   *scaleVerts,
+			scaleEdges:      *scaleEdges,
+			maxWallRegress:  *maxRegress,
+			checkIdentity:   *checkIdent,
 		})
 	}
 

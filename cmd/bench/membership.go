@@ -1,0 +1,288 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"imitator/internal/costmodel"
+	"imitator/internal/gossip"
+	"imitator/internal/netsim"
+	"imitator/internal/rng"
+)
+
+// The -membership probe compares the two failure detectors in isolation —
+// no graph, no vertex program — so the curves measure pure membership
+// behaviour: how long each protocol takes to confirm a real crash, and how
+// often it suspects a node that is alive, as the cluster grows and the
+// network misbehaves.
+//
+// Both detectors run over the same lossy datagram fabric (netsim with the
+// omission layer on and heartbeats/pings demoted to best-effort datagrams),
+// under the same seeded chaos and the same crash timeline, so the entries
+// are directly comparable:
+//
+//   - gossip: the SWIM detector from internal/gossip — shuffled round-robin
+//     probing, ping-req(k) indirect probes, suspicion timeouts, piggybacked
+//     dissemination. Detection is "the observer's view confirms the victim".
+//   - central: an inline model of the centralized monitor where every node
+//     heartbeats the master (node 0) across the lossy fabric, with the cost
+//     model's SuspectBeats/DetectMissedBeats thresholds. This is what the
+//     paper's Zookeeper-style membership degrades to when its control
+//     channel shares the data network's faults.
+//
+// Each (detector, size, scenario) cell reports sim_seconds = detection
+// latency of the scripted crash, msg_bytes = total detector wire bytes, and
+// the false-suspicion count over the whole run. All three are deterministic
+// simulation outputs — identity invariants like every other entry's.
+
+// membershipScenario is one chaos shape applied to the detector fabric.
+type membershipScenario struct {
+	name  string
+	apply func(net *netsim.Network, n, period int)
+}
+
+const (
+	memProbeSeed   = 0x6d656d6272 // "membr"
+	memDropRate    = 0.2          // loss on every link touching the lossy set
+	memLossySet    = 32           // nodes with lossy links (all, when n <= 32)
+	memPartAt      = 1            // partition installed before this period
+	memPartPeriods = 2            // heal after this many periods (< confirm)
+	memCrashPeriod = 6            // victim crashes before this period
+	memHorizon     = 40           // periods every cell runs, for comparable rates
+	memMaxPeriods  = 400          // give up (probe bug) past this point
+)
+
+// memPartitionGroup is the node set cut off in the partition scenario:
+// small ids, never the master/observer (0) and never the victim (n-2).
+func memPartitionGroup(n int) []int {
+	k := n / 4
+	if k > 8 {
+		k = 8
+	}
+	if k < 2 {
+		k = 2
+	}
+	group := make([]int, k)
+	for i := range group {
+		group[i] = i + 1
+	}
+	return group
+}
+
+// membershipScenarios returns the chaos shapes, installed incrementally at
+// period boundaries so both detectors see the identical fault timeline.
+func membershipScenarios() []membershipScenario {
+	return []membershipScenario{
+		{name: "drop", apply: func(net *netsim.Network, n, period int) {
+			if period != 0 {
+				return
+			}
+			lossy := memLossySet
+			if lossy > n {
+				lossy = n
+			}
+			for i := 0; i < lossy; i++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					net.SetDropRate(i, j, memDropRate)
+					net.SetDropRate(j, i, memDropRate)
+				}
+			}
+		}},
+		{name: "part", apply: func(net *netsim.Network, n, period int) {
+			switch period {
+			case memPartAt:
+				net.Partition(memPartitionGroup(n))
+			case memPartAt + memPartPeriods:
+				net.Heal(memPartitionGroup(n))
+			}
+		}},
+	}
+}
+
+// membershipProbe runs the gossip-vs-centralized detection matrix and
+// returns one entry per (detector, cluster size, chaos scenario) cell.
+func membershipProbe(sizes []int) ([]benchEntry, error) {
+	var entries []benchEntry
+	for _, n := range sizes {
+		for _, sc := range membershipScenarios() {
+			for _, det := range []struct {
+				name string
+				run  func(int, membershipScenario) (memOutcome, error)
+			}{
+				{"gossip", gossipProbeRun},
+				{"central", centralProbeRun},
+			} {
+				id := fmt.Sprintf("membership/%s/n%d/%s", det.name, n, sc.name)
+				var out memOutcome
+				wall, allocs, bytes, err := measure(func() error {
+					var err error
+					out, err = det.run(n, sc)
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", id, err)
+				}
+				entries = append(entries, benchEntry{
+					ID:               id,
+					WallSeconds:      wall,
+					Allocs:           allocs,
+					AllocBytes:       bytes,
+					SimSeconds:       out.detectionSeconds,
+					MsgBytes:         out.wireBytes,
+					DetectionPeriods: out.detectionPeriods,
+					FalseSuspicions:  out.falseSuspicions,
+					FalseConfirms:    out.falseConfirms,
+					DetectorMessages: out.messages,
+				})
+			}
+		}
+	}
+	return entries, nil
+}
+
+// memOutcome is one probe cell's deterministic result. Every cell runs at
+// least memHorizon periods (longer only if detection needs it), so the
+// false-suspicion/false-confirm counts are rates over the same window.
+type memOutcome struct {
+	detectionSeconds float64 // crash -> observer-confirmed, sim seconds
+	detectionPeriods int     // same, in protocol periods
+	falseSuspicions  int     // suspicions of nodes that were up
+	falseConfirms    int     // nodes declared failed while actually up
+	messages         int64   // detector datagrams sent
+	wireBytes        int64   // detector wire bytes sent
+}
+
+// gossipProbeRun crashes node n-2 at the scripted period and runs the SWIM
+// detector over the probe horizon; detection is "the observer's (node 0)
+// view confirms the victim".
+func gossipProbeRun(n int, sc membershipScenario) (memOutcome, error) {
+	d, err := gossip.New(n, gossip.Params{
+		Seed: rng.Hash2(memProbeSeed, uint64(n)),
+	})
+	if err != nil {
+		return memOutcome{}, err
+	}
+	defer d.Close()
+	victim := n - 2
+	var out memOutcome
+	for period := 0; period < memMaxPeriods; period++ {
+		sc.apply(d.Net(), n, period)
+		if period == memCrashPeriod {
+			d.Fail(victim)
+		}
+		d.RunPeriod()
+		for _, id := range d.TakeConfirms() {
+			if d.Up(id) {
+				out.falseConfirms++
+			}
+		}
+		if out.detectionPeriods == 0 && period >= memCrashPeriod &&
+			d.StatusAt(0, victim) == gossip.UpdConfirm {
+			out.detectionPeriods = period - memCrashPeriod + 1
+			out.detectionSeconds = float64(out.detectionPeriods) * d.PeriodSeconds()
+		}
+		if out.detectionPeriods > 0 && period >= memHorizon-1 {
+			st := d.Stats()
+			if err := d.Err(); err != nil {
+				return memOutcome{}, err
+			}
+			out.falseSuspicions = st.FalseSuspicions
+			out.messages, out.wireBytes = st.Messages, st.Bytes
+			return out, nil
+		}
+	}
+	return memOutcome{}, fmt.Errorf("gossip: observer never confirmed node %d in %d periods", victim, memMaxPeriods)
+}
+
+// centralProbeRun runs the inline centralized model: every node heartbeats
+// the master (node 0) once per period as a best-effort datagram over the
+// same lossy fabric; the master suspects after SuspectBeats consecutive
+// misses and confirms after DetectMissedBeats.
+func centralProbeRun(n int, sc membershipScenario) (memOutcome, error) {
+	cost := costmodel.Default()
+	net, err := netsim.New(n, cost)
+	if err != nil {
+		return memOutcome{}, err
+	}
+	defer net.Close()
+	net.EnableOmission(rng.Hash2(memProbeSeed, uint64(n)))
+	net.SetDatagramKind(netsim.KindControl)
+
+	const beatBytes = 12 // u32 node id + u64 beat sequence
+	suspectAt, confirmAt := cost.SuspectBeats(), cost.DetectMissedBeats
+	victim := n - 2
+	up := make([]bool, n) // ground truth
+	for i := range up {
+		up[i] = true
+	}
+	misses := make([]int, n)
+	suspected := make([]bool, n)
+	confirmed := make([]bool, n)
+	beat := make([]byte, beatBytes)
+	var out memOutcome
+	for period := 0; period < memMaxPeriods; period++ {
+		sc.apply(net, n, period)
+		if period == memCrashPeriod {
+			up[victim] = false
+			net.SetFailed(victim, true)
+		}
+		for i := 1; i < n; i++ {
+			if !up[i] {
+				continue
+			}
+			binary.LittleEndian.PutUint32(beat, uint32(i))
+			binary.LittleEndian.PutUint64(beat[4:], uint64(period))
+			net.Send(i, 0, netsim.KindControl, beat)
+			out.messages++
+			out.wireBytes += beatBytes
+		}
+		net.FinishRound()
+		got := make([]bool, n)
+		for _, m := range net.Receive(0) {
+			got[m.From] = true
+		}
+		for i := 1; i < n; i++ {
+			if confirmed[i] {
+				continue
+			}
+			if got[i] {
+				misses[i], suspected[i] = 0, false
+				continue
+			}
+			misses[i]++
+			if misses[i] == suspectAt && !suspected[i] {
+				suspected[i] = true
+				if up[i] {
+					out.falseSuspicions++
+				}
+			}
+			if misses[i] >= confirmAt {
+				confirmed[i] = true
+				if up[i] {
+					out.falseConfirms++
+				}
+			}
+		}
+		if out.detectionPeriods == 0 && period >= memCrashPeriod && confirmed[victim] {
+			out.detectionPeriods = period - memCrashPeriod + 1
+			out.detectionSeconds = float64(out.detectionPeriods) * cost.HeartbeatInterval
+		}
+		if out.detectionPeriods > 0 && period >= memHorizon-1 {
+			if err := net.Err(); err != nil {
+				return memOutcome{}, err
+			}
+			return out, nil
+		}
+	}
+	return memOutcome{}, fmt.Errorf("central: master never confirmed node %d in %d periods", victim, memMaxPeriods)
+}
+
+// reportMembership prints one probe entry's curve point to stderr.
+func reportMembership(e benchEntry) {
+	fmt.Fprintf(os.Stderr, "bench: %s detect=%.2fs (%d periods) false_suspicions=%d false_confirms=%d wire=%.1fKB\n",
+		e.ID, e.SimSeconds, e.DetectionPeriods, e.FalseSuspicions, e.FalseConfirms, float64(e.MsgBytes)/1024)
+}

@@ -53,6 +53,9 @@ func run(args []string) error {
 		failNodes   = fs.String("fail-nodes", "1", "comma-separated node ids to crash")
 		chaosSched  = fs.String("chaos", "", "failure schedule: crash@<iter><b|a>=<nodes>, crashrec[@label]=<nodes>, slow@<iter>=<from>><to>x<factor>, delay@<iter>=<seconds>, drop@<iter>=<from>><to>x<prob>, dup@<iter>=<from>><to>x<prob>, reorder@<iter>=<from>><to>x<prob>, part@<iter>~<heal>=<nodes>, joined by '|'")
 		chaosSeed   = fs.Uint64("chaos-seed", 0, "seed for the deterministic per-link omission-fault generators (drop/dup/reorder)")
+		membership  = fs.String("membership", "centralized", "failure detector for chaos crashes: centralized (heartbeat monitor) or gossip (SWIM probing over lossy datagrams)")
+		gspFanout   = fs.Int("gossip-fanout", 3, "gossip: indirect ping-req helpers per unanswered probe")
+		gspSusp     = fs.Int("gossip-suspicion", 3, "gossip: protocol periods a suspect may refute before confirmation")
 		input       = fs.String("input", "", "edge-list file to load instead of -dataset (src dst [weight] per line)")
 		tcp         = fs.Bool("tcp", false, "run the protocol over a loopback TCP mesh instead of in-memory delivery")
 		serve       = fs.Bool("serve", false, "serve mode: run with the live-query layer attached and drive a seeded query load while the job executes")
@@ -127,6 +130,15 @@ func run(args []string) error {
 	}
 	if *chaosSeed != 0 {
 		opts = append(opts, imitator.WithChaosSeed(*chaosSeed))
+	}
+	switch *membership {
+	case "centralized":
+	case "gossip":
+		opts = append(opts, imitator.WithMembership(imitator.Gossip,
+			imitator.GossipFanout(*gspFanout),
+			imitator.GossipSuspicionPeriods(*gspSusp)))
+	default:
+		return fmt.Errorf("unknown membership %q (use centralized or gossip)", *membership)
 	}
 	cfg := imitator.New(opts...)
 
@@ -288,6 +300,18 @@ func report(w imitator.Workload, cfg imitator.Config, s imitator.RunSummary, loa
 		fmt.Printf("omission: %d retransmits (%.2f KB, %.2f KB acks), %d dups dropped, %d reordered, %d parked, %d fenced\n",
 			o.Retransmits, float64(o.RetransmitBytes)/1e3, float64(o.AckBytes)/1e3,
 			o.DuplicatesDropped, o.Reordered, o.Parked, o.Fenced)
+	}
+	if m := s.Membership; m != nil {
+		avg := 0.0
+		for _, lat := range m.DetectionSeconds {
+			avg += lat
+		}
+		if len(m.DetectionSeconds) > 0 {
+			avg /= float64(len(m.DetectionSeconds))
+		}
+		fmt.Printf("membership: %s detector, %d failures detected (%.3f s avg latency), %d false suspicions, %.2f KB gossip in %d periods\n",
+			m.Mode, len(m.DetectionSeconds), avg, m.FalseSuspicions,
+			float64(m.GossipBytes)/1e3, m.GossipPeriods)
 	}
 	if sv := s.Serve; sv != nil {
 		fmt.Printf("serve: %d queries (%d from replicas, %d stale-rejected, %d unavailable), max staleness %d\n",

@@ -41,6 +41,10 @@ var DefaultSimPackages = []string{
 	// The FT-log codec's bytes are replayed during recovery and compared
 	// bit-for-bit across worker counts, so it must stay deterministic.
 	"imitator/internal/ftlog",
+	// The SWIM detector's probe order, suspicion timing and piggyback
+	// traffic are simulation outputs (membership bench invariants), so
+	// the whole protocol must stay seeded-deterministic.
+	"imitator/internal/gossip",
 	"imitator/internal/partition",
 	// The omission-fault layer draws per-link fates from internal/rng, so
 	// its state now feeds retransmit counts and simulated time too.

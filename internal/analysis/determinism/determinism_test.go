@@ -25,6 +25,7 @@ func TestDefaultScope(t *testing.T) {
 		"imitator/internal/costmodel": true,
 		"imitator/internal/dfs":       true,
 		"imitator/internal/ftlog":     true,
+		"imitator/internal/gossip":    true,
 		"imitator/internal/partition": true,
 		"imitator/internal/rng":       true,
 		"imitator/internal/hostpar":   true,

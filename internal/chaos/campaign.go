@@ -99,6 +99,10 @@ type Report struct {
 	// Strategies counts runs per FT strategy name; crash scenarios cycle
 	// through all four, so a long campaign covers the full matrix.
 	Strategies map[string]int
+	// Memberships counts rounds per failure-detector mode; rounds
+	// alternate centralized and gossip, so both detectors carry every
+	// scenario over a long campaign.
+	Memberships map[string]int
 	// Queries counts live serve-mode reads answered while rounds were still
 	// executing their fault schedules; every one was validated against the
 	// fault-free trajectory at its declared epoch. ReplicaReads counts the
@@ -160,7 +164,7 @@ func (c Campaign) baseConfig(mode core.Mode) core.Config {
 // failed rounds are data, not errors.
 func (c Campaign) Run() (*Report, error) {
 	c = c.normalized()
-	rep := &Report{Rounds: c.Rounds, Strategies: make(map[string]int)}
+	rep := &Report{Rounds: c.Rounds, Strategies: make(map[string]int), Memberships: make(map[string]int)}
 	g := datasets.Tiny(c.Vertices, c.Edges, rng.Hash64(c.Seed))
 	// Fault-free baselines, one per mode: recovery settings and chaos
 	// schedules must not change converged values, so one baseline serves
@@ -189,6 +193,7 @@ func (c Campaign) Run() (*Report, error) {
 			rep.Queries += out.queries
 			rep.ReplicaReads += out.replicaReads
 			rep.Strategies[out.ft]++
+			rep.Memberships[out.mem]++
 			if out.err != nil {
 				rep.Failures = append(rep.Failures, RoundFailure{
 					Round: round, Mode: mode.String(),
@@ -204,6 +209,7 @@ func (c Campaign) Run() (*Report, error) {
 type roundOutcome struct {
 	repro          string
 	ft             string
+	mem            string
 	err            error
 	duringRecovery int
 	exhaustion     int
@@ -222,6 +228,14 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 	scenario := round % numScenarios
 	strat := campaignStrategies[(round/numScenarios)%len(campaignStrategies)]
 	cfg := c.baseConfig(mode)
+	// Alternate the failure detector by round: odd rounds deliver every
+	// crash and partition through SWIM gossip instead of the centralized
+	// monitor. numScenarios is odd, so both detectors cycle through every
+	// scenario. Replay re-derives the mode from the round number; the
+	// repro line carries it for the reader only.
+	if round%2 == 1 {
+		cfg.Membership = core.MembershipConfig{Kind: core.MembershipGossip}
+	}
 
 	victims := r.Perm(c.Nodes)
 	crashIter := 1 + r.Intn(c.Iters-2)
@@ -333,9 +347,10 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 	hr := rng.New(r.Uint64())
 
 	out := roundOutcome{
-		ft: cfg.Recovery.String(),
-		repro: fmt.Sprintf("chaos seed=%d round=%d mode=%s ft=%s sched=%s",
-			c.Seed, round, mode, cfg.Recovery, FormatEvents(sched)),
+		ft:  cfg.Recovery.String(),
+		mem: cfg.Membership.Kind.String(),
+		repro: fmt.Sprintf("chaos seed=%d round=%d mode=%s ft=%s mem=%s sched=%s",
+			c.Seed, round, mode, cfg.Recovery, cfg.Membership.Kind, FormatEvents(sched)),
 	}
 	// Vertex-cut migrations merge gather partials in a recovered order;
 	// everything else must be bit-identical to the fault-free run.
@@ -467,6 +482,20 @@ func (c Campaign) runRound(round int, mode core.Mode, g *coreGraph, baseline []f
 			return out
 		}
 		out.fenced = 1
+	}
+	// Every round crashes or partitions at least one node, so the
+	// configured detector must have confirmed at least one failure.
+	if res.Membership == nil {
+		out.err = fmt.Errorf("round with failures reported no membership stats")
+		return out
+	}
+	if res.Membership.Mode != cfg.Membership.Kind.String() {
+		out.err = fmt.Errorf("membership ran %q, configured %q", res.Membership.Mode, cfg.Membership.Kind)
+		return out
+	}
+	if len(res.Membership.DetectionSeconds) == 0 {
+		out.err = fmt.Errorf("%s detector confirmed no failures", res.Membership.Mode)
+		return out
 	}
 	return out
 }

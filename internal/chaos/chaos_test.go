@@ -121,10 +121,17 @@ func TestCampaign(t *testing.T) {
 	if rep.Queries == 0 {
 		t.Fatalf("campaign answered no live queries during its rounds (runs=%d)", rep.Runs)
 	}
+	if *campaignRounds >= 2 {
+		for _, mem := range []string{"centralized", "gossip"} {
+			if rep.Memberships[mem] == 0 {
+				t.Fatalf("campaign never ran the %s detector: %v", mem, rep.Memberships)
+			}
+		}
+	}
 	t.Logf("campaign: %d runs, %d during-recovery, %d exhaustion, %d lossy, %d fenced, "+
-		"%d live queries (%d from replicas), 0 failures",
+		"%d live queries (%d from replicas), memberships %v, 0 failures",
 		rep.Runs, rep.DuringRecovery, rep.Exhaustion, rep.Lossy, rep.Fenced,
-		rep.Queries, rep.ReplicaReads)
+		rep.Queries, rep.ReplicaReads, rep.Memberships)
 }
 
 // TestCampaignStrategyMatrix: one full cycle of scenarios x FT strategies,
@@ -156,6 +163,11 @@ func TestReplay(t *testing.T) {
 	camp := Campaign{Seed: *campaignSeed}
 	if err := camp.Replay("chaos seed=1 round=4 mode=vertex-cut sched=whatever"); err != nil {
 		t.Fatalf("replay of a passing round failed: %v", err)
+	}
+	// Odd round: the mem=gossip token is informational — Replay re-derives
+	// the detector from the round number, and unknown tokens are ignored.
+	if err := camp.Replay("chaos seed=1 round=3 mode=edge-cut ft=rebirth mem=gossip sched=whatever"); err != nil {
+		t.Fatalf("replay of a gossip-mode round failed: %v", err)
 	}
 	if err := camp.Replay("chaos seed=1"); !errors.Is(err, core.ErrInvalidSchedule) {
 		t.Fatalf("partial repro: err = %v, want ErrInvalidSchedule", err)

@@ -2,9 +2,8 @@ package core
 
 import (
 	"strings"
-	"time"
 
-	"imitator/internal/coord"
+	"imitator/internal/netsim"
 )
 
 // chaosRuntime is the engine side of a Config.Chaos schedule. It exists
@@ -13,10 +12,11 @@ import (
 //
 // Crash events are not applied synchronously the way the legacy
 // Config.Failures path marks nodes failed at the coordinator: the victims
-// merely stop heartbeating, and a coord.HeartbeatMonitor driven by the
-// simulated clock (a FakeClock mapped onto sim-seconds) detects and
-// announces them. Detection therefore goes through the same machinery a
-// live cluster would use, at the same DetectionTime() cost the legacy path
+// merely go silent, and the configured failureDetector (detector.go) —
+// the centralized coord.HeartbeatMonitor by default, SWIM gossip with
+// Config.Membership — detects and announces them. Detection therefore
+// goes through the same machinery a live cluster would use; in
+// centralized mode at the same DetectionTime() cost the legacy path
 // charges, so both paths produce identical results.
 type chaosRuntime struct {
 	// crashes is consumed by deleting fired keys, like the legacy failure
@@ -38,12 +38,13 @@ type chaosRuntime struct {
 	// suspects, then confirms them (chaosPartitionSilence).
 	pendingPart []int
 
-	// mon/fc are the heartbeat failure detector and its simulated clock,
-	// created lazily by the first crash. monAt is the sim-second already
-	// applied to fc.
-	mon   *coord.HeartbeatMonitor
-	fc    *coord.FakeClock
-	monAt float64
+	// det is the pluggable failure detector (Config.Membership), created
+	// lazily by the first crash.
+	det failureDetector
+	// netEvents replays the omission chaos applied so far (drop rates,
+	// partitions, heals) onto the gossip detector's own network, which
+	// may be created after the events fire.
+	netEvents []func(*netsim.Network)
 }
 
 // recoveryCrash is one pending ChaosCrashDuringRecovery event.
@@ -103,6 +104,7 @@ func (c *Cluster[V, A]) chaosIterStart(iter int) {
 		delete(c.chaos.heals, iter)
 		for _, nodes := range sets {
 			c.net.Heal(nodes)
+			c.chaosMirror(func(n *netsim.Network) { n.Heal(nodes) })
 		}
 	}
 	if evs, ok := c.chaos.faults[iter]; ok {
@@ -111,10 +113,13 @@ func (c *Cluster[V, A]) chaosIterStart(iter int) {
 			switch ev.Kind {
 			case ChaosDrop:
 				c.net.SetDropRate(ev.From, ev.To, ev.Prob)
+				c.chaosMirror(func(n *netsim.Network) { n.SetDropRate(ev.From, ev.To, ev.Prob) })
 			case ChaosDuplicate:
 				c.net.SetDupRate(ev.From, ev.To, ev.Prob)
+				c.chaosMirror(func(n *netsim.Network) { n.SetDupRate(ev.From, ev.To, ev.Prob) })
 			case ChaosReorder:
 				c.net.SetReorderRate(ev.From, ev.To, ev.Prob)
+				c.chaosMirror(func(n *netsim.Network) { n.SetReorderRate(ev.From, ev.To, ev.Prob) })
 			}
 		}
 	}
@@ -125,6 +130,7 @@ func (c *Cluster[V, A]) chaosIterStart(iter int) {
 			// still compute and send, so their frames park in the cable
 			// — the stale traffic the epoch fence must later reject.
 			c.net.Partition(ev.Nodes)
+			c.chaosMirror(func(n *netsim.Network) { n.Partition(ev.Nodes) })
 			c.chaos.pendingPart = append(c.chaos.pendingPart, ev.Nodes...)
 		}
 	}
@@ -186,93 +192,85 @@ func (c *Cluster[V, A]) chaosPartitionSilence() {
 	c.crashViaHeartbeat(nodes)
 }
 
-// crashViaHeartbeat fail-stops the given nodes and lets the heartbeat
-// monitor detect them: the victims go silent, the simulated clock advances
-// by the detection window, the survivors' beats land at the advanced
-// instants, and the detector first suspects and then confirms exactly the
-// silent nodes, which are announced to the coordinator (surfacing in the
+// crashViaHeartbeat fail-stops the given nodes and lets the configured
+// failure detector notice: the victims go silent and the detector — the
+// centralized heartbeat monitor or SWIM gossip, per Config.Membership —
+// advances the simulated clock by its detection delay and announces first
+// suspicion and then confirmation to the coordinator (surfacing in the
 // next barrier state).
 func (c *Cluster[V, A]) crashViaHeartbeat(nodes []int) {
 	c.ensureDetector()
-	crashed := false
+	var victims []int
 	for _, id := range nodes {
 		if n := c.nodes[id]; n != nil && n.alive {
 			n.alive = false
 			c.net.SetFailed(id, true)
-			crashed = true
+			victims = append(victims, id)
 		}
 	}
-	if !crashed {
+	if len(victims) == 0 {
 		return
 	}
 	c.aliveDirty = true
-	c.clock.Advance(c.cfg.Cost.DetectionTime())
-	c.syncDetector()
-	// Two-stage detection in exact integer tick arithmetic. syncDetector's
-	// float sim-second -> Duration conversion truncates, so the fake clock
-	// may sit a nanosecond short of where float math says it should; the
-	// deadlines below are advanced as exact Duration multiples of the
-	// monitor's interval on top of that, so the victims' silence crosses
-	// each threshold precisely — no overshoot fudge needed. The fake clock
-	// drives only the monitor, never the simulated timeline.
-	suspectAfter := c.chaos.mon.SuspectDeadline()
-	c.chaos.fc.Advance(suspectAfter)
-	for _, nd := range c.aliveNodes() {
-		c.chaos.mon.Beat(nd.id)
-	}
-	for _, id := range c.chaos.mon.PollSuspects(c.chaos.fc.Now()) {
-		c.coord.Suspect(id)
-	}
-	c.chaos.fc.Advance(c.chaos.mon.Deadline() - suspectAfter)
-	for _, nd := range c.aliveNodes() {
-		c.chaos.mon.Beat(nd.id)
-	}
-	for _, id := range c.chaos.mon.Poll(c.chaos.fc.Now()) {
-		c.coord.MarkFailed(id)
+	c.chaos.det.detect(victims)
+}
+
+// chaosMirror records one omission-chaos application and forwards it to
+// the gossip detector's network if one exists; the log lets a detector
+// built after the events fire start under the same faults.
+func (c *Cluster[V, A]) chaosMirror(apply func(*netsim.Network)) {
+	c.chaos.netEvents = append(c.chaos.netEvents, apply)
+	if c.chaos.det != nil {
+		if n := c.chaos.det.net(); n != nil {
+			apply(n)
+		}
 	}
 }
 
-// ensureDetector lazily builds the heartbeat monitor on a FakeClock pinned
-// to the simulated timeline, tracking every currently alive node.
+// ensureDetector lazily builds the configured failure detector, tracking
+// every currently alive node. The gossip detector additionally replays
+// the omission chaos applied so far onto its own network.
 func (c *Cluster[V, A]) ensureDetector() {
 	ch := c.chaos
-	if ch.mon != nil {
+	if ch.det != nil {
 		return
 	}
-	ch.fc = coord.NewFakeClock(time.Unix(0, 0))
-	ch.monAt = 0
-	c.syncDetector()
-	interval := time.Duration(c.cfg.Cost.HeartbeatInterval * float64(time.Second))
-	mon, err := coord.NewHeartbeatMonitorWithClock(ch.fc, interval, c.cfg.Cost.DetectMissedBeats, nil)
-	if err != nil {
-		// Cost params are validated with the config; this cannot fire.
-		panic(err)
+	host := detectorHost{
+		clock: &c.clock,
+		cost:  c.cfg.Cost,
+		alive: func() []int {
+			nodes := c.aliveNodes()
+			ids := make([]int, len(nodes))
+			for i, nd := range nodes {
+				ids[i] = nd.id
+			}
+			return ids
+		},
+		suspect: func(id int) { c.coord.Suspect(id) },
+		confirm: func(id int) { c.coord.MarkFailed(id) },
 	}
-	if err := mon.SetSuspectMisses(c.cfg.Cost.SuspectBeats()); err != nil {
-		panic(err) // SuspectBeats is clamped to [1, DetectMissedBeats]
+	if c.cfg.Membership.Kind == MembershipGossip {
+		det, err := newGossipDetector(len(c.nodes), c.cfg.Membership, c.cfg.ChaosSeed, host)
+		if err != nil {
+			// Membership and NumNodes are validated together; this
+			// cannot fire.
+			panic(err)
+		}
+		for _, apply := range ch.netEvents {
+			apply(det.net())
+		}
+		ch.det = det
+		return
 	}
-	ch.mon = mon
-	for _, nd := range c.aliveNodes() {
-		mon.Track(nd.id)
-	}
-}
-
-// syncDetector advances the monitor's FakeClock to the current sim-second.
-func (c *Cluster[V, A]) syncDetector() {
-	ch := c.chaos
-	if d := c.clock.Now() - ch.monAt; d > 0 {
-		ch.fc.Advance(time.Duration(d * float64(time.Second)))
-		ch.monAt = c.clock.Now()
-	}
+	ch.det = newCentralDetector(host)
 }
 
 // chaosTrack registers a node that (re)joined the membership — a rebirth or
 // checkpoint newbie — with the failure detector, so a later chaos crash of
 // the revived slot is detected like any other.
 func (c *Cluster[V, A]) chaosTrack(id int) {
-	if c.chaos == nil || c.chaos.mon == nil {
+	if c.chaos == nil || c.chaos.det == nil {
 		return
 	}
-	c.syncDetector()
-	c.chaos.mon.Track(id)
+	c.chaos.det.track(id)
 }

@@ -278,6 +278,54 @@ type ChaosEvent struct {
 	HealIter  int       // ChaosPartition heal iteration (> Iteration; >= MaxIter never heals)
 }
 
+// MembershipKind selects the failure-detection protocol behind chaos
+// crash delivery.
+type MembershipKind int
+
+// Membership protocols.
+const (
+	// MembershipCentralized (default) detects failures with the coord
+	// HeartbeatMonitor: every node beats to a central master, which
+	// suspects after SuspectBeats missed intervals and confirms after
+	// DetectMissedBeats. This reproduces the paper's Zookeeper-style
+	// master and is the bit-identical baseline.
+	MembershipCentralized MembershipKind = iota
+	// MembershipGossip detects failures with the decentralized SWIM
+	// protocol in internal/gossip: randomized ping / ping-req(k) probing
+	// with piggybacked dissemination over its own lossy datagram network,
+	// which inherits the run's drop and partition chaos. Suspicions and
+	// confirmations feed the same coordinator Suspect/MarkFailed path.
+	MembershipGossip
+)
+
+// String implements fmt.Stringer.
+func (m MembershipKind) String() string {
+	switch m {
+	case MembershipCentralized:
+		return "centralized"
+	case MembershipGossip:
+		return "gossip"
+	default:
+		return fmt.Sprintf("membership(%d)", int(m))
+	}
+}
+
+// MembershipConfig selects and tunes the failure detector. The zero value
+// is the centralized heartbeat monitor with default timing.
+type MembershipConfig struct {
+	// Kind picks the protocol.
+	Kind MembershipKind
+	// GossipFanout is SWIM's k: the number of indirect ping-req helpers
+	// asked when a direct probe goes unanswered. 0 means 3.
+	GossipFanout int
+	// SuspicionPeriods is how many gossip protocol periods a suspected
+	// member has to refute before it is confirmed failed. 0 means 3.
+	SuspicionPeriods int
+	// PeriodSeconds is the simulated length of one gossip protocol
+	// period. 0 means Cost.HeartbeatInterval.
+	PeriodSeconds float64
+}
+
 // TransportKind selects how messages travel between the simulated nodes.
 type TransportKind int
 
@@ -344,6 +392,10 @@ type Config struct {
 	// FT replicas with bounded staleness. Host-side only — simulated
 	// results are bit-identical with serving on or off.
 	Serve ServeConfig
+
+	// Membership selects the failure detector chaos crashes are delivered
+	// through: the centralized heartbeat monitor (default) or SWIM gossip.
+	Membership MembershipConfig
 
 	Cost costmodel.Params
 	// Failures is the legacy synchronous crash schedule.
@@ -424,6 +476,23 @@ func (c *Config) Validate() error {
 	}
 	if c.Serve.StalenessBound < 0 {
 		return fmt.Errorf("core: Serve.StalenessBound must be >= 0, got %d (0 is unbounded)", c.Serve.StalenessBound)
+	}
+	switch c.Membership.Kind {
+	case MembershipCentralized, MembershipGossip:
+	default:
+		return fmt.Errorf("core: unknown membership kind %d (use MembershipCentralized or MembershipGossip)", int(c.Membership.Kind))
+	}
+	if c.Membership.GossipFanout < 0 {
+		return fmt.Errorf("core: Membership.GossipFanout must be >= 0, got %d (0 uses the default of 3)", c.Membership.GossipFanout)
+	}
+	if c.Membership.SuspicionPeriods < 0 {
+		return fmt.Errorf("core: Membership.SuspicionPeriods must be >= 0, got %d (0 uses the default of 3)", c.Membership.SuspicionPeriods)
+	}
+	if c.Membership.PeriodSeconds < 0 {
+		return fmt.Errorf("core: Membership.PeriodSeconds must be >= 0, got %g (0 uses Cost.HeartbeatInterval)", c.Membership.PeriodSeconds)
+	}
+	if c.Membership.Kind == MembershipGossip && c.NumNodes < 2 {
+		return fmt.Errorf("core: gossip membership needs at least 2 nodes, got %d", c.NumNodes)
 	}
 	for _, f := range c.Failures {
 		if f.Iteration < 0 || f.Iteration >= c.MaxIter {

@@ -122,6 +122,11 @@ type Result[V any] struct {
 	// Serve is the live-query layer's accounting, nil unless
 	// Config.Serve.Enabled.
 	Serve *metrics.Serve
+
+	// Membership is the failure detector's accounting (per-failure
+	// detection latency, false suspicions, gossip traffic), nil for runs
+	// whose chaos schedule never exercised the detector.
+	Membership *metrics.Membership
 }
 
 // OmissionStats re-exports the netsim omission counters at the engine's
@@ -176,6 +181,9 @@ func (c *Cluster[V, A]) result() *Result[V] {
 		res.Omission = &stats
 	}
 	res.Serve = c.ServeStats()
+	if c.chaos != nil && c.chaos.det != nil {
+		res.Membership = c.chaos.det.membership()
+	}
 	return res
 }
 

@@ -115,6 +115,9 @@ type RunSummary struct {
 	// Serve is the live-query layer's accounting, nil unless the run had
 	// Config.Serve.Enabled.
 	Serve *metrics.Serve
+	// Membership is the failure detector's accounting, nil for runs that
+	// never exercised the detector.
+	Membership *metrics.Membership
 }
 
 func summarize[V any](res *core.Result[V], rf float64, g *graph.Graph) RunSummary {
@@ -138,6 +141,7 @@ func summarize[V any](res *core.Result[V], rf float64, g *graph.Graph) RunSummar
 		Buffers:              res.Buffers,
 		Omission:             res.Omission,
 		Serve:                res.Serve,
+		Membership:           res.Membership,
 	}
 }
 

@@ -1,0 +1,650 @@
+// Package gossip implements a seeded, fully deterministic SWIM-style
+// failure detector: periodic ping / ping-req(k) indirect probing,
+// piggybacked membership dissemination with incarnation numbers, and
+// suspicion timeouts. It runs over a netsim lossy network in best-effort
+// datagram mode (SetDatagramKind), so drop/dup/reorder/partition chaos
+// applies to the detector's own traffic — a dropped ack is genuinely
+// lost, not retransmitted.
+//
+// Determinism contract: all randomness flows from Params.Seed through
+// per-node internal/rng sources; every loop over nodes runs in ascending
+// id order; no wall clock, no goroutines. Two detectors built with the
+// same parameters and driven through the same Fail/Revive/RunPeriod
+// sequence produce bit-identical state and traffic.
+//
+// Deviations from the SWIM paper, both to keep revival sound in a
+// simulator that reuses node ids: (1) confirm ("dead") updates are
+// incarnation-checked instead of overriding unconditionally, so a stale
+// confirm cannot re-kill a node that rejoined at a higher incarnation;
+// (2) Revive is coordinator-assisted — it installs the rejoined member
+// in every view at a fresh incarnation, modeling the rebirth path where
+// the replacement node is announced out of band.
+package gossip
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"imitator/internal/costmodel"
+	"imitator/internal/netsim"
+	"imitator/internal/rng"
+)
+
+// Params configures a Detector. The zero value of each field selects the
+// documented default.
+type Params struct {
+	// Seed drives every random choice (probe order shuffles, indirect
+	// helper picks) via internal/rng.
+	Seed uint64
+	// PeriodSeconds is the simulated duration of one protocol period.
+	// Default 0.5 (the cost model's heartbeat interval).
+	PeriodSeconds float64
+	// IndirectProbes is k, the number of ping-req helpers asked to probe
+	// an unresponsive target indirectly. Default 3.
+	IndirectProbes int
+	// SuspicionPeriods is how many full periods a member stays suspected
+	// before the suspicion is locally confirmed as a failure. The default
+	// (0) scales with the cluster so a refutation rumor can make the
+	// round trip before the timeout: ceil(4*log10(n+1)) periods — the
+	// suspicion multiplier used by production SWIM implementations.
+	SuspicionPeriods int
+	// MaxPiggyback caps the membership updates piggybacked on one
+	// datagram. Default 8.
+	MaxPiggyback int
+}
+
+func (p Params) withDefaults(n int) Params {
+	if p.PeriodSeconds <= 0 {
+		p.PeriodSeconds = 0.5
+	}
+	if p.IndirectProbes <= 0 {
+		p.IndirectProbes = 3
+	}
+	if p.SuspicionPeriods <= 0 {
+		p.SuspicionPeriods = int(math.Ceil(4 * math.Log10(float64(n)+1)))
+		if p.SuspicionPeriods < 3 {
+			p.SuspicionPeriods = 3
+		}
+	}
+	if p.MaxPiggyback <= 0 {
+		p.MaxPiggyback = 8
+	}
+	return p
+}
+
+// member is one row of a node's local membership view.
+type member struct {
+	status UpdateKind // UpdAlive, UpdSuspect, or UpdConfirm
+	inc    uint32
+	since  int // period of the last status change (suspicion timer base)
+	// final marks an expired suspicion awaiting its confirm-before-kill
+	// probe: the owner must get one dedicated direct/indirect probe of
+	// this member before the suspicion may be confirmed. A first-hand ack
+	// restarts the suspicion window instead, giving the (incarnation-
+	// gated) refutation rumor more time to arrive.
+	final bool
+}
+
+// queued is one dissemination-queue entry: an update plus its remaining
+// transmission budget (SWIM's "gossip at most O(log n) times").
+type queued struct {
+	upd  Update
+	left int
+}
+
+// outMsg is a message staged for the next sub-round flush.
+type outMsg struct {
+	to  int
+	msg Message
+}
+
+// node is the per-process protocol state.
+type node struct {
+	id      int
+	src     *rng.Source
+	view    []member
+	order   []int // shuffled probe schedule; reshuffled on wraparound
+	next    int
+	selfInc uint32
+	queue   []queued
+	target  int  // this period's direct-probe target, -1 if none
+	isFinal bool // target is a confirm-before-kill probe of a suspect
+	gotAck  bool
+	outbox  []outMsg
+}
+
+// Stats summarizes detector activity since construction.
+type Stats struct {
+	// Periods is the number of completed protocol periods.
+	Periods int
+	// FalseSuspicions counts probe-originated suspicions of nodes that
+	// were up (ground truth) at the moment of suspicion.
+	FalseSuspicions int
+	// Messages is the total datagrams sent (before loss).
+	Messages int64
+	// Bytes is the total simulated network bytes, headers included.
+	Bytes int64
+}
+
+// Detector simulates n SWIM members over one lossy network.
+type Detector struct {
+	n      int
+	p      Params
+	net    *netsim.Network
+	nodes  []*node
+	up     []bool // ground truth
+	period int
+	budget int // per-update transmission budget: 3*ceil(log2(n+1))
+
+	// First-observer transition tracking: a node id is appended exactly
+	// once per life (reset by Revive) when any view first suspects or
+	// first confirms it.
+	everSuspected []bool
+	everConfirmed []bool
+	suspects      []int
+	confirms      []int
+
+	falseSuspicions int
+	messages        int64
+	wireErr         error
+}
+
+// New builds a detector for n members, all initially alive, over a fresh
+// lossy netsim network (omission enabled, control frames in datagram
+// mode). Chaos — drop rates, partitions — is injected through Net.
+func New(n int, p Params) (*Detector, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gossip: need at least 2 nodes, got %d", n)
+	}
+	p = p.withDefaults(n)
+	net, err := netsim.New(n, costmodel.Default())
+	if err != nil {
+		return nil, err
+	}
+	net.EnableOmission(p.Seed)
+	net.SetDatagramKind(netsim.KindControl)
+	d := &Detector{
+		n:             n,
+		p:             p,
+		net:           net,
+		nodes:         make([]*node, n),
+		up:            make([]bool, n),
+		budget:        3 * (bits.Len(uint(n)) + 1),
+		everSuspected: make([]bool, n),
+		everConfirmed: make([]bool, n),
+	}
+	for id := 0; id < n; id++ {
+		nd := &node{
+			id:     id,
+			src:    rng.New(p.Seed ^ rng.Hash2(uint64(id)+1, 0x5157494d)),
+			view:   make([]member, n),
+			target: -1,
+		}
+		for j := range nd.view {
+			nd.view[j] = member{status: UpdAlive}
+		}
+		nd.order = nd.src.Perm(n)
+		d.nodes[id] = nd
+		d.up[id] = true
+	}
+	return d, nil
+}
+
+// Net exposes the detector's network for chaos injection (drop rates,
+// partitions) and byte accounting.
+func (d *Detector) Net() *netsim.Network { return d.net }
+
+// PeriodSeconds reports the simulated duration of one protocol period.
+func (d *Detector) PeriodSeconds() float64 { return d.p.PeriodSeconds }
+
+// SuspicionPeriods reports the resolved suspicion timeout in periods
+// (cluster-size-scaled when the Params field was left zero).
+func (d *Detector) SuspicionPeriods() int { return d.p.SuspicionPeriods }
+
+// Period reports the number of completed protocol periods.
+func (d *Detector) Period() int { return d.period }
+
+// Up reports ground truth for id.
+func (d *Detector) Up(id int) bool { return d.up[id] }
+
+// Fail marks id crashed (ground truth): it stops probing, answering, and
+// gossiping, and the network drops its traffic, exactly like a failed
+// worker in the engine.
+func (d *Detector) Fail(id int) {
+	d.up[id] = false
+	d.net.SetFailed(id, true)
+}
+
+// Revive rejoins id with coordinator assistance: a fresh incarnation
+// above anything any view has seen is installed everywhere, queued
+// updates about id are purged, and first-observer tracking resets so the
+// next failure of id is detected anew. This models the engine's rebirth
+// announcement rather than SWIM's organic join.
+func (d *Detector) Revive(id int) {
+	d.up[id] = true
+	d.net.SetFailed(id, false)
+	var maxInc uint32
+	for _, nd := range d.nodes {
+		if nd.view[id].inc > maxInc {
+			maxInc = nd.view[id].inc
+		}
+	}
+	if d.nodes[id].selfInc > maxInc {
+		maxInc = d.nodes[id].selfInc
+	}
+	inc := maxInc + 1
+	for _, nd := range d.nodes {
+		nd.view[id] = member{status: UpdAlive, inc: inc, since: d.period}
+		q := nd.queue[:0]
+		for _, e := range nd.queue {
+			if int(e.upd.Node) != id {
+				q = append(q, e)
+			}
+		}
+		nd.queue = q
+	}
+	d.nodes[id].selfInc = inc
+	d.everSuspected[id] = false
+	d.everConfirmed[id] = false
+}
+
+// ForceConfirm marks id failed in every view immediately, bypassing the
+// protocol. The core detector seam uses it as a liveness backstop when
+// chaos (e.g. a full partition) keeps gossip from converging in bounded
+// periods.
+func (d *Detector) ForceConfirm(id int) {
+	for _, nd := range d.nodes {
+		if nd.id == id {
+			continue
+		}
+		if nd.view[id].status != UpdConfirm {
+			nd.view[id].status = UpdConfirm
+			nd.view[id].since = d.period
+		}
+	}
+	if !d.everConfirmed[id] {
+		d.everConfirmed[id] = true
+		d.confirms = append(d.confirms, id)
+	}
+}
+
+// StatusAt reports how observer currently classifies id. A node always
+// considers itself alive.
+func (d *Detector) StatusAt(observer, id int) UpdateKind {
+	if observer == id {
+		return UpdAlive
+	}
+	return d.nodes[observer].view[id].status
+}
+
+// TakeSuspects drains the ids whose first suspicion (by any view, this
+// life) happened since the last call.
+func (d *Detector) TakeSuspects() []int {
+	s := d.suspects
+	d.suspects = nil
+	return s
+}
+
+// TakeConfirms drains the ids whose first confirmation (by any view,
+// this life) happened since the last call.
+func (d *Detector) TakeConfirms() []int {
+	s := d.confirms
+	d.confirms = nil
+	return s
+}
+
+// Stats summarizes detector activity so far.
+func (d *Detector) Stats() Stats {
+	return Stats{
+		Periods:         d.period,
+		FalseSuspicions: d.falseSuspicions,
+		Messages:        d.messages,
+		Bytes:           d.net.TotalBytes(),
+	}
+}
+
+// Err surfaces any network or codec error recorded during simulation.
+// Both indicate a simulator bug: the closed system never produces
+// genuinely malformed frames.
+func (d *Detector) Err() error {
+	if err := d.net.Err(); err != nil {
+		return err
+	}
+	return d.wireErr
+}
+
+// Close releases the underlying network.
+func (d *Detector) Close() error { return d.net.Close() }
+
+// RunPeriod advances the protocol by one period: every up node runs one
+// direct probe, escalating to ping-req(k) indirect probing on silence,
+// across six lockstep sub-rounds (ping, ack, ping-req, indirect ping,
+// indirect ack, forwarded ack); then probe outcomes and suspicion
+// timeouts are folded into each local view.
+func (d *Detector) RunPeriod() {
+	d.startPeriod()
+	for sub := 0; sub < 6; sub++ {
+		d.flush()
+		d.net.FinishRound()
+		d.deliver()
+		if sub == 1 {
+			// Direct acks are in; silent probes escalate to ping-req(k).
+			d.stagePingReqs()
+		}
+	}
+	d.endPeriod()
+	d.period++
+}
+
+// startPeriod picks each up node's probe target and stages the ping.
+func (d *Detector) startPeriod() {
+	for id := 0; id < d.n; id++ {
+		nd := d.nodes[id]
+		nd.target = -1
+		nd.isFinal = false
+		nd.gotAck = false
+		if !d.up[id] {
+			continue
+		}
+		t := nd.pickFinal(d.n)
+		if t < 0 {
+			t = nd.pickTarget(d.n)
+		} else {
+			nd.isFinal = true
+		}
+		if t < 0 {
+			continue
+		}
+		nd.target = t
+		d.stage(nd, t, MsgPing, 0)
+	}
+}
+
+// pickFinal selects the most overdue expired suspicion owed a
+// confirm-before-kill probe: lowest since, then lowest id — one per
+// period, so simultaneous timeouts drain deterministically.
+func (nd *node) pickFinal(n int) int {
+	best := -1
+	for j := 0; j < n; j++ {
+		if j == nd.id {
+			continue
+		}
+		mv := &nd.view[j]
+		if mv.status != UpdSuspect || !mv.final {
+			continue
+		}
+		if best < 0 || mv.since < nd.view[best].since {
+			best = j
+		}
+	}
+	return best
+}
+
+// pickTarget advances the shuffled round-robin schedule past self and
+// confirmed-dead members, reshuffling on wraparound.
+func (nd *node) pickTarget(n int) int {
+	for tries := 0; tries < n; tries++ {
+		if nd.next >= len(nd.order) {
+			nd.order = nd.src.Perm(n)
+			nd.next = 0
+		}
+		t := nd.order[nd.next]
+		nd.next++
+		if t != nd.id && nd.view[t].status != UpdConfirm {
+			return t
+		}
+	}
+	return -1
+}
+
+// stagePingReqs fans each unanswered probe out to k indirect helpers.
+func (d *Detector) stagePingReqs() {
+	k := d.p.IndirectProbes
+	for id := 0; id < d.n; id++ {
+		nd := d.nodes[id]
+		if !d.up[id] || nd.target < 0 || nd.gotAck {
+			continue
+		}
+		var cands []int
+		for j := 0; j < d.n; j++ {
+			if j != id && j != nd.target && nd.view[j].status != UpdConfirm {
+				cands = append(cands, j)
+			}
+		}
+		perm := nd.src.Perm(len(cands))
+		for i := 0; i < len(perm) && i < k; i++ {
+			d.stage(nd, cands[perm[i]], MsgPingReq, int32(nd.target))
+		}
+	}
+}
+
+// stage queues a message from nd for the next flush, attaching up to
+// MaxPiggyback updates from the dissemination queue and retiring entries
+// whose transmission budget is spent.
+func (d *Detector) stage(nd *node, to int, kind MsgKind, about int32) {
+	m := Message{Kind: kind, From: int32(nd.id), About: about}
+	// Least-transmitted first (SWIM §4.1): fresh updates — new suspicions
+	// and, critically, refutations — outrank rumors that have already had
+	// their airtime, so they never starve behind a long queue. The sort is
+	// stable, so equal budgets keep queue order and stay deterministic.
+	sort.SliceStable(nd.queue, func(i, j int) bool {
+		return nd.queue[i].left > nd.queue[j].left
+	})
+	for i := range nd.queue {
+		if len(m.Updates) >= d.p.MaxPiggyback {
+			break
+		}
+		if nd.queue[i].left > 0 {
+			m.Updates = append(m.Updates, nd.queue[i].upd)
+			nd.queue[i].left--
+		}
+	}
+	q := nd.queue[:0]
+	for _, e := range nd.queue {
+		if e.left > 0 {
+			q = append(q, e)
+		}
+	}
+	nd.queue = q
+	nd.outbox = append(nd.outbox, outMsg{to: to, msg: m})
+}
+
+// flush sends every staged message in ascending node order.
+func (d *Detector) flush() {
+	for id := 0; id < d.n; id++ {
+		nd := d.nodes[id]
+		for i := range nd.outbox {
+			om := &nd.outbox[i]
+			d.net.Send(id, om.to, netsim.KindControl, AppendMessage(nil, &om.msg))
+			d.messages++
+		}
+		nd.outbox = nd.outbox[:0]
+	}
+}
+
+// deliver drains every inbox in ascending node order, folds piggybacked
+// updates into the receiver's view, and runs the probe state machine.
+func (d *Detector) deliver() {
+	for id := 0; id < d.n; id++ {
+		msgs := d.net.Receive(id)
+		if !d.up[id] {
+			continue
+		}
+		nd := d.nodes[id]
+		for _, raw := range msgs {
+			if raw.Kind != netsim.KindControl {
+				continue
+			}
+			m, err := DecodeMessage(raw.Payload)
+			if err != nil {
+				if d.wireErr == nil {
+					d.wireErr = fmt.Errorf("gossip: node %d: %w", id, err)
+				}
+				continue
+			}
+			d.applyUpdates(nd, &m)
+			d.handle(nd, &m)
+		}
+	}
+}
+
+// handle runs the probe state machine for one received message.
+func (d *Detector) handle(nd *node, m *Message) {
+	from := int(m.From)
+	switch m.Kind {
+	case MsgPing:
+		nd.stageReply(d, from, MsgAck, 0)
+	case MsgAck:
+		if nd.target == from {
+			nd.gotAck = true
+		}
+	case MsgPingReq:
+		// Probe m.About on behalf of from.
+		nd.stageReply(d, int(m.About), MsgIndPing, m.From)
+	case MsgIndPing:
+		// m.About is the origin; answer the helper, naming the origin.
+		nd.stageReply(d, from, MsgIndAck, m.About)
+	case MsgIndAck:
+		// Relay the answer to the origin, naming the target that spoke.
+		nd.stageReply(d, int(m.About), MsgFwdAck, m.From)
+	case MsgFwdAck:
+		if nd.target == int(m.About) {
+			nd.gotAck = true
+		}
+	}
+}
+
+// stageReply validates the destination (duplicated or fuzzed frames may
+// name anything) before staging.
+func (nd *node) stageReply(d *Detector, to int, kind MsgKind, about int32) {
+	if to < 0 || to >= d.n || to == nd.id {
+		return
+	}
+	d.stage(nd, to, kind, about)
+}
+
+// endPeriod turns silent probes into suspicions and expired suspicions
+// into confirmations.
+func (d *Detector) endPeriod() {
+	for id := 0; id < d.n; id++ {
+		nd := d.nodes[id]
+		if !d.up[id] {
+			continue
+		}
+		if t := nd.target; t >= 0 && !nd.gotAck && nd.view[t].status == UpdAlive {
+			d.transition(nd, Update{Kind: UpdSuspect, Node: int32(t), Inc: nd.view[t].inc}, true)
+		}
+		// Resolve a completed confirm-before-kill probe: a failed final
+		// probe confirms the suspect; a first-hand (direct or indirect)
+		// ack restarts its suspicion window instead. The restart is
+		// local-only — without the suspect's own incarnation bump there
+		// is nothing sound to gossip.
+		if t := nd.target; t >= 0 && nd.isFinal && nd.view[t].status == UpdSuspect {
+			mv := &nd.view[t]
+			if nd.gotAck {
+				mv.since = d.period
+				mv.final = false
+			} else {
+				d.transition(nd, Update{Kind: UpdConfirm, Node: int32(t), Inc: mv.inc}, false)
+			}
+		}
+		// Expired suspicions don't confirm outright: they queue for a
+		// confirm-before-kill probe (Lifeguard's final check), which a
+		// live suspect survives even when its refutation rumor lost the
+		// dissemination race.
+		for j := 0; j < d.n; j++ {
+			mv := &nd.view[j]
+			if mv.status == UpdSuspect && !mv.final && d.period-mv.since >= d.p.SuspicionPeriods {
+				mv.final = true
+			}
+		}
+	}
+}
+
+// queueUpdate enqueues u for dissemination from nd, superseding any
+// queued update about the same node.
+func (d *Detector) queueUpdate(nd *node, u Update) {
+	for i := range nd.queue {
+		if nd.queue[i].upd.Node == u.Node {
+			nd.queue[i] = queued{upd: u, left: d.budget}
+			return
+		}
+	}
+	nd.queue = append(nd.queue, queued{upd: u, left: d.budget})
+}
+
+// applyUpdates folds a message's piggybacked updates into nd's view,
+// including self-refutation.
+func (d *Detector) applyUpdates(nd *node, m *Message) {
+	for _, u := range m.Updates {
+		j := int(u.Node)
+		if j < 0 || j >= d.n {
+			continue
+		}
+		if j == nd.id {
+			// Refutation: someone thinks we are suspect or dead. If the
+			// rumor's incarnation is current, outbid it and gossip that
+			// we are alive.
+			if u.Kind != UpdAlive && u.Inc >= nd.selfInc {
+				nd.selfInc = u.Inc + 1
+				d.queueUpdate(nd, Update{Kind: UpdAlive, Node: int32(nd.id), Inc: nd.selfInc})
+			}
+			continue
+		}
+		d.transition(nd, u, false)
+	}
+}
+
+// transition applies one membership statement to nd's view of u.Node
+// under SWIM's precedence rules — alive needs a strictly newer
+// incarnation, suspect wins ties against alive, confirm is
+// incarnation-checked (see the package comment) — and re-disseminates on
+// change. originated marks a suspicion born from nd's own failed probe,
+// which is what the false-suspicion metric counts.
+func (d *Detector) transition(nd *node, u Update, originated bool) {
+	j := int(u.Node)
+	mv := &nd.view[j]
+	changed := false
+	switch u.Kind {
+	case UpdAlive:
+		if mv.status != UpdConfirm && u.Inc > mv.inc {
+			mv.status = UpdAlive
+			mv.inc = u.Inc
+			mv.since = d.period
+			mv.final = false
+			changed = true
+		}
+	case UpdSuspect:
+		if mv.status != UpdConfirm &&
+			(u.Inc > mv.inc || (u.Inc == mv.inc && mv.status == UpdAlive)) {
+			mv.status = UpdSuspect
+			mv.inc = u.Inc
+			mv.since = d.period
+			mv.final = false
+			changed = true
+			if !d.everSuspected[j] {
+				d.everSuspected[j] = true
+				d.suspects = append(d.suspects, j)
+			}
+			if originated && d.up[j] {
+				d.falseSuspicions++
+			}
+		}
+	case UpdConfirm:
+		if mv.status != UpdConfirm && u.Inc >= mv.inc {
+			mv.status = UpdConfirm
+			mv.since = d.period
+			mv.final = false
+			changed = true
+			if !d.everConfirmed[j] {
+				d.everConfirmed[j] = true
+				d.confirms = append(d.confirms, j)
+			}
+		}
+	}
+	if changed {
+		d.queueUpdate(nd, Update{Kind: mv.status, Node: int32(j), Inc: mv.inc})
+	}
+}

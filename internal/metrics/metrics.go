@@ -173,6 +173,26 @@ type Serve struct {
 	MaxStaleness int64
 }
 
+// Membership reports the failure detector's activity for a run that
+// exercised it: which protocol ran, how long each confirmed failure took
+// to detect, how often live nodes were wrongly suspected, and what the
+// detector's own traffic cost (gossip only).
+type Membership struct {
+	// Mode is the protocol name: "centralized" or "gossip".
+	Mode string
+	// DetectionSeconds holds the per-failure latency, in simulated
+	// seconds, from the crash to the detector confirming it.
+	DetectionSeconds []float64
+	// FalseSuspicions counts suspicions originated against nodes that
+	// were alive at the time (gossip probes lost to chaos).
+	FalseSuspicions int
+	// GossipBytes is the detector's own network volume, headers included.
+	// Zero for the centralized monitor, whose beats ride the cost model.
+	GossipBytes int64
+	// GossipPeriods is the number of SWIM protocol periods executed.
+	GossipPeriods int
+}
+
 // Cluster aggregates per-node metrics.
 type Cluster struct {
 	Nodes []Node

@@ -1,0 +1,148 @@
+package netsim
+
+import "testing"
+
+// newDatagramNet builds a lossy network with KindControl in best-effort
+// datagram mode, the configuration the gossip failure detector uses.
+func newDatagramNet(t *testing.T, n int, seed uint64) *Network {
+	t.Helper()
+	net := newLossyNet(t, n, seed)
+	net.SetDatagramKind(KindControl)
+	return net
+}
+
+func TestDatagramDropLosesFrameForGood(t *testing.T) {
+	net := newDatagramNet(t, 2, 7)
+	net.SetDropRate(0, 1, 1)
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		net.Send(0, 1, KindControl, []byte{byte(i)})
+	}
+	net.FinishRound()
+	if msgs := net.Receive(1); len(msgs) != 0 {
+		t.Fatalf("100%% drop delivered %d datagrams", len(msgs))
+	}
+	st, _ := net.OmissionStats()
+	if st.DatagramsLost != frames {
+		t.Fatalf("DatagramsLost = %d, want %d", st.DatagramsLost, frames)
+	}
+	if st.Retransmits != 0 {
+		t.Fatalf("datagrams were retransmitted %d times", st.Retransmits)
+	}
+	checkErr(t, net)
+}
+
+func TestDatagramReliableKindsKeepRetransmitting(t *testing.T) {
+	net := newDatagramNet(t, 2, 8)
+	net.SetDropRate(0, 1, 0.5)
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		net.Send(0, 1, KindSync, []byte{byte(i)})
+	}
+	net.FinishRound()
+	msgs := net.Receive(1)
+	if len(msgs) != frames {
+		t.Fatalf("reliable kind delivered %d frames, want %d", len(msgs), frames)
+	}
+	for i, m := range msgs {
+		if m.Payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+	st, _ := net.OmissionStats()
+	if st.Retransmits == 0 {
+		t.Fatal("50% drop produced no retransmits on the reliable kind")
+	}
+	checkErr(t, net)
+}
+
+func TestDatagramCutLinkLostNotParked(t *testing.T) {
+	net := newDatagramNet(t, 2, 9)
+	net.Partition([]int{1})
+	net.Send(0, 1, KindControl, []byte{1})
+	net.Send(0, 1, KindSync, []byte{2})
+	net.FinishRound()
+	if msgs := net.Receive(1); len(msgs) != 0 {
+		t.Fatalf("partition delivered %d frames", len(msgs))
+	}
+	st, _ := net.OmissionStats()
+	if st.DatagramsLost != 1 {
+		t.Fatalf("DatagramsLost = %d, want 1", st.DatagramsLost)
+	}
+	if st.Parked != 1 {
+		t.Fatalf("Parked = %d, want 1 (the reliable frame)", st.Parked)
+	}
+	// Heal: the parked reliable frame arrives, the datagram never does.
+	net.Heal([]int{1})
+	net.FinishRound()
+	msgs := net.Receive(1)
+	if len(msgs) != 1 || msgs[0].Kind != KindSync {
+		t.Fatalf("after heal got %d frames, want exactly the reliable one", len(msgs))
+	}
+	checkErr(t, net)
+}
+
+func TestDatagramDuplicateDelivered(t *testing.T) {
+	net := newDatagramNet(t, 2, 10)
+	net.SetDupRate(0, 1, 1)
+	net.Send(0, 1, KindControl, []byte{42})
+	net.FinishRound()
+	msgs := net.Receive(1)
+	if len(msgs) != 2 {
+		t.Fatalf("dup rate 1 delivered %d datagrams, want 2 (no dedup)", len(msgs))
+	}
+	for _, m := range msgs {
+		if m.Payload[0] != 42 {
+			t.Fatalf("corrupt duplicate: %v", m.Payload)
+		}
+	}
+	checkErr(t, net)
+}
+
+func TestDatagramNoSequenceGapAlongsideReliable(t *testing.T) {
+	// Lost datagrams must not punch holes in the reliable kinds'
+	// sequence space: mix both under heavy drop and check the reliable
+	// stream stays intact with no backend error.
+	net := newDatagramNet(t, 2, 11)
+	net.SetDropRate(0, 1, 0.6)
+	const frames = 30
+	for i := 0; i < frames; i++ {
+		net.Send(0, 1, KindControl, []byte{byte(i)})
+		net.Send(0, 1, KindSync, []byte{byte(i)})
+	}
+	net.FinishRound()
+	var sync, ctrl int
+	for _, m := range net.Receive(1) {
+		switch m.Kind {
+		case KindSync:
+			if m.Payload[0] != byte(sync) {
+				t.Fatalf("reliable frame %d out of order", sync)
+			}
+			sync++
+		case KindControl:
+			ctrl++
+		}
+	}
+	if sync != frames {
+		t.Fatalf("reliable stream delivered %d/%d", sync, frames)
+	}
+	if ctrl >= frames {
+		t.Fatalf("60%% drop lost no datagrams (%d/%d delivered)", ctrl, frames)
+	}
+	checkErr(t, net)
+}
+
+func TestDatagramFromFailedSenderFenced(t *testing.T) {
+	net := newDatagramNet(t, 2, 12)
+	net.Send(0, 1, KindControl, []byte{1})
+	net.FinishRound()
+	net.SetFailed(0, true) // fails after the round closes, before delivery
+	if msgs := net.Receive(1); len(msgs) != 0 {
+		t.Fatalf("failed sender's datagram delivered (%d frames)", len(msgs))
+	}
+	st, _ := net.OmissionStats()
+	if st.Fenced != 1 {
+		t.Fatalf("Fenced = %d, want 1", st.Fenced)
+	}
+	checkErr(t, net)
+}

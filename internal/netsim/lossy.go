@@ -63,6 +63,10 @@ type OmissionStats struct {
 	// DroppedDead counts frames discarded because their receiver was
 	// already confirmed failed at flush or release time.
 	DroppedDead int64
+	// DatagramsLost counts best-effort frames (SetDatagramKind) that the
+	// channel lost for good: a drop fate, or a cut link. Datagrams are
+	// never retransmitted or parked.
+	DatagramsLost int64
 	// BackoffSeconds is the simulated time spent in retransmission
 	// backoff, summed over all senders.
 	BackoffSeconds float64
@@ -109,6 +113,7 @@ type lossyStats struct {
 	released      atomic.Int64
 	fenced        atomic.Int64
 	droppedDead   atomic.Int64
+	datagramsLost atomic.Int64
 	backoffSecond float64
 }
 
@@ -124,6 +129,7 @@ func (s *lossyStats) snapshot() OmissionStats {
 		Released:            s.released.Load(),
 		Fenced:              s.fenced.Load(),
 		DroppedDead:         s.droppedDead.Load(),
+		DatagramsLost:       s.datagramsLost.Load(),
 		BackoffSeconds:      s.backoffSecond,
 	}
 }
@@ -144,6 +150,13 @@ type lossyBackend struct {
 	// epochs mirrors the coordinator's membership incarnations; frames
 	// are stamped at Send and fenced at Collect against these.
 	epochs []uint32
+
+	// datagram, when non-zero, marks one message kind as best-effort: no
+	// envelope, no retransmission, no parking — a drop fate or a cut link
+	// loses the frame for good, and duplicates arrive twice. This is the
+	// channel the gossip failure detector probes over: loss must be able
+	// to delay detection, which the reliable protocol would mask.
+	datagram Kind
 
 	nextSeq  []uint32       // [from*n+to] next sequence to stamp
 	recvNext []uint32       // [from*n+to] next sequence to deliver
@@ -202,6 +215,12 @@ func (b *lossyBackend) Send(from, to int, kind Kind, payload []byte) error {
 		return b.inner.Send(from, to, kind, payload)
 	}
 	idx := from*b.n + to
+	if kind != 0 && kind == b.datagram {
+		// Best-effort frames skip the envelope and the sequence space: they
+		// are allowed to vanish, so the receiver must not see a gap.
+		b.out[idx] = append(b.out[idx], lossyFrame{kind: kind, buf: payload})
+		return nil
+	}
 	env := transport.Envelope{
 		Seq:         b.nextSeq[idx],
 		SenderEpoch: b.epochs[from],
@@ -240,9 +259,15 @@ func (b *lossyBackend) flushLink(from, to int, alive bool, q []lossyFrame) {
 	link := [2]int{from, to}
 	if b.cut[link] {
 		for i := range q {
+			if q[i].kind != 0 && q[i].kind == b.datagram {
+				// A datagram in a cut cable is simply gone; parking and
+				// re-releasing stale probes on heal would model TCP, not UDP.
+				b.stats.datagramsLost.Add(1)
+				continue
+			}
 			b.parked = append(b.parked, parkedFrame{from: from, to: to, kind: q[i].kind, buf: q[i].buf})
+			b.stats.parked.Add(1)
 		}
-		b.stats.parked.Add(int64(len(q)))
 		return
 	}
 	if !alive {
@@ -297,6 +322,23 @@ func (b *lossyBackend) flushLink(from, to int, alive bool, q []lossyFrame) {
 // whether any retransmission happened.
 func (b *lossyBackend) transmit(from, to int, fr *lossyFrame, f linkFaults, src *rng.Source) (retx bool) {
 	size := int64(len(fr.buf)) + headerBytes
+	if fr.kind != 0 && fr.kind == b.datagram {
+		// Best-effort: one drop fate loses the frame outright — no
+		// retransmission, no backoff. Duplication still applies below.
+		if src != nil && f.drop > 0 && src.Float64() < f.drop {
+			b.stats.datagramsLost.Add(1)
+			return false
+		}
+		b.net.recordErr(b.inner.Send(from, to, fr.kind, fr.buf))
+		if src != nil && f.dup > 0 && src.Float64() < f.dup {
+			b.stats.dupDelivered.Add(1)
+			b.net.bytesOut[from].Add(size)
+			b.net.bytesIn[to].Add(size)
+			b.net.totalOut[from].Add(size)
+			b.net.recordErr(b.inner.Send(from, to, fr.kind, fr.buf))
+		}
+		return false
+	}
 	if src != nil && f.drop > 0 {
 		attempt := 1
 		for src.Float64() < f.drop {
@@ -357,6 +399,18 @@ func (b *lossyBackend) Collect(to int, expectFrom []bool) ([]Message, error) {
 func (b *lossyBackend) deliverRun(to, from int, run []Message, out []Message) []Message {
 	entries := b.colEnt[to][:0]
 	for _, m := range run {
+		if m.Kind != 0 && m.Kind == b.datagram {
+			// Datagrams carry no envelope: no fencing, no dedup, no FIFO
+			// restore — they deliver in arrival order, ahead of the run's
+			// (sequence-sorted) reliable frames. A currently-failed sender
+			// is still fenced, matching fail-stop semantics.
+			if b.net.failed[from] {
+				b.stats.fenced.Add(1)
+				continue
+			}
+			out = append(out, m)
+			continue
+		}
 		env, payload, err := transport.ParseEnvelope(m.Payload)
 		if err != nil {
 			b.net.recordErr(err)
@@ -533,6 +587,15 @@ func (n *Network) OmissionStats() (stats OmissionStats, ok bool) {
 		return OmissionStats{}, false
 	}
 	return n.omission.stats.snapshot(), true
+}
+
+// SetDatagramKind marks one message kind as best-effort datagrams: the
+// lossy channel loses them outright on a drop fate or a cut link instead
+// of retransmitting or parking, and delivers injected duplicates as-is.
+// Frames of every other kind keep the reliable protocol. Requires
+// EnableOmission; the gossip failure detector is the intended user.
+func (n *Network) SetDatagramKind(k Kind) {
+	n.omission.datagram = k
 }
 
 // SetDropRate installs the loss probability of the from->to link

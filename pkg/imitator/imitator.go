@@ -141,6 +141,20 @@ const (
 	TransportTCP = core.TransportTCP
 )
 
+// Membership selects the failure-detection protocol (see WithMembership).
+type Membership = core.MembershipKind
+
+// Membership protocols.
+const (
+	// Centralized is the default heartbeat monitor: every node beats to a
+	// central master (the paper's Zookeeper-style membership).
+	Centralized = core.MembershipCentralized
+	// Gossip is decentralized SWIM-style probing with piggybacked
+	// dissemination, running over a lossy datagram network that inherits
+	// the run's drop and partition chaos.
+	Gossip = core.MembershipGossip
+)
+
 // Ready-made codecs for common value/accumulator types.
 type (
 	Float64Codec    = core.Float64Codec

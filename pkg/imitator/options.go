@@ -16,6 +16,9 @@ import "imitator/internal/core"
 //   - Chaos options inject faults: WithFailures with the event builders
 //     (Crash, CrashDuringRecovery, SlowLink, DelayBurst, Drop, Duplicate,
 //     Reorder, Partition) and WithChaosSeed.
+//   - Membership options pick the failure detector chaos crashes are
+//     delivered through: WithMembership(Centralized|Gossip) with
+//     GossipFanout, GossipSuspicionPeriods and GossipPeriodSeconds.
 //   - Serve options turn the run into a long-lived queryable service:
 //     WithServe and its sub-options (see serve.go).
 type Option func(*Config)
@@ -95,4 +98,42 @@ func WithTransport(t Transport) Option {
 // WithMaxRebirths bounds how many standby rebirths the cluster can perform.
 func WithMaxRebirths(n int) Option {
 	return func(c *Config) { c.MaxRebirths = n }
+}
+
+// ---- Membership options ------------------------------------------------
+
+// MembershipOption tunes the failure detector selected by WithMembership.
+type MembershipOption func(*core.MembershipConfig)
+
+// WithMembership selects the failure-detection protocol that delivers
+// chaos crashes to the coordinator: Centralized (the default heartbeat
+// monitor, bit-identical to prior releases) or Gossip (decentralized
+// SWIM probing over a lossy datagram network that inherits the run's
+// drop/partition chaos). Both feed the identical Suspect/MarkFailed
+// path into rebirth, migration and serve-mode routing.
+func WithMembership(m Membership, opts ...MembershipOption) Option {
+	return func(c *Config) {
+		c.Membership = core.MembershipConfig{Kind: m}
+		for _, o := range opts {
+			o(&c.Membership)
+		}
+	}
+}
+
+// GossipFanout sets SWIM's k: the indirect ping-req helpers recruited
+// when a direct probe goes unanswered (default 3).
+func GossipFanout(k int) MembershipOption {
+	return func(m *core.MembershipConfig) { m.GossipFanout = k }
+}
+
+// GossipSuspicionPeriods sets how many protocol periods a suspected
+// member has to refute before it is confirmed failed (default 3).
+func GossipSuspicionPeriods(n int) MembershipOption {
+	return func(m *core.MembershipConfig) { m.SuspicionPeriods = n }
+}
+
+// GossipPeriodSeconds sets the simulated length of one protocol period
+// (default: the cost model's heartbeat interval).
+func GossipPeriodSeconds(s float64) MembershipOption {
+	return func(m *core.MembershipConfig) { m.PeriodSeconds = s }
 }
